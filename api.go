@@ -1,0 +1,95 @@
+package targetedattacks
+
+import (
+	"targetedattacks/internal/combin"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/montecarlo"
+	"targetedattacks/internal/overlay"
+)
+
+// Re-exported model types. The analytical engine lives in internal
+// packages; these aliases form the stable public surface.
+type (
+	// Params are the model parameters (C, ∆, µ, d, k, ν).
+	Params = core.Params
+	// State is a cluster state (s, x, y).
+	State = core.State
+	// Class partitions the state space (safe, polluted, closed classes).
+	Class = core.Class
+	// Model is the cluster Markov-chain model.
+	Model = core.Model
+	// Analysis bundles the closed-form results for one initial
+	// distribution.
+	Analysis = core.Analysis
+	// InitialDistribution selects one of the paper's initial
+	// distributions (δ or β).
+	InitialDistribution = core.InitialDistribution
+	// Overlay is the n-cluster competing-chains view (Section VIII).
+	Overlay = overlay.CompetingChains
+	// OverlayPoint is one sample of the overlay proportions series.
+	OverlayPoint = overlay.Point
+	// Simulator is the Monte-Carlo cluster simulator.
+	Simulator = montecarlo.Simulator
+	// Trajectory is one simulated cluster lifetime.
+	Trajectory = montecarlo.Trajectory
+	// SimulationSummary aggregates Monte-Carlo runs.
+	SimulationSummary = montecarlo.Summary
+)
+
+// Initial distributions of the paper (Section VII-A).
+const (
+	// DistributionDelta starts from (⌊∆/2⌋, 0, 0): no malicious peers.
+	DistributionDelta = core.DistributionDelta
+	// DistributionBeta starts with binomial malicious populations.
+	DistributionBeta = core.DistributionBeta
+)
+
+// State classes of the partition of Ω (Section VI).
+const (
+	ClassSafe          = core.ClassSafe
+	ClassPolluted      = core.ClassPolluted
+	ClassSafeMerge     = core.ClassSafeMerge
+	ClassSafeSplit     = core.ClassSafeSplit
+	ClassPollutedMerge = core.ClassPollutedMerge
+	ClassPollutedSplit = core.ClassPollutedSplit
+)
+
+// Absorbing class names as used in Analysis.Absorption.
+const (
+	ClassNameSafeMerge     = core.ClassNameSafeMerge
+	ClassNameSafeSplit     = core.ClassNameSafeSplit
+	ClassNamePollutedMerge = core.ClassNamePollutedMerge
+	ClassNamePollutedSplit = core.ClassNamePollutedSplit
+)
+
+// DefaultParams returns the paper's evaluation configuration
+// (C = 7, ∆ = 7, protocol_1, ν = 0.1).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewModel validates p and builds the cluster model: its state space Ω
+// and the exact transition matrix of the paper's Figure 2.
+func NewModel(p Params) (*Model, error) { return core.New(p) }
+
+// NewOverlay builds the n-cluster overlay view of a model, implementing
+// Theorems 1 and 2 (competing Markov chains).
+func NewOverlay(m *Model, n int) (*Overlay, error) { return overlay.New(m, n) }
+
+// NewSimulator builds a Monte-Carlo simulator of the cluster chain with a
+// deterministic seed.
+func NewSimulator(m *Model, seed int64) (*Simulator, error) { return montecarlo.New(m, seed) }
+
+// Rule1Holds evaluates the adversarial leave strategy (relation (2)) in
+// state (s, x, y): whether a colluding adversary should trigger a
+// voluntary core departure under protocol_k.
+func Rule1Holds(p Params, s, x, y int) (bool, error) { return core.Rule1Holds(p, s, x, y) }
+
+// HalfLife returns t½ = ln2/(1−d) for an identifier survival probability
+// d (Section VI).
+func HalfLife(d float64) (float64, error) { return combin.HalfLife(d) }
+
+// LifetimeFromSurvival returns the incarnation lifetime L = 6.65·t½ such
+// that 99% of identifiers expire within L (Section III-D calibration).
+func LifetimeFromSurvival(d float64) (float64, error) { return combin.LifetimeFromSurvival(d) }
+
+// SurvivalFromLifetime inverts LifetimeFromSurvival.
+func SurvivalFromLifetime(l float64) (float64, error) { return combin.SurvivalFromLifetime(l) }

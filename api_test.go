@@ -1,0 +1,116 @@
+package targetedattacks
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	params := DefaultParams()
+	params.Mu = 0.2
+	params.D = 0.9
+	model, err := NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := model.AnalyzeNamed(DistributionDelta, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.ExpectedSafeTime <= 0 {
+		t.Error("E(T_S) must be positive")
+	}
+	var sum float64
+	for _, p := range analysis.Absorption {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("absorption probabilities sum to %v", sum)
+	}
+}
+
+func TestFacadeOverlay(t *testing.T) {
+	model, err := NewModel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := NewOverlay(model, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ov.ProportionSeries(model.InitialDelta(), 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Safe != 1 {
+		t.Errorf("initial safe proportion %v, want 1", pts[0].Safe)
+	}
+}
+
+func TestFacadeSimulator(t *testing.T) {
+	params := DefaultParams()
+	params.Mu = 0.1
+	params.D = 0.5
+	model, err := NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(model, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sim.RunMany(model.InitialDelta(), 500, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 500 {
+		t.Errorf("Runs = %d", sum.Runs)
+	}
+}
+
+func TestFacadeRule1(t *testing.T) {
+	p := DefaultParams() // k = 1
+	fires, err := Rule1Holds(p, 3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires {
+		t.Error("Rule 1 must never fire for k=1")
+	}
+}
+
+func TestFacadeLifetimeHelpers(t *testing.T) {
+	l, err := LifetimeFromSurvival(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-46.05) > 0.05 {
+		t.Errorf("L(0.9) = %v, want ≈46.05 (paper Figure 5)", l)
+	}
+	d, err := SurvivalFromLifetime(l)
+	if err != nil || math.Abs(d-0.9) > 1e-9 {
+		t.Errorf("round trip d = %v err %v", d, err)
+	}
+	th, err := HalfLife(0.9)
+	if err != nil || math.Abs(th-math.Ln2/0.1) > 1e-9 {
+		t.Errorf("HalfLife = %v err %v", th, err)
+	}
+}
+
+func TestFacadeConstantsDistinct(t *testing.T) {
+	names := map[string]bool{
+		ClassNameSafeMerge:     true,
+		ClassNameSafeSplit:     true,
+		ClassNamePollutedMerge: true,
+		ClassNamePollutedSplit: true,
+	}
+	if len(names) != 4 {
+		t.Error("absorbing class names must be distinct")
+	}
+	if ClassSafe == ClassPolluted {
+		t.Error("classes must be distinct")
+	}
+	if DistributionDelta == DistributionBeta {
+		t.Error("distributions must be distinct")
+	}
+}

@@ -1,0 +1,179 @@
+package targetedattacks
+
+import (
+	"testing"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (DESIGN.md experiment index E1-E7) plus this reproduction's
+// ablations (A1-A3). Each benchmark iteration produces the complete
+// artifact at the paper's parameters; cmd/paperrepro prints the same rows.
+
+// BenchmarkFigure1StateSpace regenerates the state-space census (E1).
+func BenchmarkFigure1StateSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(7, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2TransitionMatrix regenerates the transition-matrix
+// construction for protocol_1 … protocol_C (E2).
+func BenchmarkFigure2TransitionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2([]int{1, 2, 3, 4, 5, 6, 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3ExpectedTimes regenerates the four panels of Figure 3
+// (E3): E(T_S^k), E(T_P^k) over µ × d × k × α.
+func BenchmarkFigure3ExpectedTimes(b *testing.B) {
+	cfg := experiments.DefaultFigure3Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1HighSurvival regenerates Table I (E4).
+func BenchmarkTable1HighSurvival(b *testing.B) {
+	cfg := experiments.DefaultTable1Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SuccessiveSojourns regenerates Table II (E5).
+func BenchmarkTable2SuccessiveSojourns(b *testing.B) {
+	cfg := experiments.DefaultTable2Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Absorption regenerates the two panels of Figure 4 (E6).
+func BenchmarkFigure4Absorption(b *testing.B) {
+	cfg := experiments.DefaultFigure4Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5OverlayProportions regenerates the two panels of
+// Figure 5 (E7): Theorem 2 over 100000 events for n ∈ {500, 1500},
+// d ∈ {30%, 90%}.
+func BenchmarkFigure5OverlayProportions(b *testing.B) {
+	cfg := experiments.DefaultFigure5Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNuSensitivity sweeps the Rule 1 threshold ν (A1).
+func BenchmarkAblationNuSensitivity(b *testing.B) {
+	cfg := experiments.DefaultAblationNuConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationNu(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAllK sweeps protocol_k for every k = 1…C (A2).
+func BenchmarkAblationAllK(b *testing.B) {
+	cfg := experiments.DefaultAblationKConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationK(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidationMonteCarlo cross-validates closed forms against
+// simulation (A3) at a reduced run count (the full 20000-run validation
+// is in cmd/paperrepro).
+func BenchmarkValidationMonteCarlo(b *testing.B) {
+	cfg := experiments.DefaultValidationConfig()
+	cfg.Runs = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Validation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemOverlaySim runs the full agent-based overlay under a
+// targeted attack (A4) at a reduced event count.
+func BenchmarkSystemOverlaySim(b *testing.B) {
+	cfg := experiments.DefaultSystemSimConfig()
+	cfg.Events = 5000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SystemSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupAvailability measures end-to-end lookup availability
+// under attack (A5) at reduced scale.
+func BenchmarkLookupAvailability(b *testing.B) {
+	cfg := experiments.DefaultLookupConfig()
+	cfg.Events = 2000
+	cfg.Trials = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lookup(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelConstruction measures building the 288-state transition
+// matrix alone (the kernel under every experiment).
+func BenchmarkModelConstruction(b *testing.B) {
+	p := core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.9, K: 7, Nu: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures one full closed-form analysis.
+func BenchmarkAnalyze(b *testing.B) {
+	m, err := core.New(core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.9, K: 1, Nu: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AnalyzeNamed(core.DistributionDelta, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command attackmodel computes the closed-form results of the DSN 2011
+// targeted-attack model for one parameter point: expected safe/polluted
+// times before absorption, successive sojourn durations and absorption
+// probabilities.
+//
+// Usage:
+//
+//	attackmodel [-C 7] [-delta 7] [-mu 0.2] [-d 0.9] [-k 1] [-nu 0.1]
+//	            [-alpha delta|beta] [-sojourns 2] [-overlay 0] [-events 100000]
+//
+// With -overlay n > 0 it additionally prints the overlay-level expected
+// proportions of safe and polluted clusters after -events events
+// (Theorem 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/overlay"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attackmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attackmodel", flag.ContinueOnError)
+	var (
+		c        = fs.Int("C", 7, "core set size C")
+		delta    = fs.Int("delta", 7, "maximal spare set size ∆")
+		mu       = fs.Float64("mu", 0.2, "fraction µ of malicious peers in the universe")
+		d        = fs.Float64("d", 0.9, "identifier survival probability d per time unit")
+		k        = fs.Int("k", 1, "protocol_k randomization amount (1..C)")
+		nu       = fs.Float64("nu", 0.1, "Rule 1 threshold ν")
+		alpha    = fs.String("alpha", "delta", "initial distribution: delta or beta")
+		sojourns = fs.Int("sojourns", 2, "number of successive sojourns to report")
+		overlayN = fs.Int("overlay", 0, "if > 0, also evaluate an overlay of n clusters (Theorem 2)")
+		events   = fs.Int("events", 100000, "overlay events m for -overlay")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := core.Params{C: *c, Delta: *delta, Mu: *mu, D: *d, K: *k, Nu: *nu}
+	model, err := core.New(p)
+	if err != nil {
+		return err
+	}
+	var dist core.InitialDistribution
+	switch *alpha {
+	case "delta":
+		dist = core.DistributionDelta
+	case "beta":
+		dist = core.DistributionBeta
+	default:
+		return fmt.Errorf("unknown -alpha %q (want delta or beta)", *alpha)
+	}
+	a, err := model.AnalyzeNamed(dist, *sojourns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %v, α = %v, |Ω| = %d states\n", p, dist, model.Space().Size())
+	fmt.Printf("E(T_S) = %.6g   (expected events in safe states before absorption)\n", a.ExpectedSafeTime)
+	fmt.Printf("E(T_P) = %.6g   (expected events in polluted states before absorption)\n", a.ExpectedPollutedTime)
+	fmt.Printf("P(ever polluted) = %.6g\n", a.PollutionProbability)
+	for i := range a.SafeSojourns {
+		fmt.Printf("E(T_S,%d) = %-12.6g E(T_P,%d) = %.6g\n",
+			i+1, a.SafeSojourns[i], i+1, a.PollutedSojourns[i])
+	}
+	names := make([]string, 0, len(a.Absorption))
+	for name := range a.Absorption {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("p(%s) = %.6g\n", name, a.Absorption[name])
+	}
+	if *overlayN > 0 {
+		cc, err := overlay.New(model, *overlayN)
+		if err != nil {
+			return err
+		}
+		init, err := model.Initial(dist)
+		if err != nil {
+			return err
+		}
+		pts, err := cc.ProportionSeries(init, *events, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\noverlay of n=%d clusters (Theorem 2):\n", *overlayN)
+		fmt.Printf("%-12s %-12s %s\n", "events", "E(N_S)/n", "E(N_P)/n")
+		for _, pt := range pts {
+			fmt.Printf("%-12d %-12.6f %.6f\n", pt.Events, pt.Safe, pt.Polluted)
+		}
+	}
+	return nil
+}

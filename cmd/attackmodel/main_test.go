@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBeta(t *testing.T) {
+	if err := run([]string{"-alpha", "beta", "-mu", "0.1", "-d", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithOverlay(t *testing.T) {
+	if err := run([]string{"-overlay", "100", "-events", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadAlpha(t *testing.T) {
+	if err := run([]string{"-alpha", "gamma"}); err == nil {
+		t.Error("bad alpha: want error")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	if err := run([]string{"-mu", "2"}); err == nil {
+		t.Error("mu=2: want error")
+	}
+	if err := run([]string{"-k", "9"}); err == nil {
+		t.Error("k>C: want error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunModelMode(t *testing.T) {
+	if err := run([]string{"-events", "2000", "-clusters", "2", "-interval", "1000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRealtimeMode(t *testing.T) {
+	if err := run([]string{"-events", "1000", "-clusters", "2", "-mode", "realtime"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithConsensus(t *testing.T) {
+	if err := run([]string{"-events", "200", "-clusters", "2", "-consensus"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "warp"}); err == nil {
+		t.Error("bad mode: want error")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	if err := run([]string{"-mu", "2"}); err == nil {
+		t.Error("mu=2: want error")
+	}
+}
+
+func TestRunZeroInterval(t *testing.T) {
+	if err := run([]string{"-events", "500", "-clusters", "2", "-interval", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig1,table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 1", "Table II", "288", "2 experiment groups"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table1", "-outdir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "mu,d,") {
+		t.Errorf("CSV header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "nope"}, &out); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestRunQuickFigure5(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig5", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 5") {
+		t.Error("missing Figure 5 output")
+	}
+}
+
+func TestRunQuickSystem(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "sys", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "System A4") {
+		t.Error("missing system experiment output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}

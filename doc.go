@@ -1,0 +1,46 @@
+// Package targetedattacks is a Go reproduction of
+//
+//	E. Anceaume, B. Sericola, R. Ludinard, F. Tronel.
+//	"Modeling and Evaluating Targeted Attacks in Large Scale Dynamic
+//	Systems", Proc. 41st IEEE/IFIP DSN, 2011.
+//
+// The paper studies how a cluster-based structured overlay (PeerCube
+// style) resists targeted attacks when it combines (i) core/spare role
+// separation inside clusters, (ii) randomized robust join/leave/merge/
+// split operations — the protocol_k family — and (iii) induced churn
+// through limited-lifetime peer identifiers. A cluster is *polluted* when
+// strictly more than c = ⌊(C−1)/3⌋ of its C core members are malicious.
+//
+// The package exposes three layers:
+//
+//   - The exact analytical model: the absorbing Markov chain over states
+//     (s, x, y) — spare size, malicious core members, malicious spare
+//     members — with the paper's adversarial strategy (Rules 1 and 2,
+//     Property 1) encoded in its transition matrix, and the closed-form
+//     results of Sections VI-VIII: expected safe/polluted times,
+//     successive sojourn times, absorption probabilities, and the
+//     overlay-level proportions of safe/polluted clusters under n
+//     competing chains.
+//
+//   - A Monte-Carlo simulator of the same chain for cross-validation.
+//
+//   - A full discrete-event simulation of the overlay system itself:
+//     peers with certificate-derived expiring identifiers, clusters on a
+//     hypercube topology, Byzantine-tolerant core maintenance, and a
+//     colluding adversary executing the paper's targeted-attack strategy.
+//
+// # Quick start
+//
+//	params := targetedattacks.DefaultParams() // C=7, ∆=7, protocol_1
+//	params.Mu = 0.2                           // 20% of peers malicious
+//	params.D = 0.9                            // identifier survival per time unit
+//	model, err := targetedattacks.NewModel(params)
+//	if err != nil { ... }
+//	analysis, err := model.AnalyzeNamed(targetedattacks.DistributionDelta, 2)
+//	if err != nil { ... }
+//	fmt.Println("expected events before pollution ends:",
+//		analysis.ExpectedSafeTime, analysis.ExpectedPollutedTime)
+//
+// See the examples/ directory for runnable programs and cmd/paperrepro
+// for the harness that regenerates every table and figure of the paper.
+package targetedattacks

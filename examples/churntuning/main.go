@@ -1,0 +1,73 @@
+// Churn tuning: pick the incarnation lifetime L that keeps a cluster's
+// expected polluted time below a target, for an assumed adversary
+// strength µ — the paper's second headline lesson ("by choosing an
+// adequate value of L it is possible to noticeably reduce the propagation
+// of attacks … there is no need to keep the system in hyper-activity").
+//
+// Run with:
+//
+//	go run ./examples/churntuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"targetedattacks"
+)
+
+// budget is the maximum tolerable expected number of events a cluster
+// spends polluted over its lifetime.
+const budget = 1.0
+
+func main() {
+	fmt.Println("Tuning induced churn against a targeted attack (C=7, ∆=7, protocol_1)")
+	fmt.Println()
+	fmt.Printf("%-6s | %-10s %-10s | %-12s %-12s %-10s\n",
+		"µ", "d", "L", "E(T_S)", "E(T_P)", "ok(≤1.0)")
+	fmt.Println("-------+-----------------------+--------------------------------------")
+
+	for _, mu := range []float64{0.10, 0.20, 0.30} {
+		best := -1.0
+		// Sweep the survival probability d; larger d = weaker induced
+		// churn = cheaper maintenance but longer pollution episodes.
+		for _, d := range []float64{0.30, 0.50, 0.80, 0.90, 0.95, 0.99} {
+			params := targetedattacks.DefaultParams()
+			params.Mu = mu
+			params.D = d
+			model, err := targetedattacks.NewModel(params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analysis, err := model.AnalyzeNamed(targetedattacks.DistributionDelta, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lifetime, err := targetedattacks.LifetimeFromSurvival(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok := analysis.ExpectedPollutedTime <= budget
+			mark := " "
+			if ok {
+				mark = "✓"
+				if lifetime > best {
+					best = lifetime
+				}
+			}
+			fmt.Printf("%-6.2f | %-10.2f %-10.2f | %-12.4f %-12.4g %s\n",
+				mu, d, lifetime, analysis.ExpectedSafeTime, analysis.ExpectedPollutedTime, mark)
+		}
+		if best > 0 {
+			fmt.Printf("  → against µ=%.0f%%, the longest safe incarnation lifetime is L ≈ %.2f\n\n",
+				mu*100, best)
+		} else {
+			fmt.Printf("  → against µ=%.0f%%, no swept lifetime meets the budget; churn harder\n\n",
+				mu*100)
+		}
+	}
+	fmt.Println("Reading: the lifetime L is what an operator deploys (certificate")
+	fmt.Println("incarnation length); d = 1 − 6.65·ln2/L is the model knob. Larger µ")
+	fmt.Println("forces shorter lifetimes — but even µ=30% needs only moderate churn,")
+	fmt.Println("not hyper-activity.")
+}

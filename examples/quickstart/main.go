@@ -1,0 +1,76 @@
+// Quickstart: build the DSN 2011 targeted-attack model, compute the
+// closed-form resilience metrics of one cluster, and print them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"targetedattacks"
+)
+
+func main() {
+	// The paper's evaluation configuration: clusters with a core of C=7
+	// (pollution quorum c=2) and up to ∆=7 spares, protocol_1.
+	params := targetedattacks.DefaultParams()
+	params.Mu = 0.20 // the adversary controls 20% of the universe
+	params.D = 0.90  // identifiers survive one time unit with probability 90%
+
+	model, err := targetedattacks.NewModel(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %v over %d states\n\n", params, model.Space().Size())
+
+	// δ: the cluster starts clean (half-full spare set, no malicious
+	// peers). The analysis returns every closed form of the paper.
+	analysis, err := model.AnalyzeNamed(targetedattacks.DistributionDelta, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("starting from a clean cluster (α = δ):")
+	fmt.Printf("  E(T_S) = %.4f events spent safe before the cluster splits or merges\n",
+		analysis.ExpectedSafeTime)
+	fmt.Printf("  E(T_P) = %.4f events spent polluted (adversary holds > c core seats)\n",
+		analysis.ExpectedPollutedTime)
+	fmt.Printf("  first safe sojourn  E(T_S,1) = %.4f\n", analysis.SafeSojourns[0])
+	fmt.Printf("  first polluted stay E(T_P,1) = %.4f\n", analysis.PollutedSojourns[0])
+	fmt.Printf("  P(ever polluted)             = %.4f\n", analysis.PollutionProbability)
+	fmt.Println("  absorption probabilities:")
+	for _, name := range []string{
+		targetedattacks.ClassNameSafeMerge,
+		targetedattacks.ClassNameSafeSplit,
+		targetedattacks.ClassNamePollutedMerge,
+		targetedattacks.ClassNamePollutedSplit,
+	} {
+		fmt.Printf("    %-16s %.4f\n", name, analysis.Absorption[name])
+	}
+
+	// The same cluster under the β start (already infiltrated
+	// proportionally to µ) — the adversary's job is much easier.
+	betaAnalysis, err := model.AnalyzeNamed(targetedattacks.DistributionBeta, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstarting already infiltrated (α = β): E(T_P) = %.4f (vs %.4f from δ)\n",
+		betaAnalysis.ExpectedPollutedTime, analysis.ExpectedPollutedTime)
+
+	// Overlay view: 500 clusters competing for the same event stream.
+	overlay, err := targetedattacks.NewOverlay(model, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := overlay.ProportionSeries(model.InitialDelta(), 20000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noverlay of 500 clusters (Theorem 2):")
+	for _, pt := range points {
+		fmt.Printf("  after %6d events: %.4f safe, %.6f polluted\n",
+			pt.Events, pt.Safe, pt.Polluted)
+	}
+}

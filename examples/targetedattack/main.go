@@ -1,0 +1,55 @@
+// Targeted attack: run the full agent-based overlay simulator — real
+// certificate-derived identifiers, hypercube clusters with core/spare
+// role separation, robust join/leave/split/merge, and a colluding
+// adversary executing Rules 1 and 2 — and watch pollution rise and fall
+// with the induced-churn knob.
+//
+// Run with:
+//
+//	go run ./examples/targetedattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/overlaynet"
+)
+
+func main() {
+	fmt.Println("Agent-based overlay under a targeted attack (µ=30%)")
+	fmt.Println()
+
+	for _, d := range []float64{0.50, 0.90, 0.99} {
+		cfg := overlaynet.Config{
+			Params:           core.Params{C: 7, Delta: 7, Mu: 0.30, D: d, K: 1, Nu: 0.1},
+			InitialLabelBits: 3, // 8 clusters
+			Seed:             7,
+		}
+		net, err := overlaynet.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("d = %.2f (incarnation lifetime L = %.1f):\n", d, net.Config().Lifetime)
+		fmt.Printf("  %-8s %-9s %-9s %-10s\n", "events", "clusters", "polluted", "discards")
+		for step := 0; step < 4; step++ {
+			if err := net.Run(5000); err != nil {
+				log.Fatal(err)
+			}
+			snap := net.Snapshot()
+			m := net.Metrics()
+			fmt.Printf("  %-8d %-9d %-9d %-10d\n",
+				m.Events, snap.Clusters, snap.PollutedClusters, m.DiscardedJoins)
+		}
+		m := net.Metrics()
+		fmt.Printf("  census: %d joins (%d discarded by Rule 2), %d leaves (%d refused),\n",
+			m.Joins, m.DiscardedJoins, m.Leaves, m.RefusedLeaves)
+		fmt.Printf("          %d splits, %d merges, %d core underflows\n\n",
+			m.Splits, m.Merges, m.CoreUnderflows)
+	}
+	fmt.Println("Reading: with weak churn (d=0.99) the adversary accumulates seats and")
+	fmt.Println("Rule 2 discard counts climb — polluted clusters freeze their topology.")
+	fmt.Println("Strong induced churn (d=0.5) recycles malicious incarnations before")
+	fmt.Println("they reach the quorum.")
+}

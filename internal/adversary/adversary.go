@@ -1,0 +1,140 @@
+// Package adversary implements the targeted-attack strategy of Section V
+// of the DSN 2011 paper for the system simulator: a strong adversary that
+// controls every malicious peer, colludes across them, and decides —
+// given its view of a cluster — whether to discard join events (Rule 2),
+// whether to trigger a voluntary core departure (Rule 1, relation (2)),
+// how to bias the core maintenance of polluted clusters, and whether a
+// malicious peer complies with a leave event at all (only when Property 1
+// forces it).
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"targetedattacks/internal/core"
+)
+
+// ClusterView is the adversary's knowledge of one cluster. The adversary
+// is strong: it sees the exact composition (its own peers report it).
+type ClusterView struct {
+	// SpareSize is s, the current spare-set size.
+	SpareSize int
+	// SpareMax is ∆.
+	SpareMax int
+	// CoreSize is C.
+	CoreSize int
+	// MaliciousCore is x.
+	MaliciousCore int
+	// MaliciousSpare is y.
+	MaliciousSpare int
+}
+
+// Polluted reports whether the adversary holds strictly more than the
+// quorum c = ⌊(C−1)/3⌋ of the core.
+func (v ClusterView) Polluted() bool {
+	return v.MaliciousCore > (v.CoreSize-1)/3
+}
+
+// Adversary encodes the strategy parameters.
+type Adversary struct {
+	params core.Params
+	rng    *rand.Rand
+}
+
+// New builds an adversary playing against protocol_k with the model
+// parameters p (µ is the population fraction; K and Nu drive Rule 1).
+func New(p core.Params, seed int64) (*Adversary, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	return &Adversary{params: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Params returns the strategy parameters.
+func (a *Adversary) Params() core.Params { return a.params }
+
+// ShouldDiscardJoin implements Rule 2: in a polluted cluster the
+// adversary discards the join event of q when (q is honest and s > 1) or
+// (s = ∆−1). Safe clusters are not under adversary control, so joins
+// proceed.
+func (a *Adversary) ShouldDiscardJoin(v ClusterView, joinerMalicious bool) bool {
+	if !v.Polluted() {
+		return false
+	}
+	if v.SpareSize == v.SpareMax-1 {
+		return true
+	}
+	return !joinerMalicious && v.SpareSize > 1
+}
+
+// ShouldTriggerVoluntaryLeave implements Rule 1 (relation (2)): whether
+// the colluding malicious core members force one of their own (the one
+// expiring soonest) out to re-roll the maintenance lottery. The paper
+// restricts the rule to safe clusters (0 < x ≤ c) with spare sets large
+// enough to avoid a merge.
+func (a *Adversary) ShouldTriggerVoluntaryLeave(v ClusterView) (bool, error) {
+	if v.MaliciousCore < 1 || v.Polluted() || v.SpareSize <= 1 {
+		return false, nil
+	}
+	return core.Rule1Holds(a.params, v.SpareSize, v.MaliciousCore, v.MaliciousSpare)
+}
+
+// CompliesWithLeave decides whether a malicious peer obeys a leave event
+// when its identifier has not expired: it never does (Section V-A); the
+// adversary only loses peers to Property 1 or to Rule 1.
+func (a *Adversary) CompliesWithLeave(expired bool) bool {
+	return expired
+}
+
+// SampleSurvival draws the Bernoulli(d^count) survival used by the
+// model-fidelity simulation mode: true means every one of count
+// identifiers survived the time unit, so the targeted malicious peer
+// refuses to leave.
+func (a *Adversary) SampleSurvival(count int) bool {
+	if count <= 0 {
+		return true
+	}
+	p := 1.0
+	for i := 0; i < count; i++ {
+		p *= a.params.D
+	}
+	return a.rng.Float64() < p
+}
+
+// ReplacementChoice is the adversary's maintenance bias in a polluted
+// cluster (Section V-A): replace the departed core member with a valid
+// malicious spare when one exists, otherwise concede an honest spare
+// (hiding the pollution from the cluster's neighborhood).
+type ReplacementChoice int
+
+// Possible maintenance choices.
+const (
+	// PromoteMaliciousSpare moves one of the adversary's spares to core.
+	PromoteMaliciousSpare ReplacementChoice = iota
+	// PromoteHonestSpare concedes an honest promotion.
+	PromoteHonestSpare
+)
+
+// BiasMaintenance picks the replacement in an adversary-controlled
+// maintenance round.
+func (a *Adversary) BiasMaintenance(v ClusterView) ReplacementChoice {
+	if v.MaliciousSpare > 0 {
+		return PromoteMaliciousSpare
+	}
+	return PromoteHonestSpare
+}
+
+// WantsSplit reports whether the adversary would let a polluted cluster
+// split: never (Section V-B) — a split cannot increase the identifier
+// space it controls.
+func (a *Adversary) WantsSplit(v ClusterView) bool {
+	return !v.Polluted()
+}
+
+// WantsMerge reports whether the adversary would let a polluted cluster
+// merge: never voluntarily (the merge demotes its core members to
+// spares), though Property 1 can force it.
+func (a *Adversary) WantsMerge(v ClusterView) bool {
+	return !v.Polluted()
+}

@@ -1,0 +1,209 @@
+package adversary
+
+import (
+	"testing"
+
+	"targetedattacks/internal/core"
+)
+
+func newAdversary(t *testing.T, p core.Params) *Adversary {
+	t.Helper()
+	a, err := New(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func params(k int) core.Params {
+	return core.Params{C: 7, Delta: 7, Mu: 0.3, D: 0.9, K: k, Nu: 0.1}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(core.Params{}, 1); err == nil {
+		t.Error("invalid params: want error")
+	}
+	a := newAdversary(t, params(1))
+	if a.Params().C != 7 {
+		t.Error("Params accessor broken")
+	}
+}
+
+func TestPolluted(t *testing.T) {
+	v := ClusterView{CoreSize: 7, MaliciousCore: 2}
+	if v.Polluted() {
+		t.Error("x=2 ≤ c=2 must be safe")
+	}
+	v.MaliciousCore = 3
+	if !v.Polluted() {
+		t.Error("x=3 > c=2 must be polluted")
+	}
+}
+
+func TestRule2DiscardDecisions(t *testing.T) {
+	a := newAdversary(t, params(1))
+	tests := []struct {
+		name      string
+		view      ClusterView
+		malicious bool
+		want      bool
+	}{
+		{
+			"safe cluster accepts honest",
+			ClusterView{SpareSize: 3, SpareMax: 7, CoreSize: 7, MaliciousCore: 1},
+			false, false,
+		},
+		{
+			"polluted discards honest when s>1",
+			ClusterView{SpareSize: 3, SpareMax: 7, CoreSize: 7, MaliciousCore: 4},
+			false, true,
+		},
+		{
+			"polluted accepts honest at s=1",
+			ClusterView{SpareSize: 1, SpareMax: 7, CoreSize: 7, MaliciousCore: 4},
+			false, false,
+		},
+		{
+			"polluted accepts malicious below split boundary",
+			ClusterView{SpareSize: 3, SpareMax: 7, CoreSize: 7, MaliciousCore: 4},
+			true, false,
+		},
+		{
+			"polluted discards everyone at s=∆−1 (honest)",
+			ClusterView{SpareSize: 6, SpareMax: 7, CoreSize: 7, MaliciousCore: 4},
+			false, true,
+		},
+		{
+			"polluted discards everyone at s=∆−1 (malicious)",
+			ClusterView{SpareSize: 6, SpareMax: 7, CoreSize: 7, MaliciousCore: 4},
+			true, true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.ShouldDiscardJoin(tt.view, tt.malicious); got != tt.want {
+				t.Errorf("ShouldDiscardJoin = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRule1NeverForK1(t *testing.T) {
+	a := newAdversary(t, params(1))
+	for s := 2; s < 7; s++ {
+		for x := 1; x <= 2; x++ {
+			for y := 0; y <= s; y++ {
+				v := ClusterView{SpareSize: s, SpareMax: 7, CoreSize: 7, MaliciousCore: x, MaliciousSpare: y}
+				fires, err := a.ShouldTriggerVoluntaryLeave(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fires {
+					t.Errorf("Rule 1 fired for k=1 at (%d,%d,%d)", s, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestRule1GuardConditions(t *testing.T) {
+	a := newAdversary(t, params(7))
+	// Polluted cluster: never leave voluntarily.
+	v := ClusterView{SpareSize: 5, SpareMax: 7, CoreSize: 7, MaliciousCore: 5, MaliciousSpare: 5}
+	if fires, err := a.ShouldTriggerVoluntaryLeave(v); err != nil || fires {
+		t.Errorf("polluted: fires=%v err=%v, want false", fires, err)
+	}
+	// s = 1: merging risk, never leave.
+	v = ClusterView{SpareSize: 1, SpareMax: 7, CoreSize: 7, MaliciousCore: 1, MaliciousSpare: 1}
+	if fires, err := a.ShouldTriggerVoluntaryLeave(v); err != nil || fires {
+		t.Errorf("s=1: fires=%v err=%v, want false", fires, err)
+	}
+	// No malicious core member: nothing to leave.
+	v = ClusterView{SpareSize: 4, SpareMax: 7, CoreSize: 7, MaliciousCore: 0, MaliciousSpare: 3}
+	if fires, err := a.ShouldTriggerVoluntaryLeave(v); err != nil || fires {
+		t.Errorf("x=0: fires=%v err=%v, want false", fires, err)
+	}
+}
+
+func TestRule1MatchesCoreRelation(t *testing.T) {
+	p := params(7)
+	p.Nu = 0.5
+	a := newAdversary(t, p)
+	for s := 2; s < 7; s++ {
+		for x := 1; x <= 2; x++ {
+			for y := 0; y <= s; y++ {
+				v := ClusterView{SpareSize: s, SpareMax: 7, CoreSize: 7, MaliciousCore: x, MaliciousSpare: y}
+				got, err := a.ShouldTriggerVoluntaryLeave(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.Rule1Holds(p, s, x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("(%d,%d,%d): adversary=%v core=%v", s, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompliesWithLeave(t *testing.T) {
+	a := newAdversary(t, params(1))
+	if a.CompliesWithLeave(false) {
+		t.Error("unexpired malicious peer must refuse")
+	}
+	if !a.CompliesWithLeave(true) {
+		t.Error("expired malicious peer must comply (Property 1)")
+	}
+}
+
+func TestSampleSurvival(t *testing.T) {
+	p := params(1)
+	p.D = 0
+	a := newAdversary(t, p)
+	if a.SampleSurvival(1) {
+		t.Error("d=0 with one id must never survive")
+	}
+	if !a.SampleSurvival(0) {
+		t.Error("zero ids always 'survive'")
+	}
+	p.D = 0.9
+	a = newAdversary(t, p)
+	survived := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if a.SampleSurvival(2) {
+			survived++
+		}
+	}
+	// d² = 0.81; allow ±3%.
+	if frac := float64(survived) / trials; frac < 0.78 || frac > 0.84 {
+		t.Errorf("survival fraction %v, want ≈0.81", frac)
+	}
+}
+
+func TestBiasMaintenance(t *testing.T) {
+	a := newAdversary(t, params(1))
+	v := ClusterView{MaliciousSpare: 2}
+	if a.BiasMaintenance(v) != PromoteMaliciousSpare {
+		t.Error("with malicious spares, promote one")
+	}
+	v.MaliciousSpare = 0
+	if a.BiasMaintenance(v) != PromoteHonestSpare {
+		t.Error("without malicious spares, concede honest")
+	}
+}
+
+func TestTopologyPreferences(t *testing.T) {
+	a := newAdversary(t, params(1))
+	safe := ClusterView{CoreSize: 7, MaliciousCore: 1}
+	polluted := ClusterView{CoreSize: 7, MaliciousCore: 4}
+	if !a.WantsSplit(safe) || a.WantsSplit(polluted) {
+		t.Error("split preference wrong")
+	}
+	if !a.WantsMerge(safe) || a.WantsMerge(polluted) {
+		t.Error("merge preference wrong")
+	}
+}

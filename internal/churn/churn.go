@@ -1,0 +1,192 @@
+// Package churn generates the join/leave workloads that drive the overlay
+// simulator. The paper's model assumes join and leave events are
+// equiprobable and uniformly distributed over clusters (Section III-A);
+// the generators here reproduce that assumption with Poisson arrivals and
+// Bernoulli(µ) malicious peers, and add trace recording/replay so
+// experiments are reproducible event-for-event.
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind discriminates join from leave events.
+type Kind int
+
+// Event kinds.
+const (
+	// Join is the arrival of a new peer.
+	Join Kind = iota
+	// Leave is the departure of a random peer.
+	Leave
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one churn event.
+type Event struct {
+	// Seq numbers events from 0 in generation order.
+	Seq int64
+	// Time is the event timestamp (Poisson arrivals).
+	Time float64
+	// Kind is Join or Leave.
+	Kind Kind
+	// Malicious marks joining peers controlled by the adversary
+	// (meaningful for Join events only).
+	Malicious bool
+	// PeerSeed is a deterministic seed for constructing the joining
+	// peer's keys and identifiers.
+	PeerSeed int64
+}
+
+// Generator produces an event stream.
+type Generator interface {
+	// Next returns the next event.
+	Next() (Event, error)
+}
+
+// Uniform is the paper's workload: exponential inter-arrival times with
+// the configured rate, join/leave equiprobable, joining peers malicious
+// with probability µ.
+type Uniform struct {
+	rng     *rand.Rand
+	rate    float64
+	mu      float64
+	joinP   float64
+	now     float64
+	nextSeq int64
+}
+
+// NewUniform builds the generator. rate is the expected number of events
+// per time unit; mu the adversary fraction; joinProbability is 1/2 in the
+// paper's model.
+func NewUniform(seed int64, rate, mu, joinProbability float64) (*Uniform, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("churn: rate must be positive, got %v", rate)
+	}
+	if mu < 0 || mu > 1 {
+		return nil, fmt.Errorf("churn: mu must be in [0,1], got %v", mu)
+	}
+	if joinProbability < 0 || joinProbability > 1 {
+		return nil, fmt.Errorf("churn: join probability must be in [0,1], got %v", joinProbability)
+	}
+	return &Uniform{
+		rng:   rand.New(rand.NewSource(seed)),
+		rate:  rate,
+		mu:    mu,
+		joinP: joinProbability,
+	}, nil
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() (Event, error) {
+	u.now += u.rng.ExpFloat64() / u.rate
+	ev := Event{
+		Seq:      u.nextSeq,
+		Time:     u.now,
+		Kind:     Leave,
+		PeerSeed: u.rng.Int63(),
+	}
+	if u.rng.Float64() < u.joinP {
+		ev.Kind = Join
+		ev.Malicious = u.rng.Float64() < u.mu
+	}
+	u.nextSeq++
+	return ev, nil
+}
+
+var _ Generator = (*Uniform)(nil)
+
+// Trace is a recorded event sequence that can be replayed.
+type Trace struct {
+	events []Event
+}
+
+// Record captures n events from a generator.
+func Record(g Generator, n int) (*Trace, error) {
+	if g == nil {
+		return nil, fmt.Errorf("churn: nil generator")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("churn: negative event count %d", n)
+	}
+	tr := &Trace{events: make([]Event, 0, n)}
+	for i := 0; i < n; i++ {
+		ev, err := g.Next()
+		if err != nil {
+			return nil, err
+		}
+		tr.events = append(tr.events, ev)
+	}
+	return tr, nil
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Events returns the recorded events; the slice must not be modified.
+func (t *Trace) Events() []Event { return t.events }
+
+// Replayer replays a trace as a Generator.
+type Replayer struct {
+	trace *Trace
+	pos   int
+}
+
+// NewReplayer wraps a trace.
+func NewReplayer(t *Trace) (*Replayer, error) {
+	if t == nil {
+		return nil, fmt.Errorf("churn: nil trace")
+	}
+	return &Replayer{trace: t}, nil
+}
+
+// Next implements Generator; it errors when the trace is exhausted.
+func (r *Replayer) Next() (Event, error) {
+	if r.pos >= len(r.trace.events) {
+		return Event{}, fmt.Errorf("churn: trace exhausted after %d events", r.pos)
+	}
+	ev := r.trace.events[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+var _ Generator = (*Replayer)(nil)
+
+// Stats summarizes a trace.
+type Stats struct {
+	Joins, Leaves  int
+	MaliciousJoins int
+	Duration       float64
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	for _, ev := range t.events {
+		switch ev.Kind {
+		case Join:
+			s.Joins++
+			if ev.Malicious {
+				s.MaliciousJoins++
+			}
+		case Leave:
+			s.Leaves++
+		}
+	}
+	if n := len(t.events); n > 0 {
+		s.Duration = t.events[n-1].Time - t.events[0].Time
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package churn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewUniformValidation(t *testing.T) {
+	if _, err := NewUniform(1, 0, 0.2, 0.5); err == nil {
+		t.Error("rate=0: want error")
+	}
+	if _, err := NewUniform(1, 1, -0.1, 0.5); err == nil {
+		t.Error("mu<0: want error")
+	}
+	if _, err := NewUniform(1, 1, 1.1, 0.5); err == nil {
+		t.Error("mu>1: want error")
+	}
+	if _, err := NewUniform(1, 1, 0.5, 2); err == nil {
+		t.Error("joinP>1: want error")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, err := NewUniform(7, 1, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUniform(7, 1, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ea, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestUniformTimesIncreaseAndSeq(t *testing.T) {
+	g, err := NewUniform(3, 2, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 1000; i++ {
+		ev, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Time <= last {
+			t.Fatalf("time did not increase: %v after %v", ev.Time, last)
+		}
+		if ev.Seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", ev.Seq, i)
+		}
+		last = ev.Time
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	const n = 50000
+	g, err := NewUniform(11, 4, 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Joins+s.Leaves != n {
+		t.Fatalf("join+leave = %d", s.Joins+s.Leaves)
+	}
+	if frac := float64(s.Joins) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("join fraction = %v, want ≈0.5", frac)
+	}
+	if s.Joins > 0 {
+		if frac := float64(s.MaliciousJoins) / float64(s.Joins); math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("malicious fraction = %v, want ≈0.25", frac)
+		}
+	}
+	// Mean inter-arrival ≈ 1/rate = 0.25.
+	if mean := s.Duration / float64(n-1); math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("mean inter-arrival = %v, want ≈0.25", mean)
+	}
+}
+
+func TestJoinProbabilityExtremes(t *testing.T) {
+	onlyJoins, err := NewUniform(1, 1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ev, err := onlyJoins.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != Join {
+			t.Fatal("joinP=1 produced a leave")
+		}
+	}
+	onlyLeaves, err := NewUniform(1, 0.5, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ev, err := onlyLeaves.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != Leave {
+			t.Fatal("joinP=0 produced a join")
+		}
+		if ev.Malicious {
+			t.Fatal("leave events must not be marked malicious")
+		}
+	}
+}
+
+func TestRecordReplay(t *testing.T) {
+	g, err := NewUniform(5, 1, 0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	r, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tr.Events() {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replay event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("exhausted trace: want error")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := Record(nil, 5); err == nil {
+		t.Error("nil generator: want error")
+	}
+	g, _ := NewUniform(1, 1, 0, 0.5)
+	if _, err := Record(g, -1); err == nil {
+		t.Error("negative count: want error")
+	}
+	if _, err := NewReplayer(nil); err == nil {
+		t.Error("nil trace: want error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Join.String() != "join" || Leave.String() != "leave" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestEmptyTraceSummary(t *testing.T) {
+	tr := &Trace{}
+	s := tr.Summarize()
+	if s.Joins != 0 || s.Leaves != 0 || s.Duration != 0 {
+		t.Errorf("empty trace stats = %+v", s)
+	}
+}

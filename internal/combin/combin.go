@@ -1,0 +1,179 @@
+// Package combin implements the combinatorial distributions used by the
+// DSN 2011 targeted-attack model: log-space binomial coefficients, the
+// hypergeometric law q(k, ℓ, u, v) that drives the randomized core-set
+// maintenance, the binomial law behind the β initial distribution, and the
+// exponential-decay calibration between the identifier survival probability
+// d, the half-life t½ and the incarnation lifetime L (Section III-D and VI
+// of the paper).
+package combin
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogBinomial returns ln C(n, k). It returns -Inf when the coefficient is
+// zero (k < 0 or k > n) and an error for negative n.
+func LogBinomial(n, k int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("combin: LogBinomial with negative n=%d", n)
+	}
+	if k < 0 || k > n {
+		return math.Inf(-1), nil
+	}
+	lg, err := logFactorial(n)
+	if err != nil {
+		return 0, err
+	}
+	lk, err := logFactorial(k)
+	if err != nil {
+		return 0, err
+	}
+	lnk, err := logFactorial(n - k)
+	if err != nil {
+		return 0, err
+	}
+	return lg - lk - lnk, nil
+}
+
+// Binomial returns C(n, k) as a float64; 0 outside the support.
+func Binomial(n, k int) (float64, error) {
+	lb, err := LogBinomial(n, k)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(lb, -1) {
+		return 0, nil
+	}
+	return math.Exp(lb), nil
+}
+
+// logFactorial returns ln n! using the log-gamma function.
+func logFactorial(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("combin: factorial of negative %d", n)
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v, nil
+}
+
+// Hypergeometric returns q(k, ℓ, u, v): the probability of drawing exactly
+// u red balls when k balls are drawn without replacement from an urn of ℓ
+// balls of which v are red (paper, Section VI):
+//
+//	q(k, ℓ, u, v) = C(v, u) · C(ℓ−v, k−u) / C(ℓ, k).
+//
+// It returns 0 outside the support and an error for inconsistent inputs
+// (negative sizes, v > ℓ, or k > ℓ).
+func Hypergeometric(k, l, u, v int) (float64, error) {
+	if l < 0 || k < 0 || v < 0 {
+		return 0, fmt.Errorf("combin: Hypergeometric with negative parameter k=%d ℓ=%d v=%d", k, l, v)
+	}
+	if v > l {
+		return 0, fmt.Errorf("combin: Hypergeometric with v=%d > ℓ=%d", v, l)
+	}
+	if k > l {
+		return 0, fmt.Errorf("combin: Hypergeometric draws k=%d > ℓ=%d", k, l)
+	}
+	if u < 0 || u > v || k-u < 0 || k-u > l-v {
+		return 0, nil
+	}
+	lnum1, err := LogBinomial(v, u)
+	if err != nil {
+		return 0, err
+	}
+	lnum2, err := LogBinomial(l-v, k-u)
+	if err != nil {
+		return 0, err
+	}
+	lden, err := LogBinomial(l, k)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lnum1 + lnum2 - lden), nil
+}
+
+// HypergeometricSupport returns the inclusive [lo, hi] support of the
+// number of red balls drawn: lo = max(0, k−(ℓ−v)), hi = min(k, v).
+func HypergeometricSupport(k, l, v int) (lo, hi int) {
+	lo = k - (l - v)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = k
+	if v < hi {
+		hi = v
+	}
+	return lo, hi
+}
+
+// BinomialPMF returns P{Binomial(n, p) = k}; 0 outside the support.
+func BinomialPMF(n int, p float64, k int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("combin: BinomialPMF with negative n=%d", n)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("combin: BinomialPMF with p=%v outside [0,1]", p)
+	}
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	// Handle the degenerate endpoints exactly (0^0 = 1 convention).
+	if p == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if p == 1 {
+		if k == n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	lb, err := LogBinomial(n, k)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lb + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)), nil
+}
+
+// DecayCalibrationFactor is the paper's 6.65 ≥ ln(100)/ln(2) constant: the
+// number of half-lives after which 99% of a population has decayed, used to
+// calibrate the incarnation lifetime L from the survival probability d.
+const DecayCalibrationFactor = 6.65
+
+// HalfLife returns t½ = ln 2 / (1 − d), the half-life of a peer identifier
+// whose per-unit-time survival probability is d (paper, Section VI).
+// d must lie in [0, 1).
+func HalfLife(d float64) (float64, error) {
+	if d < 0 || d >= 1 {
+		return 0, fmt.Errorf("combin: HalfLife requires d in [0,1), got %v", d)
+	}
+	return math.Ln2 / (1 - d), nil
+}
+
+// LifetimeFromSurvival returns L = 6.65 · t½, the incarnation lifetime for
+// which 99%% of a population of identifiers has expired (Section III-D).
+func LifetimeFromSurvival(d float64) (float64, error) {
+	th, err := HalfLife(d)
+	if err != nil {
+		return 0, err
+	}
+	return DecayCalibrationFactor * th, nil
+}
+
+// SurvivalFromLifetime inverts LifetimeFromSurvival: given an incarnation
+// lifetime L (in model time units) it returns the per-unit-time survival
+// probability d = 1 − 6.65·ln2/L. L must be positive and large enough that
+// d ≥ 0.
+func SurvivalFromLifetime(lifetime float64) (float64, error) {
+	if lifetime <= 0 {
+		return 0, fmt.Errorf("combin: SurvivalFromLifetime requires positive L, got %v", lifetime)
+	}
+	d := 1 - DecayCalibrationFactor*math.Ln2/lifetime
+	if d < 0 {
+		return 0, fmt.Errorf("combin: lifetime %v too short: implied survival %v < 0", lifetime, d)
+	}
+	return d, nil
+}

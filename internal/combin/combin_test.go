@@ -1,0 +1,288 @@
+package combin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialKnownValues(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{5, 2, 10},
+		{7, 3, 35},
+		{10, 5, 252},
+		{52, 5, 2598960},
+		{5, 6, 0},
+		{5, -1, 0},
+	}
+	for _, tt := range tests {
+		got, err := Binomial(tt.n, tt.k)
+		if err != nil {
+			t.Fatalf("Binomial(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if math.Abs(got-tt.want) > 1e-6*math.Max(1, tt.want) {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialNegativeN(t *testing.T) {
+	if _, err := Binomial(-1, 0); err == nil {
+		t.Error("negative n: want error")
+	}
+	if _, err := LogBinomial(-2, 1); err == nil {
+		t.Error("negative n: want error")
+	}
+}
+
+// TestBinomialPascalProperty checks Pascal's rule C(n,k) = C(n−1,k−1) + C(n−1,k).
+func TestBinomialPascalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		k := r.Intn(n + 1)
+		cnk, err := Binomial(n, k)
+		if err != nil {
+			return false
+		}
+		a, err := Binomial(n-1, k-1)
+		if err != nil {
+			return false
+		}
+		b, err := Binomial(n-1, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(cnk-(a+b)) <= 1e-9*math.Max(1, cnk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeometricKnown(t *testing.T) {
+	// Urn: 10 balls, 4 red; draw 3; P{exactly 2 red} = C(4,2)C(6,1)/C(10,3) = 36/120.
+	got, err := Hypergeometric(3, 10, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 36.0 / 120.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("q(3,10,2,4) = %v, want %v", got, want)
+	}
+}
+
+func TestHypergeometricOutsideSupport(t *testing.T) {
+	cases := [][4]int{
+		{3, 10, 5, 4},  // u > v
+		{3, 10, -1, 4}, // u < 0
+		{3, 10, 0, 8},  // k-u > ℓ-v (3 draws, only 2 white)
+	}
+	for _, c := range cases {
+		got, err := Hypergeometric(c[0], c[1], c[2], c[3])
+		if err != nil {
+			t.Fatalf("q(%v): %v", c, err)
+		}
+		if got != 0 {
+			t.Errorf("q(%v) = %v, want 0", c, got)
+		}
+	}
+}
+
+func TestHypergeometricErrors(t *testing.T) {
+	if _, err := Hypergeometric(-1, 10, 0, 4); err == nil {
+		t.Error("negative k: want error")
+	}
+	if _, err := Hypergeometric(3, 10, 0, 12); err == nil {
+		t.Error("v > ℓ: want error")
+	}
+	if _, err := Hypergeometric(11, 10, 0, 4); err == nil {
+		t.Error("k > ℓ: want error")
+	}
+}
+
+// TestHypergeometricSumsToOne: the pmf over its support sums to 1.
+func TestHypergeometricSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 1 + r.Intn(30)
+		v := r.Intn(l + 1)
+		k := r.Intn(l + 1)
+		lo, hi := HypergeometricSupport(k, l, v)
+		var sum float64
+		for u := lo; u <= hi; u++ {
+			p, err := Hypergeometric(k, l, u, v)
+			if err != nil {
+				return false
+			}
+			if p < 0 || p > 1+1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHypergeometricMeanProperty: E[u] = k·v/ℓ.
+func TestHypergeometricMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 1 + r.Intn(25)
+		v := r.Intn(l + 1)
+		k := r.Intn(l + 1)
+		lo, hi := HypergeometricSupport(k, l, v)
+		var mean float64
+		for u := lo; u <= hi; u++ {
+			p, err := Hypergeometric(k, l, u, v)
+			if err != nil {
+				return false
+			}
+			mean += float64(u) * p
+		}
+		want := float64(k) * float64(v) / float64(l)
+		return math.Abs(mean-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFKnown(t *testing.T) {
+	// Binomial(4, 0.5): P{k=2} = 6/16.
+	got, err := BinomialPMF(4, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6.0 / 16.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BinomialPMF(4,0.5,2) = %v, want %v", got, want)
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	for _, tt := range []struct {
+		n    int
+		p    float64
+		k    int
+		want float64
+	}{
+		{5, 0, 0, 1},
+		{5, 0, 1, 0},
+		{5, 1, 5, 1},
+		{5, 1, 4, 0},
+		{5, 0.3, -1, 0},
+		{5, 0.3, 6, 0},
+	} {
+		got, err := BinomialPMF(tt.n, tt.p, tt.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("BinomialPMF(%d,%v,%d) = %v, want %v", tt.n, tt.p, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialPMFErrors(t *testing.T) {
+	if _, err := BinomialPMF(-1, 0.5, 0); err == nil {
+		t.Error("negative n: want error")
+	}
+	if _, err := BinomialPMF(3, 1.5, 0); err == nil {
+		t.Error("p > 1: want error")
+	}
+	if _, err := BinomialPMF(3, -0.5, 0); err == nil {
+		t.Error("p < 0: want error")
+	}
+}
+
+// TestBinomialPMFSumsToOne over random n, p.
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		p := r.Float64()
+		var sum float64
+		for k := 0; k <= n; k++ {
+			v, err := BinomialPMF(n, p, k)
+			if err != nil {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfLifeAndLifetime(t *testing.T) {
+	// Paper, Figure 5 legend: d = 30% → L = 6.58; d = 90% → L = 46.05.
+	for _, tt := range []struct {
+		d     float64
+		wantL float64
+	}{
+		{0.30, 6.58},
+		{0.90, 46.05},
+	} {
+		l, err := LifetimeFromSurvival(tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(l-tt.wantL) > 0.05 {
+			t.Errorf("LifetimeFromSurvival(%v) = %v, want ≈%v (paper Figure 5)", tt.d, l, tt.wantL)
+		}
+	}
+}
+
+func TestHalfLifeErrors(t *testing.T) {
+	for _, d := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := HalfLife(d); err == nil {
+			t.Errorf("HalfLife(%v): want error", d)
+		}
+	}
+}
+
+func TestSurvivalLifetimeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := r.Float64() * 0.999
+		l, err := LifetimeFromSurvival(d)
+		if err != nil {
+			return false
+		}
+		back, err := SurvivalFromLifetime(l)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurvivalFromLifetimeErrors(t *testing.T) {
+	if _, err := SurvivalFromLifetime(0); err == nil {
+		t.Error("zero lifetime: want error")
+	}
+	if _, err := SurvivalFromLifetime(1); err == nil {
+		t.Error("too-short lifetime: want error (implied d < 0)")
+	}
+}
+
+func TestDecayCalibrationFactor(t *testing.T) {
+	// The paper's footnote: 6.65 ≥ ln(100)/ln(2) ≈ 6.6439.
+	if DecayCalibrationFactor < math.Log(100)/math.Ln2 {
+		t.Errorf("calibration factor %v < ln(100)/ln(2)", DecayCalibrationFactor)
+	}
+}

@@ -1,0 +1,335 @@
+package consensus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"targetedattacks/internal/identity"
+)
+
+// newMembers builds a core set of size n with the given Byzantine members.
+func newMembers(t *testing.T, n int, byz map[int]Behavior) []*Member {
+	t.Helper()
+	ca, err := identity.NewCA("consensus-test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Member, n)
+	for i := 0; i < n; i++ {
+		idn, err := identity.NewIdentity(ca, "member", 0, 128, int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Honest
+		if byz != nil {
+			if bb, ok := byz[i]; ok {
+				b = bb
+			}
+		}
+		out[i] = &Member{Index: i, Identity: idn, Behavior: b}
+	}
+	return out
+}
+
+// honestOutputs collects the decided values of honest members.
+func honestOutputs(members []*Member, out map[int][]byte) [][]byte {
+	var vals [][]byte
+	for i, m := range members {
+		if m.Behavior == Honest {
+			vals = append(vals, out[i])
+		}
+	}
+	return vals
+}
+
+func assertAgreement(t *testing.T, vals [][]byte) []byte {
+	t.Helper()
+	if len(vals) == 0 {
+		t.Fatal("no honest outputs")
+	}
+	for _, v := range vals[1:] {
+		if !bytes.Equal(v, vals[0]) {
+			t.Fatalf("honest members disagree: %q vs %q", vals[0], v)
+		}
+	}
+	return vals[0]
+}
+
+func TestBroadcastAllHonest(t *testing.T) {
+	members := newMembers(t, 7, nil)
+	out, err := Broadcast(members, 2, []byte("value"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assertAgreement(t, honestOutputs(members, out))
+	if !bytes.Equal(got, []byte("value")) {
+		t.Errorf("validity violated: decided %q", got)
+	}
+}
+
+func TestBroadcastSilentSender(t *testing.T) {
+	members := newMembers(t, 7, map[int]Behavior{3: Silent})
+	out, err := Broadcast(members, 3, []byte("value"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assertAgreement(t, honestOutputs(members, out))
+	if !bytes.Equal(got, Default) {
+		t.Errorf("silent sender: decided %q, want ⊥", got)
+	}
+}
+
+func TestBroadcastEquivocatingSender(t *testing.T) {
+	// With f = 2 and one equivocating sender, every honest member must
+	// detect the fault and output ⊥ consistently.
+	members := newMembers(t, 7, map[int]Behavior{0: Equivocate})
+	out, err := Broadcast(members, 0, []byte("v"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assertAgreement(t, honestOutputs(members, out))
+	if !bytes.Equal(got, Default) {
+		t.Errorf("equivocating sender: decided %q, want ⊥", got)
+	}
+}
+
+func TestBroadcastHonestSenderWithByzantineRelays(t *testing.T) {
+	// Byzantine relays cannot prevent delivery of an honest sender's
+	// value (they can only drop, not forge).
+	members := newMembers(t, 7, map[int]Behavior{1: DropRelay, 5: Silent})
+	out, err := Broadcast(members, 2, []byte("payload"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := assertAgreement(t, honestOutputs(members, out))
+	if !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("byzantine relays broke validity: %q", got)
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	members := newMembers(t, 4, nil)
+	if _, err := Broadcast(members, -1, []byte("v"), 1); err == nil {
+		t.Error("bad sender: want error")
+	}
+	if _, err := Broadcast(members, 0, []byte("v"), 4); err == nil {
+		t.Error("f ≥ n: want error")
+	}
+	if _, err := Broadcast(nil, 0, []byte("v"), 0); err == nil {
+		t.Error("empty members: want error")
+	}
+	members[2].Index = 7
+	if _, err := Broadcast(members, 0, []byte("v"), 1); err == nil {
+		t.Error("wrong index: want error")
+	}
+	members[2].Index = 2
+	members[2].Identity = nil
+	if _, err := Broadcast(members, 0, []byte("v"), 1); err == nil {
+		t.Error("missing identity: want error")
+	}
+}
+
+// TestBroadcastAgreementProperty: agreement holds for random Byzantine
+// subsets of size ≤ f among 3f+1 members.
+func TestBroadcastAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const fTol = 2
+		const n = 3*fTol + 1
+		byz := map[int]Behavior{}
+		behaviors := []Behavior{Silent, Equivocate, DropRelay}
+		for len(byz) < fTol {
+			byz[rng.Intn(n)] = behaviors[rng.Intn(len(behaviors))]
+		}
+		members := newMembersQuick(n, byz)
+		sender := rng.Intn(n)
+		out, err := Broadcast(members, sender, []byte{byte(seed)}, fTol)
+		if err != nil {
+			return false
+		}
+		vals := honestOutputs(members, out)
+		if len(vals) == 0 {
+			return false
+		}
+		for _, v := range vals[1:] {
+			if !bytes.Equal(v, vals[0]) {
+				return false
+			}
+		}
+		// Validity: honest sender's value must be decided.
+		if members[sender].Behavior == Honest && !bytes.Equal(vals[0], []byte{byte(seed)}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newMembersQuick builds members without a *testing.T for property tests.
+func newMembersQuick(n int, byz map[int]Behavior) []*Member {
+	ca, err := identity.NewCA("consensus-quick", 2)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]*Member, n)
+	for i := 0; i < n; i++ {
+		idn, err := identity.NewIdentity(ca, "member", 0, 128, int64(2000+i))
+		if err != nil {
+			panic(err)
+		}
+		b := Honest
+		if bb, ok := byz[i]; ok {
+			b = bb
+		}
+		out[i] = &Member{Index: i, Identity: idn, Behavior: b}
+	}
+	return out
+}
+
+func TestAgreeOnSeedAllHonest(t *testing.T) {
+	members := newMembers(t, 7, nil)
+	contribs := make([][]byte, 7)
+	for i := range contribs {
+		contribs[i] = []byte{byte(i), 0xAA}
+	}
+	seeds, err := AgreeOnSeed(members, contribs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 7 {
+		t.Fatalf("%d seeds, want 7", len(seeds))
+	}
+	var first [32]byte
+	got := false
+	for _, s := range seeds {
+		if !got {
+			first, got = s, true
+			continue
+		}
+		if s != first {
+			t.Fatal("honest members derived different seeds")
+		}
+	}
+}
+
+func TestAgreeOnSeedWithByzantine(t *testing.T) {
+	members := newMembers(t, 7, map[int]Behavior{1: Equivocate, 4: Silent})
+	contribs := make([][]byte, 7)
+	for i := range contribs {
+		contribs[i] = []byte{byte(i)}
+	}
+	seeds, err := AgreeOnSeed(members, contribs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first [32]byte
+	got := false
+	for i, m := range members {
+		if m.Behavior != Honest {
+			if _, ok := seeds[i]; ok {
+				t.Errorf("byzantine member %d has a seed entry", i)
+			}
+			continue
+		}
+		s, ok := seeds[i]
+		if !ok {
+			t.Fatalf("honest member %d missing seed", i)
+		}
+		if !got {
+			first, got = s, true
+			continue
+		}
+		if s != first {
+			t.Fatal("honest members derived different seeds despite f ≤ 2")
+		}
+	}
+}
+
+func TestAgreeOnSeedSensitivity(t *testing.T) {
+	// Different honest contributions must produce a different seed.
+	members := newMembers(t, 4, nil)
+	c1 := [][]byte{{1}, {2}, {3}, {4}}
+	c2 := [][]byte{{1}, {2}, {3}, {5}}
+	s1, err := AgreeOnSeed(members, c1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AgreeOnSeed(members, c2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0] == s2[0] {
+		t.Error("seed insensitive to contributions")
+	}
+}
+
+func TestAgreeOnSeedValidation(t *testing.T) {
+	members := newMembers(t, 3, nil)
+	if _, err := AgreeOnSeed(members, [][]byte{{1}}, 1); err == nil {
+		t.Error("contribution count mismatch: want error")
+	}
+}
+
+func TestSelectIndices(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 42
+	got, err := SelectIndices(seed, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("selected %d, want 3", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("bad selection %v", got)
+		}
+		seen[i] = true
+	}
+	// Deterministic.
+	again, err := SelectIndices(seed, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Error("selection must be deterministic in the seed")
+		}
+	}
+	if _, err := SelectIndices(seed, 3, 5); err == nil {
+		t.Error("k > n: want error")
+	}
+	empty, err := SelectIndices(seed, 5, 0)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("k=0: %v, %v", empty, err)
+	}
+}
+
+// TestSelectIndicesUniformity: every index appears with roughly equal
+// frequency over many seeds.
+func TestSelectIndicesUniformity(t *testing.T) {
+	counts := make([]int, 6)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		var seed [32]byte
+		seed[0], seed[1], seed[2] = byte(i), byte(i>>8), byte(i>>16)
+		sel, err := SelectIndices(seed, 6, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sel {
+			counts[s]++
+		}
+	}
+	want := float64(trials) * 2 / 6
+	for i, c := range counts {
+		if diff := float64(c) - want; diff > want/5 || diff < -want/5 {
+			t.Errorf("index %d selected %d times, want ≈%.0f", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/combin"
+)
+
+// InitialDelta returns the paper's δ distribution (relation (4)): the
+// chain starts in state (⌊∆/2⌋, 0, 0) — a half-full spare set and no
+// malicious peers anywhere.
+func (m *Model) InitialDelta() []float64 {
+	alpha := make([]float64, m.space.Size())
+	alpha[m.space.MustIndex(State{S: m.params.Delta / 2, X: 0, Y: 0})] = 1
+	return alpha
+}
+
+// InitialBeta returns the paper's β distribution (relation (3)): the
+// initial spare size s₀ is uniform on {1, …, ∆−1}, and the initial numbers
+// of malicious peers in the core and spare sets are independent binomials
+// with success probability µ:
+//
+//	β(s₀,x,y) = 1/(∆−1) · C(C,x) µˣ(1−µ)^{C−x} · C(s₀,y) µʸ(1−µ)^{s₀−y}.
+func (m *Model) InitialBeta() ([]float64, error) {
+	alpha := make([]float64, m.space.Size())
+	pS := 1 / float64(m.params.Delta-1)
+	for s0 := 1; s0 <= m.params.Delta-1; s0++ {
+		for x := 0; x <= m.params.C; x++ {
+			px, err := combin.BinomialPMF(m.params.C, m.params.Mu, x)
+			if err != nil {
+				return nil, err
+			}
+			if px == 0 {
+				continue
+			}
+			for y := 0; y <= s0; y++ {
+				py, err := combin.BinomialPMF(s0, m.params.Mu, y)
+				if err != nil {
+					return nil, err
+				}
+				if py == 0 {
+					continue
+				}
+				alpha[m.space.MustIndex(State{S: s0, X: x, Y: y})] += pS * px * py
+			}
+		}
+	}
+	return alpha, nil
+}
+
+// InitialPoint returns a distribution concentrated on a single state.
+func (m *Model) InitialPoint(st State) ([]float64, error) {
+	i, ok := m.space.Index(st)
+	if !ok {
+		return nil, fmt.Errorf("core: state %v outside Ω(C=%d, ∆=%d)", st, m.params.C, m.params.Delta)
+	}
+	alpha := make([]float64, m.space.Size())
+	alpha[i] = 1
+	return alpha, nil
+}
+
+// InitialDistribution identifies the two initial distributions studied in
+// the paper.
+type InitialDistribution int
+
+// The named initial distributions of Section VII-A.
+const (
+	// DistributionDelta is δ: start from (⌊∆/2⌋, 0, 0).
+	DistributionDelta InitialDistribution = iota
+	// DistributionBeta is β: uniform s₀, binomial malicious populations.
+	DistributionBeta
+)
+
+// String names the distribution as in the paper.
+func (d InitialDistribution) String() string {
+	switch d {
+	case DistributionDelta:
+		return "δ"
+	case DistributionBeta:
+		return "β"
+	default:
+		return fmt.Sprintf("InitialDistribution(%d)", int(d))
+	}
+}
+
+// Initial materializes a named initial distribution.
+func (m *Model) Initial(d InitialDistribution) ([]float64, error) {
+	switch d {
+	case DistributionDelta:
+		return m.InitialDelta(), nil
+	case DistributionBeta:
+		return m.InitialBeta()
+	default:
+		return nil, fmt.Errorf("core: unknown initial distribution %d", int(d))
+	}
+}

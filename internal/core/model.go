@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/markov"
+	"targetedattacks/internal/matrix"
+)
+
+// Model ties together the parameters, state space and transition matrix of
+// the cluster Markov chain and exposes the paper's closed-form analyses.
+type Model struct {
+	params Params
+	space  *Space
+	m      *matrix.CSR
+}
+
+// New validates p and builds the model (state space + transition matrix).
+func New(p Params) (*Model, error) {
+	m, sp, err := BuildTransitionMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{params: p, space: sp, m: m}, nil
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Space returns the state space Ω.
+func (m *Model) Space() *Space { return m.space }
+
+// TransitionMatrix returns the full transition matrix over Ω.
+func (m *Model) TransitionMatrix() *matrix.CSR { return m.m }
+
+// Chain assembles the absorbing-chain view (S, P, absorbing classes) for
+// an initial distribution alpha over Ω.
+func (m *Model) Chain(alpha []float64) (*markov.Chain, error) {
+	if len(alpha) != m.space.Size() {
+		return nil, fmt.Errorf("core: alpha has length %d, want |Ω| = %d", len(alpha), m.space.Size())
+	}
+	return markov.NewChain(markov.Spec{
+		Full:    m.m,
+		Alpha:   alpha,
+		SubsetA: m.space.IndicesOf(ClassSafe),
+		SubsetB: m.space.IndicesOf(ClassPolluted),
+		AbsorbingClasses: map[string][]int{
+			ClassNameSafeMerge:     m.space.IndicesOf(ClassSafeMerge),
+			ClassNameSafeSplit:     m.space.IndicesOf(ClassSafeSplit),
+			ClassNamePollutedMerge: m.space.IndicesOf(ClassPollutedMerge),
+			ClassNamePollutedSplit: m.space.IndicesOf(ClassPollutedSplit),
+		},
+		ClassOrder: []string{
+			ClassNameSafeMerge,
+			ClassNameSafeSplit,
+			ClassNamePollutedMerge,
+			ClassNamePollutedSplit,
+		},
+	})
+}
+
+// Analysis aggregates every closed-form quantity of Sections VII-B..E for
+// one initial distribution.
+type Analysis struct {
+	// ExpectedSafeTime is E(T_S^k) (relation (5)).
+	ExpectedSafeTime float64
+	// ExpectedPollutedTime is E(T_P^k) (relation (6)).
+	ExpectedPollutedTime float64
+	// SafeSojourns[i] is E(T_S,i+1) (relation (7)).
+	SafeSojourns []float64
+	// PollutedSojourns[i] is E(T_P,i+1) (relation (8)).
+	PollutedSojourns []float64
+	// Absorption maps each absorbing class to its absorption probability
+	// (relation (9)).
+	Absorption map[string]float64
+	// PollutionProbability is the probability that the cluster is EVER
+	// polluted before absorption — the total mass of the paper's entry
+	// vector w (relation (6)). Not printed in the paper but implied by
+	// its machinery; useful as an operator-facing risk metric.
+	PollutionProbability float64
+}
+
+// Analyze computes the full Analysis for an initial distribution alpha,
+// with sojourns expectations for the first nSojourns visits.
+func (m *Model) Analyze(alpha []float64, nSojourns int) (*Analysis, error) {
+	ch, err := m.Chain(alpha)
+	if err != nil {
+		return nil, err
+	}
+	ets, err := ch.ExpectedTotalTimeInA()
+	if err != nil {
+		return nil, fmt.Errorf("core: E(T_S): %w", err)
+	}
+	etp, err := ch.ExpectedTotalTimeInB()
+	if err != nil {
+		return nil, fmt.Errorf("core: E(T_P): %w", err)
+	}
+	ss, err := ch.SuccessiveSojournsInA(nSojourns)
+	if err != nil {
+		return nil, fmt.Errorf("core: safe sojourns: %w", err)
+	}
+	ps, err := ch.SuccessiveSojournsInB(nSojourns)
+	if err != nil {
+		return nil, fmt.Errorf("core: polluted sojourns: %w", err)
+	}
+	abs, err := ch.AbsorptionProbabilities()
+	if err != nil {
+		return nil, fmt.Errorf("core: absorption: %w", err)
+	}
+	// "Ever polluted" counts transient polluted visits AND direct
+	// absorptions into a polluted class (a safe cluster can merge
+	// straight into A^m_P when the maintenance of its final departure
+	// promotes a malicious spare): complement of dying safely without
+	// ever leaving S.
+	clean, err := ch.AbsorbedWithinA(ClassNameSafeMerge, ClassNameSafeSplit)
+	if err != nil {
+		return nil, fmt.Errorf("core: pollution probability: %w", err)
+	}
+	hit := 1 - clean
+	// Clamp float64 round-off at the extremes (e.g. µ = 0 gives
+	// clean = 1 − ulp).
+	if hit < 1e-14 {
+		hit = 0
+	}
+	if hit > 1 {
+		hit = 1
+	}
+	return &Analysis{
+		ExpectedSafeTime:     ets,
+		ExpectedPollutedTime: etp,
+		SafeSojourns:         ss,
+		PollutedSojourns:     ps,
+		Absorption:           abs,
+		PollutionProbability: hit,
+	}, nil
+}
+
+// AnalyzeNamed is Analyze for one of the paper's named initial
+// distributions.
+func (m *Model) AnalyzeNamed(d InitialDistribution, nSojourns int) (*Analysis, error) {
+	alpha, err := m.Initial(d)
+	if err != nil {
+		return nil, err
+	}
+	return m.Analyze(alpha, nSojourns)
+}
+
+// TransientIndicator returns the 0/1 vector over Ω marking states of the
+// given class (used by the overlay-level computations of Section VIII).
+func (m *Model) TransientIndicator(cl Class) []float64 {
+	out := make([]float64, m.space.Size())
+	for _, i := range m.space.IndicesOf(cl) {
+		out[i] = 1
+	}
+	return out
+}

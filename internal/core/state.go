@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+)
+
+// State is one state (s, x, y) of the cluster Markov chain X: spare-set
+// size s, malicious core members x, malicious spare members y.
+type State struct {
+	S int // spare-set size, 0 ≤ S ≤ ∆
+	X int // malicious peers in the core set, 0 ≤ X ≤ C
+	Y int // malicious peers in the spare set, 0 ≤ Y ≤ S
+}
+
+// String renders the state as (s,x,y).
+func (st State) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", st.S, st.X, st.Y)
+}
+
+// Class partitions the state space Ω (paper, Section VI).
+type Class int
+
+// The classes of Ω = S ∪ P ∪ A^m_S ∪ A^ℓ_S ∪ A^m_P (∪ A^ℓ_P, which the
+// paper proves unreachable under Rule 2 and which we keep in the partition
+// to verify exactly that).
+const (
+	// ClassSafe is the transient safe set S: 0 < s < ∆, x ≤ c.
+	ClassSafe Class = iota
+	// ClassPolluted is the transient polluted set P: 0 < s < ∆, x > c.
+	ClassPolluted
+	// ClassSafeMerge is A^m_S: s = 0, x ≤ c.
+	ClassSafeMerge
+	// ClassSafeSplit is A^ℓ_S: s = ∆, x ≤ c.
+	ClassSafeSplit
+	// ClassPollutedMerge is A^m_P: s = 0, x > c.
+	ClassPollutedMerge
+	// ClassPollutedSplit is A^ℓ_P: s = ∆, x > c. Rule 2 makes these states
+	// unreachable; they are retained so the partition covers Ω.
+	ClassPollutedSplit
+)
+
+// String names the class in the paper's notation.
+func (c Class) String() string {
+	switch c {
+	case ClassSafe:
+		return "S"
+	case ClassPolluted:
+		return "P"
+	case ClassSafeMerge:
+		return "AmS"
+	case ClassSafeSplit:
+		return "AlS"
+	case ClassPollutedMerge:
+		return "AmP"
+	case ClassPollutedSplit:
+		return "AlP"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Transient reports whether states of this class are transient.
+func (c Class) Transient() bool {
+	return c == ClassSafe || c == ClassPolluted
+}
+
+// Absorbing class names used in markov.Spec and result maps.
+const (
+	ClassNameSafeMerge     = "safe-merge"
+	ClassNameSafeSplit     = "safe-split"
+	ClassNamePollutedMerge = "polluted-merge"
+	ClassNamePollutedSplit = "polluted-split"
+)
+
+// AbsorbingName returns the string key for absorbing classes, "" for
+// transient ones.
+func (c Class) AbsorbingName() string {
+	switch c {
+	case ClassSafeMerge:
+		return ClassNameSafeMerge
+	case ClassSafeSplit:
+		return ClassNameSafeSplit
+	case ClassPollutedMerge:
+		return ClassNamePollutedMerge
+	case ClassPollutedSplit:
+		return ClassNamePollutedSplit
+	default:
+		return ""
+	}
+}
+
+// Space enumerates Ω = {(s,x,y) : 0 ≤ s ≤ ∆, 0 ≤ x ≤ C, 0 ≤ y ≤ s} in a
+// fixed deterministic order and classifies its states.
+type Space struct {
+	c      int // core size
+	delta  int
+	quorum int
+	states []State
+	index  map[State]int
+}
+
+// NewSpace enumerates the state space for core size c and spare bound
+// delta.
+func NewSpace(c, delta int) (*Space, error) {
+	if c < 1 || delta < 1 {
+		return nil, fmt.Errorf("core: NewSpace requires C ≥ 1 and ∆ ≥ 1, got C=%d ∆=%d", c, delta)
+	}
+	sp := &Space{
+		c:      c,
+		delta:  delta,
+		quorum: (c - 1) / 3,
+		index:  make(map[State]int),
+	}
+	for s := 0; s <= delta; s++ {
+		for x := 0; x <= c; x++ {
+			for y := 0; y <= s; y++ {
+				st := State{S: s, X: x, Y: y}
+				sp.index[st] = len(sp.states)
+				sp.states = append(sp.states, st)
+			}
+		}
+	}
+	return sp, nil
+}
+
+// Size returns |Ω|.
+func (sp *Space) Size() int { return len(sp.states) }
+
+// States returns the states in index order. The slice must not be
+// modified.
+func (sp *Space) States() []State { return sp.states }
+
+// Index returns the index of st, or false if st ∉ Ω.
+func (sp *Space) Index(st State) (int, bool) {
+	i, ok := sp.index[st]
+	return i, ok
+}
+
+// MustIndex returns the index of st and panics if st ∉ Ω; it is intended
+// for states produced by the transition builder, which are valid by
+// construction.
+func (sp *Space) MustIndex(st State) int {
+	i, ok := sp.index[st]
+	if !ok {
+		panic(fmt.Sprintf("core: state %v outside Ω(C=%d, ∆=%d)", st, sp.c, sp.delta))
+	}
+	return i
+}
+
+// At returns the state with the given index.
+func (sp *Space) At(i int) State {
+	return sp.states[i]
+}
+
+// Classify assigns st to its class of the partition of Ω.
+func (sp *Space) Classify(st State) Class {
+	safe := st.X <= sp.quorum
+	switch {
+	case st.S == 0 && safe:
+		return ClassSafeMerge
+	case st.S == 0:
+		return ClassPollutedMerge
+	case st.S == sp.delta && safe:
+		return ClassSafeSplit
+	case st.S == sp.delta:
+		return ClassPollutedSplit
+	case safe:
+		return ClassSafe
+	default:
+		return ClassPolluted
+	}
+}
+
+// IndicesOf returns the indices of all states in class cl, in index order.
+func (sp *Space) IndicesOf(cl Class) []int {
+	var out []int
+	for i, st := range sp.states {
+		if sp.Classify(st) == cl {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Quorum returns the pollution quorum c = ⌊(C−1)/3⌋.
+func (sp *Space) Quorum() int { return sp.quorum }
+
+// Census counts the states per class.
+func (sp *Space) Census() map[Class]int {
+	out := make(map[Class]int)
+	for _, st := range sp.states {
+		out[sp.Classify(st)]++
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"targetedattacks/internal/combin"
+	"targetedattacks/internal/matrix"
+)
+
+// Event probabilities of the model: join and leave events are
+// equiprobable (paper, Figure 2: p_j = p_ℓ = 1/2).
+const (
+	probJoin  = 0.5
+	probLeave = 0.5
+)
+
+// BuildTransitionMatrix constructs the exact transition probability matrix
+// M of the cluster Markov chain X over the space Ω(C, ∆), implementing the
+// transition tree of the paper's Figure 2:
+//
+//   - join and leave events are equiprobable;
+//   - a joining peer is malicious with probability µ and lands in the
+//     spare set, except when the adversary applies Rule 2 in a polluted
+//     cluster (honest joins discarded while s > 1; every join discarded
+//     when s = ∆−1 so that a polluted cluster never splits);
+//   - a leave event picks a core member with probability C/(C+s), a spare
+//     member otherwise; malicious peers refuse to leave unless their
+//     identifier expired (Property 1, survival d per peer) or the
+//     adversarial leave strategy (Rule 1, relation (2)) makes a voluntary
+//     departure profitable;
+//   - a core departure triggers the randomized maintenance of protocol_k:
+//     k−1 surviving core members are pushed to the spare set and k random
+//     spares promoted, giving the hypergeometric kernel
+//     τ(m,a,b) = q(k−1, C−1, a, m) · q(k, s+k−1, b, y+a);
+//   - in a polluted cluster the adversary controls maintenance and
+//     replaces departures with valid malicious spares when available.
+//
+// Absorbing states (s = 0 and s = ∆) carry a self-loop.
+func BuildTransitionMatrix(p Params) (*matrix.CSR, *Space, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sp, err := NewSpace(p.C, p.Delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := matrix.NewSparseBuilder(sp.Size(), sp.Size())
+	for i, st := range sp.States() {
+		if !sp.Classify(st).Transient() {
+			if err := b.Add(i, i, 1); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if err := addTransientRow(b, sp, p, i, st); err != nil {
+			return nil, nil, fmt.Errorf("core: building row for state %v: %w", st, err)
+		}
+	}
+	return b.Build(), sp, nil
+}
+
+// addTransientRow emits the outgoing probabilities of one transient state.
+func addTransientRow(b *matrix.SparseBuilder, sp *Space, p Params, row int, st State) error {
+	add := func(target State, w float64) error {
+		if w == 0 {
+			return nil
+		}
+		if w < 0 {
+			return fmt.Errorf("negative probability %v to %v", w, target)
+		}
+		return b.Add(row, sp.MustIndex(target), w)
+	}
+	if err := addJoinBranch(p, st, add); err != nil {
+		return err
+	}
+	return addLeaveBranch(p, st, add)
+}
+
+// addJoinBranch implements the join sub-tree (left half of Figure 2).
+func addJoinBranch(p Params, st State, add func(State, float64) error) error {
+	s, x, y := st.S, st.X, st.Y
+	quorum := p.Quorum()
+	if x <= quorum {
+		// Safe cluster: every join is accepted into the spare set.
+		if err := add(State{s + 1, x, y + 1}, probJoin*p.Mu); err != nil {
+			return err
+		}
+		return add(State{s + 1, x, y}, probJoin*(1-p.Mu))
+	}
+	// Polluted cluster: Rule 2.
+	if s == p.Delta-1 {
+		// Every join is discarded so the cluster never splits.
+		return add(st, probJoin)
+	}
+	// Malicious joins are always accepted.
+	if err := add(State{s + 1, x, y + 1}, probJoin*p.Mu); err != nil {
+		return err
+	}
+	if s > 1 {
+		// Honest joins are silently discarded.
+		return add(st, probJoin*(1-p.Mu))
+	}
+	// s = 1: honest joins are accepted to keep the cluster away from a
+	// merge (which would cost the adversary its core positions).
+	return add(State{s + 1, x, y}, probJoin*(1-p.Mu))
+}
+
+// addLeaveBranch implements the leave sub-tree (right half of Figure 2).
+func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
+	s, x, y := st.S, st.X, st.Y
+	quorum := p.Quorum()
+	pCore := float64(p.C) / float64(p.C+s)
+	pSpare := float64(s) / float64(p.C+s)
+
+	// --- The leave event hits the spare set. ---
+	pMalSpare := float64(y) / float64(s)
+	// Honest spare members always comply.
+	if err := add(State{s - 1, x, y}, probLeave*pSpare*(1-pMalSpare)); err != nil {
+		return err
+	}
+	if wm := probLeave * pSpare * pMalSpare; wm > 0 {
+		// A malicious spare leaves only under Property 1: with probability
+		// d^y every malicious spare identifier is still valid and the
+		// event is ignored.
+		dy := math.Pow(p.D, float64(y))
+		if err := add(st, wm*dy); err != nil {
+			return err
+		}
+		if err := add(State{s - 1, x, y - 1}, wm*(1-dy)); err != nil {
+			return err
+		}
+	}
+
+	// --- The leave event hits the core set. ---
+	pMalCore := float64(x) / float64(p.C)
+	// Honest core member departs; the core maintenance of protocol_k runs.
+	if wh := probLeave * pCore * (1 - pMalCore); wh > 0 {
+		if x > quorum {
+			// Polluted: the adversary controls the Byzantine agreement and
+			// replaces the departure with a valid malicious spare, if any.
+			if y > 0 {
+				if err := add(State{s - 1, x + 1, y - 1}, wh); err != nil {
+					return err
+				}
+			} else if err := add(State{s - 1, x, y}, wh); err != nil {
+				return err
+			}
+		} else if err := addMaintenance(p, s, y, x, wh, add); err != nil {
+			return err
+		}
+	}
+
+	// Malicious core member targeted by the leave event.
+	wmc := probLeave * pCore * pMalCore
+	if wmc == 0 {
+		return nil
+	}
+	dx := math.Pow(p.D, float64(x))
+	// Property 1 forces a departure with probability 1 − d^x.
+	if we := wmc * (1 - dx); we > 0 {
+		if x-1 > quorum {
+			// Still polluted afterwards: adversary-biased replacement.
+			if y > 0 {
+				if err := add(State{s - 1, x, y - 1}, we); err != nil {
+					return err
+				}
+			} else if err := add(State{s - 1, x - 1, y}, we); err != nil {
+				return err
+			}
+		} else if err := addMaintenance(p, s, y, x-1, we, add); err != nil {
+			return err
+		}
+	}
+	// Otherwise the adversary decides: voluntary departure only under
+	// Rule 1 in a safe cluster, and never out of a spare set of size 1
+	// (that could trigger a merge).
+	wv := wmc * dx
+	if wv == 0 {
+		return nil
+	}
+	if x <= quorum && s > 1 {
+		fires, err := Rule1Holds(p, s, x, y)
+		if err != nil {
+			return err
+		}
+		if fires {
+			return addMaintenance(p, s, y, x-1, wv, add)
+		}
+	}
+	return add(st, wv)
+}
+
+// addMaintenance distributes weight w over the outcomes of the randomized
+// core maintenance of protocol_k after a core departure: the remaining
+// core has C−1 members of which malRemaining are malicious; k−1 of them
+// are pushed to the spare set (a malicious among them) and k members of
+// the resulting spare pool of size s+k−1 (with y+a malicious) are promoted
+// (b malicious among them). Target state: (s−1, malRemaining−a+b, y+a−b).
+func addMaintenance(p Params, s, y, malRemaining int, w float64, add func(State, float64) error) error {
+	loA, hiA := combin.HypergeometricSupport(p.K-1, p.C-1, malRemaining)
+	for a := loA; a <= hiA; a++ {
+		pa, err := combin.Hypergeometric(p.K-1, p.C-1, a, malRemaining)
+		if err != nil {
+			return err
+		}
+		if pa == 0 {
+			continue
+		}
+		pool := s + p.K - 1
+		loB, hiB := combin.HypergeometricSupport(p.K, pool, y+a)
+		for bCount := loB; bCount <= hiB; bCount++ {
+			pb, err := combin.Hypergeometric(p.K, pool, bCount, y+a)
+			if err != nil {
+				return err
+			}
+			if pb == 0 {
+				continue
+			}
+			target := State{
+				S: s - 1,
+				X: malRemaining - a + bCount,
+				Y: y + a - bCount,
+			}
+			if err := add(target, w*pa*pb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rule1Holds evaluates the adversarial leave strategy (paper relation (2))
+// in state (s, x, y): the adversary triggers the voluntary departure of a
+// malicious core member when the probability that the maintenance strictly
+// increases the number of malicious core members exceeds 1 − ν:
+//
+//	Σ_{i=i0}^{imax} Σ_{j=i+2}^{jmax} q(k−1, C−1, i, x−1) · q(k, s+k−1, j, y+i) > 1 − ν
+//
+// with i0 = max(0, k−1−(C−x)), imax = min(k−1, x−1), jmax = min(k, y+i).
+// For k = 1 the double sum is empty, so Rule 1 never fires (paper,
+// Section V-A).
+func Rule1Holds(p Params, s, x, y int) (bool, error) {
+	if x < 1 {
+		return false, nil
+	}
+	prob, err := Rule1GainProbability(p, s, x, y)
+	if err != nil {
+		return false, err
+	}
+	return prob > 1-p.Nu, nil
+}
+
+// Rule1GainProbability returns the left-hand side of relation (2): the
+// probability that, after a voluntary departure of one malicious core
+// member followed by the protocol_k maintenance, the core holds strictly
+// more malicious members than before.
+func Rule1GainProbability(p Params, s, x, y int) (float64, error) {
+	if x < 1 {
+		return 0, nil
+	}
+	i0 := p.K - 1 - (p.C - x)
+	if i0 < 0 {
+		i0 = 0
+	}
+	imax := p.K - 1
+	if x-1 < imax {
+		imax = x - 1
+	}
+	var sum float64
+	for i := i0; i <= imax; i++ {
+		qi, err := combin.Hypergeometric(p.K-1, p.C-1, i, x-1)
+		if err != nil {
+			return 0, err
+		}
+		if qi == 0 {
+			continue
+		}
+		jmax := p.K
+		if y+i < jmax {
+			jmax = y + i
+		}
+		for j := i + 2; j <= jmax; j++ {
+			qj, err := combin.Hypergeometric(p.K, s+p.K-1, j, y+i)
+			if err != nil {
+				return 0, err
+			}
+			sum += qi * qj
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,183 @@
+// Package des is a deterministic discrete-event simulation engine: a
+// monotonic simulated clock and a priority queue of timestamped events
+// with stable FIFO ordering among simultaneous events. It is the
+// substrate on which the full overlay-system simulator
+// (internal/overlaynet) runs churn, identifier expiry and protocol
+// operations.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventID identifies a scheduled event for cancellation.
+type EventID int64
+
+// event is one pending action.
+type event struct {
+	time     float64
+	seq      int64 // FIFO tiebreak for equal timestamps
+	id       EventID
+	action   func()
+	canceled bool
+	index    int // heap bookkeeping
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	pq      eventHeap
+	now     float64
+	nextSeq int64
+	nextID  EventID
+	pending map[EventID]*event
+	steps   int64
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{pending: make(map[EventID]*event)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of pending (non-canceled) events.
+func (e *Engine) Len() int { return len(e.pending) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Schedule runs action after delay units of simulated time.
+func (e *Engine) Schedule(delay float64, action func()) (EventID, error) {
+	if delay < 0 {
+		return 0, fmt.Errorf("des: negative delay %v", delay)
+	}
+	return e.ScheduleAt(e.now+delay, action)
+}
+
+// ScheduleAt runs action at absolute simulated time t ≥ Now().
+func (e *Engine) ScheduleAt(t float64, action func()) (EventID, error) {
+	if t < e.now {
+		return 0, fmt.Errorf("des: schedule at %v before now %v", t, e.now)
+	}
+	if action == nil {
+		return 0, fmt.Errorf("des: nil action")
+	}
+	if e.pending == nil {
+		e.pending = make(map[EventID]*event)
+	}
+	e.nextID++
+	e.nextSeq++
+	ev := &event{time: t, seq: e.nextSeq, id: e.nextID, action: action}
+	heap.Push(&e.pq, ev)
+	e.pending[ev.id] = ev
+	return ev.id, nil
+}
+
+// Cancel removes a pending event; it reports whether the event was still
+// pending.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	ev.canceled = true
+	delete(e.pending, id)
+	return true
+}
+
+// Step executes the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.canceled {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.time
+		e.steps++
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with timestamps ≤ t and advances the clock to
+// t. It returns the number of events executed.
+func (e *Engine) RunUntil(t float64) (int, error) {
+	if t < e.now {
+		return 0, fmt.Errorf("des: run until %v before now %v", t, e.now)
+	}
+	var n int
+	for len(e.pq) > 0 {
+		// Peek without popping: canceled heads are discarded lazily.
+		head := e.pq[0]
+		if head.canceled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if head.time > t {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	e.now = t
+	return n, nil
+}
+
+// RunSteps executes at most n events and reports how many ran.
+func (e *Engine) RunSteps(n int) int {
+	var ran int
+	for ran < n && e.Step() {
+		ran++
+	}
+	return ran
+}
+
+// Drain executes every pending event (bounded by maxEvents to guard
+// against self-perpetuating schedules) and reports how many ran.
+func (e *Engine) Drain(maxEvents int) int {
+	var ran int
+	for ran < maxEvents && e.Step() {
+		ran++
+	}
+	return ran
+}

@@ -1,0 +1,221 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	mustSchedule := func(at float64, v int) {
+		t.Helper()
+		if _, err := e.ScheduleAt(at, func() { got = append(got, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSchedule(3, 3)
+	mustSchedule(1, 1)
+	mustSchedule(2, 2)
+	if _, err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (clock advances to horizon)", e.Now())
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		v := i
+		if _, err := e.ScheduleAt(5, func() { got = append(got, v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain(100)
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("simultaneous events not FIFO: %v", got)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay: want error")
+	}
+	if _, err := e.ScheduleAt(0, nil); err == nil {
+		t.Error("nil action: want error")
+	}
+	if _, err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScheduleAt(1, func() {}); err == nil {
+		t.Error("schedule in the past: want error")
+	}
+	if _, err := e.RunUntil(1); err == nil {
+		t.Error("run into the past: want error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id, err := e.Schedule(1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(id) {
+		t.Error("first cancel must succeed")
+	}
+	if e.Cancel(id) {
+		t.Error("second cancel must fail")
+	}
+	e.Drain(10)
+	if ran {
+		t.Error("canceled event ran")
+	}
+	if e.Len() != 0 {
+		t.Errorf("Len = %d after drain", e.Len())
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var schedule func()
+	n := 0
+	schedule = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 5 {
+			if _, err := e.Schedule(2, schedule); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := e.ScheduleAt(1, schedule); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain(100)
+	want := []float64{1, 3, 5, 7, 9}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+	if e.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestRunUntilPartial(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		if _, err := e.ScheduleAt(float64(i), func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e.RunUntil(5.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || count != 5 {
+		t.Errorf("ran %d events (count %d), want 5", n, count)
+	}
+	if e.Len() != 5 {
+		t.Errorf("pending = %d, want 5", e.Len())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 0; i < 5; i++ {
+		if _, err := e.Schedule(float64(i), func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ran := e.RunSteps(3); ran != 3 || count != 3 {
+		t.Errorf("RunSteps ran %d, count %d", ran, count)
+	}
+	if ran := e.RunSteps(10); ran != 2 || count != 5 {
+		t.Errorf("second RunSteps ran %d, count %d", ran, count)
+	}
+}
+
+func TestZeroValueEngineUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	if _, err := e.Schedule(1, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain(1)
+	if !ran {
+		t.Error("zero-value engine did not run event")
+	}
+}
+
+// TestMonotoneClockProperty: executing random schedules never moves the
+// clock backwards, and events run in timestamp order.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var last float64
+		ok := true
+		for i := 0; i < 50; i++ {
+			if _, err := e.ScheduleAt(rng.Float64()*100, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			}); err != nil {
+				return false
+			}
+		}
+		e.Drain(1000)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCancelInterleavedWithRun(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var ids []EventID
+	for i := 0; i < 6; i++ {
+		v := i
+		id, err := e.ScheduleAt(float64(i), func() { got = append(got, v) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.Cancel(ids[1])
+	e.Cancel(ids[4])
+	if _, err := e.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}

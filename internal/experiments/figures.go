@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/combin"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/overlay"
+)
+
+// baseParams returns the paper's evaluation configuration: C = 7, ∆ = 7.
+func baseParams() core.Params {
+	return core.Params{C: 7, Delta: 7, Mu: 0, D: 0, K: 1, Nu: 0.1}
+}
+
+// Figure1 regenerates the state-space census behind the paper's Figure 1:
+// the partition of Ω into S, P and the closed classes, with the paper's
+// 288-state total for C = ∆ = 7.
+func Figure1(c, delta int) (*Table, error) {
+	sp, err := core.NewSpace(c, delta)
+	if err != nil {
+		return nil, err
+	}
+	census := sp.Census()
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 1 — partition of Ω for C=%d, ∆=%d (|Ω|=%d)", c, delta, sp.Size()),
+		Columns: []string{"class", "paper notation", "states"},
+		Note:    "paper caption: for C = 7 and ∆ = 7, 288 states",
+	}
+	rows := []struct {
+		cl   core.Class
+		name string
+	}{
+		{core.ClassSafe, "S (transient safe)"},
+		{core.ClassPolluted, "P (transient polluted)"},
+		{core.ClassSafeMerge, "A^m_S (safe merge)"},
+		{core.ClassSafeSplit, "A^l_S (safe split)"},
+		{core.ClassPollutedMerge, "A^m_P (polluted merge)"},
+		{core.ClassPollutedSplit, "A^l_P (unreachable)"},
+	}
+	for _, r := range rows {
+		if err := t.AddRow(r.cl.String(), r.name, fmt.Sprintf("%d", census[r.cl])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Figure2 regenerates the object depicted by the paper's Figure 2: the
+// transition matrix M itself. It reports, per protocol_k, the matrix
+// dimensions, the number of non-zero transitions and the worst row-sum
+// deviation from stochasticity.
+func Figure2(ks []int) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 2 — transition matrix construction (C=7, ∆=7, µ=20%, d=90%)",
+		Columns: []string{"protocol", "states", "transitions", "max |row sum − 1|"},
+	}
+	for _, k := range ks {
+		p := baseParams()
+		p.Mu, p.D, p.K = 0.20, 0.90, k
+		m, sp, err := core.BuildTransitionMatrix(p)
+		if err != nil {
+			return nil, err
+		}
+		var worst float64
+		for _, s := range m.RowSums() {
+			if dev := abs(s - 1); dev > worst {
+				worst = dev
+			}
+		}
+		err = t.AddRow(
+			fmt.Sprintf("protocol_%d", k),
+			fmt.Sprintf("%d", sp.Size()),
+			fmt.Sprintf("%d", m.NNZ()),
+			fmt.Sprintf("%.2e", worst),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Figure3Config parameterizes Figure 3.
+type Figure3Config struct {
+	// Mus are the adversary fractions on the x-axis (paper: 0…30% by 5%).
+	Mus []float64
+	// Ds are the survival probabilities (paper: 0, 30%, 80%, 90%).
+	Ds []float64
+	// Ks are the protocols (paper: 1 and C = 7).
+	Ks []int
+	// Distributions are the initial distributions (paper: δ and β).
+	Distributions []core.InitialDistribution
+}
+
+// DefaultFigure3Config reproduces the paper's four panels.
+func DefaultFigure3Config() Figure3Config {
+	return Figure3Config{
+		Mus:           []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Ds:            []float64{0, 0.30, 0.80, 0.90},
+		Ks:            []int{1, 7},
+		Distributions: []core.InitialDistribution{core.DistributionDelta, core.DistributionBeta},
+	}
+}
+
+// Figure3 regenerates the paper's Figure 3: the expected number of events
+// spent in safe and polluted transient states before absorption,
+// E(T_S^k) and E(T_P^k), as a function of µ, d, k and α.
+func Figure3(cfg Figure3Config) (*Table, error) {
+	t := &Table{
+		Title: "Figure 3 — E(T_S^k) and E(T_P^k) before absorption (C=7, ∆=7)",
+		Columns: []string{
+			"protocol", "alpha", "d", "mu", "E(T_S)", "E(T_P)",
+		},
+		Note: "paper panels: protocol_1/protocol_7 × α∈{δ,β}; bars E(T_S) hatched, E(T_P) plain",
+	}
+	for _, k := range cfg.Ks {
+		for _, dist := range cfg.Distributions {
+			for _, d := range cfg.Ds {
+				for _, mu := range cfg.Mus {
+					p := baseParams()
+					p.Mu, p.D, p.K = mu, d, k
+					m, err := core.New(p)
+					if err != nil {
+						return nil, err
+					}
+					a, err := m.AnalyzeNamed(dist, 1)
+					if err != nil {
+						return nil, err
+					}
+					err = t.AddRow(
+						fmt.Sprintf("protocol_%d", k),
+						dist.String(),
+						fmtPercent(d),
+						fmtPercent(mu),
+						fmtFloat(a.ExpectedSafeTime),
+						fmtFloat(a.ExpectedPollutedTime),
+					)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Figure4Config parameterizes Figure 4.
+type Figure4Config struct {
+	Mus           []float64
+	Ds            []float64
+	Distributions []core.InitialDistribution
+}
+
+// DefaultFigure4Config reproduces the paper's two panels (k = 1).
+func DefaultFigure4Config() Figure4Config {
+	return Figure4Config{
+		Mus:           []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Ds:            []float64{0, 0.30, 0.80, 0.90},
+		Distributions: []core.InitialDistribution{core.DistributionDelta, core.DistributionBeta},
+	}
+}
+
+// Figure4 regenerates the paper's Figure 4: absorption probabilities
+// p(A^m_S), p(A^ℓ_S), p(A^m_P) as a function of µ and d for protocol_1.
+func Figure4(cfg Figure4Config) (*Table, error) {
+	t := &Table{
+		Title: "Figure 4 — absorption probabilities (k=1, C=7, ∆=7)",
+		Columns: []string{
+			"alpha", "d", "mu", "p(safe-merge)", "p(safe-split)", "p(polluted-merge)", "p(polluted-split)",
+		},
+		Note: "paper: µ=0 gives 0.57/0.43; p(polluted-merge) < 8% even at µ=30%, d=90%",
+	}
+	for _, dist := range cfg.Distributions {
+		for _, d := range cfg.Ds {
+			for _, mu := range cfg.Mus {
+				p := baseParams()
+				p.Mu, p.D = mu, d
+				m, err := core.New(p)
+				if err != nil {
+					return nil, err
+				}
+				a, err := m.AnalyzeNamed(dist, 1)
+				if err != nil {
+					return nil, err
+				}
+				err = t.AddRow(
+					dist.String(),
+					fmtPercent(d),
+					fmtPercent(mu),
+					fmtFloat(a.Absorption[core.ClassNameSafeMerge]),
+					fmtFloat(a.Absorption[core.ClassNameSafeSplit]),
+					fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
+					fmtFloat(a.Absorption[core.ClassNamePollutedSplit]),
+				)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Figure5Config parameterizes Figure 5.
+type Figure5Config struct {
+	// Ns are the overlay sizes (paper: 500 and 1500 clusters).
+	Ns []int
+	// Ds are the survival probabilities (paper: 30% and 90%).
+	Ds []float64
+	// Mu is the adversary fraction. The paper does not print it; 25%
+	// reproduces the "less than 2.2%" polluted-proportion ceiling stated
+	// in Section VIII (see EXPERIMENTS.md).
+	Mu float64
+	// MaxEvents is the x-axis range (paper: 100000).
+	MaxEvents int
+	// Samples is the number of plotted points per curve.
+	Samples int
+}
+
+// DefaultFigure5Config reproduces the paper's two panels.
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{
+		Ns:        []int{500, 1500},
+		Ds:        []float64{0.30, 0.90},
+		Mu:        0.25,
+		MaxEvents: 100000,
+		Samples:   50,
+	}
+}
+
+// Figure5 regenerates the paper's Figure 5: the expected proportions
+// E(N_S(m))/n (left panel) and E(N_P(m))/n (right panel) of safe and
+// polluted clusters after m overlay events (Theorem 2), for each (n, d).
+func Figure5(cfg Figure5Config) (safe, polluted *Figure, err error) {
+	if cfg.MaxEvents < 1 || cfg.Samples < 1 {
+		return nil, nil, fmt.Errorf("experiments: Figure5 needs positive MaxEvents and Samples")
+	}
+	safe = &Figure{
+		Title:  "Figure 5 (left) — E(N_S(m))/n",
+		XLabel: "m = number of events",
+		YLabel: "expected proportion of safe clusters",
+	}
+	polluted = &Figure{
+		Title:  "Figure 5 (right) — E(N_P(m))/n",
+		XLabel: "m = number of events",
+		YLabel: "expected proportion of polluted clusters",
+		Note:   "paper (Section VIII): stays below 2.2% for d=90%",
+	}
+	for _, n := range cfg.Ns {
+		for _, d := range cfg.Ds {
+			p := baseParams()
+			p.Mu, p.D = cfg.Mu, d
+			m, err := core.New(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			cc, err := overlay.New(m, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			pts, err := cc.ProportionSeries(m.InitialDelta(), cfg.MaxEvents, cfg.Samples)
+			if err != nil {
+				return nil, nil, err
+			}
+			lifetime, err := combin.LifetimeFromSurvival(d)
+			if err != nil {
+				return nil, nil, err
+			}
+			name := fmt.Sprintf("n=%d d=%g%% (L=%.2f)", n, d*100, lifetime)
+			xs := make([]float64, len(pts))
+			ys := make([]float64, len(pts))
+			yp := make([]float64, len(pts))
+			for i, pt := range pts {
+				xs[i] = float64(pt.Events)
+				ys[i] = pt.Safe
+				yp[i] = pt.Polluted
+			}
+			if err := safe.AddSeries(Series{Name: name, X: xs, Y: ys}); err != nil {
+				return nil, nil, err
+			}
+			if err := polluted.AddSeries(Series{Name: name, X: xs, Y: yp}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return safe, polluted, nil
+}

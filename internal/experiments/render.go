@@ -1,0 +1,205 @@
+// Package experiments regenerates every table and figure of the
+// evaluation sections (VII and VIII) of the DSN 2011 targeted-attack
+// paper, plus this reproduction's own ablations and validation
+// experiments. Each generator returns structured data (Table or Figure)
+// that renders as aligned text, CSV, or an ASCII plot; cmd/paperrepro
+// drives all of them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("experiments: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (cells are simple
+// numerics and identifiers, no quoting needed).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a titled collection of series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Note   string
+	Series []Series
+}
+
+// AddSeries appends a series after validating the coordinate lengths.
+func (f *Figure) AddSeries(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("experiments: series %q has %d x and %d y values",
+			s.Name, len(s.X), len(s.Y))
+	}
+	f.Series = append(f.Series, s)
+	return nil
+}
+
+// CSV writes all series in long form: series,x,y.
+func (f *Figure) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesMarks are the glyphs used to draw successive series.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the figure as an ASCII plot of the given dimensions.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("experiments: plot area %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var points int
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("experiments: figure %q has no points", f.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	fmt.Fprintf(&b, "%-10.4g y-max (%s)\n", maxY, f.YLabel)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10.4g y-min; x: %.4g … %.4g (%s)\n", minY, minX, maxX, f.XLabel)
+	if f.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", f.Note)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtFloat renders a float compactly for table cells.
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-4:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// fmtPercent renders a probability as a percentage label (µ=30%% style).
+func fmtPercent(v float64) string {
+	return fmt.Sprintf("%g%%", v*100)
+}

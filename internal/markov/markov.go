@@ -1,0 +1,444 @@
+// Package markov implements the absorbing discrete-time Markov-chain
+// analytics that the DSN 2011 targeted-attack paper builds on:
+//
+//   - expected total time spent in a subset of transient states before
+//     absorption (Sericola, J. Appl. Prob. 1990 — the paper's relations
+//     (5) and (6)),
+//   - expected durations of the successive sojourns in each transient
+//     subset (Sericola & Rubino, J. Appl. Prob. 1989 — relations (7), (8)),
+//   - absorption probabilities per absorbing class (relation (9)),
+//   - transient distribution evolution.
+//
+// The chain's transient states are partitioned into two subsets A and B
+// (the paper's safe set S and polluted set P); the remaining states form
+// named absorbing classes.
+package markov
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/matrix"
+)
+
+// Chain is an absorbing discrete-time Markov chain whose transient states
+// are split into two subsets. All matrices are extracted once at
+// construction; the analytic methods are then pure linear algebra.
+type Chain struct {
+	// Block decomposition of the transition matrix restricted to the
+	// transient states, in the (A, B) order.
+	ma, mab, mba, mb *matrix.Dense
+	// absorbing[class] holds the |A|+|B| by |class| block of transitions
+	// from transient states into that absorbing class.
+	absorbing map[string]*matrix.Dense
+	classes   []string // deterministic iteration order
+	alphaA    []float64
+	alphaB    []float64
+	nA, nB    int
+}
+
+// Spec describes how to carve a Chain out of a full transition matrix.
+type Spec struct {
+	// Full is the complete transition matrix over all states.
+	Full *matrix.CSR
+	// Alpha is the initial distribution over all states.
+	Alpha []float64
+	// SubsetA and SubsetB are the two transient subsets (paper: S and P).
+	SubsetA, SubsetB []int
+	// AbsorbingClasses maps a class name to its state indices.
+	AbsorbingClasses map[string][]int
+	// ClassOrder fixes the iteration order of the absorbing classes; it
+	// must list every key of AbsorbingClasses exactly once.
+	ClassOrder []string
+}
+
+// NewChain validates a Spec and extracts the dense blocks used by all
+// analytic computations.
+func NewChain(spec Spec) (*Chain, error) {
+	if spec.Full == nil {
+		return nil, fmt.Errorf("markov: Spec.Full is nil")
+	}
+	n := spec.Full.Rows()
+	if spec.Full.Cols() != n {
+		return nil, fmt.Errorf("markov: transition matrix is %dx%d, want square", n, spec.Full.Cols())
+	}
+	if len(spec.Alpha) != n {
+		return nil, fmt.Errorf("markov: alpha has length %d, want %d", len(spec.Alpha), n)
+	}
+	if len(spec.ClassOrder) != len(spec.AbsorbingClasses) {
+		return nil, fmt.Errorf("markov: ClassOrder lists %d classes, AbsorbingClasses has %d",
+			len(spec.ClassOrder), len(spec.AbsorbingClasses))
+	}
+	seen := make(map[int]string, n)
+	mark := func(idx []int, label string) error {
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				return fmt.Errorf("markov: state index %d out of range [0,%d)", i, n)
+			}
+			if prev, dup := seen[i]; dup {
+				return fmt.Errorf("markov: state %d assigned to both %s and %s", i, prev, label)
+			}
+			seen[i] = label
+		}
+		return nil
+	}
+	if err := mark(spec.SubsetA, "A"); err != nil {
+		return nil, err
+	}
+	if err := mark(spec.SubsetB, "B"); err != nil {
+		return nil, err
+	}
+	for _, name := range spec.ClassOrder {
+		idx, ok := spec.AbsorbingClasses[name]
+		if !ok {
+			return nil, fmt.Errorf("markov: ClassOrder names unknown class %q", name)
+		}
+		if err := mark(idx, name); err != nil {
+			return nil, err
+		}
+	}
+
+	full := spec.Full.Dense()
+	sub := func(rows, cols []int) (*matrix.Dense, error) { return full.SubMatrix(rows, cols) }
+	ma, err := sub(spec.SubsetA, spec.SubsetA)
+	if err != nil {
+		return nil, err
+	}
+	mab, err := sub(spec.SubsetA, spec.SubsetB)
+	if err != nil {
+		return nil, err
+	}
+	mba, err := sub(spec.SubsetB, spec.SubsetA)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := sub(spec.SubsetB, spec.SubsetB)
+	if err != nil {
+		return nil, err
+	}
+	transient := make([]int, 0, len(spec.SubsetA)+len(spec.SubsetB))
+	transient = append(transient, spec.SubsetA...)
+	transient = append(transient, spec.SubsetB...)
+	abs := make(map[string]*matrix.Dense, len(spec.AbsorbingClasses))
+	for name, idx := range spec.AbsorbingClasses {
+		blk, err := sub(transient, idx)
+		if err != nil {
+			return nil, err
+		}
+		abs[name] = blk
+	}
+	c := &Chain{
+		ma: ma, mab: mab, mba: mba, mb: mb,
+		absorbing: abs,
+		classes:   append([]string(nil), spec.ClassOrder...),
+		alphaA:    pick(spec.Alpha, spec.SubsetA),
+		alphaB:    pick(spec.Alpha, spec.SubsetB),
+		nA:        len(spec.SubsetA),
+		nB:        len(spec.SubsetB),
+	}
+	return c, nil
+}
+
+func pick(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for p, i := range idx {
+		out[p] = v[i]
+	}
+	return out
+}
+
+// iMinus returns I - m.
+func iMinus(m *matrix.Dense) (*matrix.Dense, error) {
+	return matrix.Identity(m.Rows()).Sub(m)
+}
+
+// entryVector computes the paper's v (relation (5)) for subset A:
+// v = αA + αB (I − M_B)⁻¹ M_{BA}, the distribution of the state in A at the
+// instant the chain first visits A (counting a start in A).
+func (c *Chain) entryVector(alphaA, alphaB []float64, mb, mba *matrix.Dense) ([]float64, error) {
+	if len(alphaB) == 0 {
+		return append([]float64(nil), alphaA...), nil
+	}
+	imb, err := iMinus(mb)
+	if err != nil {
+		return nil, err
+	}
+	u, err := matrix.SolveVecLeft(imb, alphaB)
+	if err != nil {
+		return nil, fmt.Errorf("markov: solving αB(I−M_B)⁻¹: %w", err)
+	}
+	um, err := mba.VecMul(u)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.VecAdd(alphaA, um)
+}
+
+// returnKernel computes R = M_A + M_{AB} (I − M_B)⁻¹ M_{BA}: the transition
+// kernel of the chain censored on subset A (relation (5)).
+func (c *Chain) returnKernel(ma, mab, mb, mba *matrix.Dense) (*matrix.Dense, error) {
+	if mb.Rows() == 0 {
+		return ma.Clone(), nil
+	}
+	imb, err := iMinus(mb)
+	if err != nil {
+		return nil, err
+	}
+	z, err := matrix.Solve(imb, mba)
+	if err != nil {
+		return nil, fmt.Errorf("markov: solving (I−M_B)⁻¹M_BA: %w", err)
+	}
+	mz, err := mab.Mul(z)
+	if err != nil {
+		return nil, err
+	}
+	return ma.AddM(mz)
+}
+
+// ExpectedTotalTimeInA returns E(T_A), the expected number of transitions
+// spent in subset A before absorption (paper relation (5)).
+func (c *Chain) ExpectedTotalTimeInA() (float64, error) {
+	return c.expectedTotalTime(c.alphaA, c.alphaB, c.ma, c.mab, c.mb, c.mba)
+}
+
+// ExpectedTotalTimeInB returns E(T_B), the expected number of transitions
+// spent in subset B before absorption (paper relation (6)).
+func (c *Chain) ExpectedTotalTimeInB() (float64, error) {
+	return c.expectedTotalTime(c.alphaB, c.alphaA, c.mb, c.mba, c.ma, c.mab)
+}
+
+func (c *Chain) expectedTotalTime(alphaA, alphaB []float64, ma, mab, mb, mba *matrix.Dense) (float64, error) {
+	if ma.Rows() == 0 {
+		return 0, nil
+	}
+	v, err := c.entryVector(alphaA, alphaB, mb, mba)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.returnKernel(ma, mab, mb, mba)
+	if err != nil {
+		return 0, err
+	}
+	ir, err := iMinus(r)
+	if err != nil {
+		return 0, err
+	}
+	w, err := matrix.SolveVec(ir, matrix.Ones(ma.Rows()))
+	if err != nil {
+		return 0, fmt.Errorf("markov: solving (I−R)⁻¹1: %w", err)
+	}
+	return matrix.Dot(v, w)
+}
+
+// SuccessiveSojournsInA returns E(T_{A,1}), …, E(T_{A,n}): the expected
+// durations of the first n sojourns of the chain in subset A (paper
+// relation (7), after Sericola & Rubino 1989).
+func (c *Chain) SuccessiveSojournsInA(n int) ([]float64, error) {
+	return c.successiveSojourns(n, c.alphaA, c.alphaB, c.ma, c.mab, c.mb, c.mba)
+}
+
+// SuccessiveSojournsInB is the subset-B counterpart (paper relation (8)).
+func (c *Chain) SuccessiveSojournsInB(n int) ([]float64, error) {
+	return c.successiveSojourns(n, c.alphaB, c.alphaA, c.mb, c.mba, c.ma, c.mab)
+}
+
+func (c *Chain) successiveSojourns(n int, alphaA, alphaB []float64, ma, mab, mb, mba *matrix.Dense) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("markov: negative sojourn count %d", n)
+	}
+	out := make([]float64, n)
+	if n == 0 || ma.Rows() == 0 {
+		return out, nil
+	}
+	v, err := c.entryVector(alphaA, alphaB, mb, mba)
+	if err != nil {
+		return nil, err
+	}
+	ima, err := iMinus(ma)
+	if err != nil {
+		return nil, err
+	}
+	fa, err := matrix.FactorLU(ima)
+	if err != nil {
+		return nil, fmt.Errorf("markov: factorizing I−M_A: %w", err)
+	}
+	u, err := fa.SolveVec(matrix.Ones(ma.Rows()))
+	if err != nil {
+		return nil, err
+	}
+	// G = (I−M_A)⁻¹ M_AB (I−M_B)⁻¹ M_BA; empty B makes G = 0 and only the
+	// first sojourn exists.
+	var g *matrix.Dense
+	if mb.Rows() > 0 {
+		imb, err := iMinus(mb)
+		if err != nil {
+			return nil, err
+		}
+		z, err := matrix.Solve(imb, mba)
+		if err != nil {
+			return nil, fmt.Errorf("markov: solving (I−M_B)⁻¹M_BA: %w", err)
+		}
+		mz, err := mab.Mul(z)
+		if err != nil {
+			return nil, err
+		}
+		g, err = fa.Solve(mz)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g = matrix.NewDense(ma.Rows(), ma.Rows())
+	}
+	r := v
+	for i := 0; i < n; i++ {
+		e, err := matrix.Dot(r, u)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+		if i+1 < n {
+			r, err = g.VecMul(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// AbsorptionProbabilities returns, for every absorbing class, the
+// probability that the chain is eventually absorbed there (relation (9)):
+// p(U) = α_T (I − T)⁻¹ R_U 1.
+func (c *Chain) AbsorptionProbabilities() (map[string]float64, error) {
+	nT := c.nA + c.nB
+	if nT == 0 {
+		return nil, fmt.Errorf("markov: no transient states")
+	}
+	t, err := c.transientMatrix()
+	if err != nil {
+		return nil, err
+	}
+	it, err := iMinus(t)
+	if err != nil {
+		return nil, err
+	}
+	alphaT := make([]float64, 0, nT)
+	alphaT = append(alphaT, c.alphaA...)
+	alphaT = append(alphaT, c.alphaB...)
+	y, err := matrix.SolveVecLeft(it, alphaT)
+	if err != nil {
+		return nil, fmt.Errorf("markov: solving α_T(I−T)⁻¹: %w", err)
+	}
+	out := make(map[string]float64, len(c.absorbing))
+	for _, name := range c.classes {
+		blk := c.absorbing[name]
+		col, err := blk.MulVec(matrix.Ones(blk.Cols()))
+		if err != nil {
+			return nil, err
+		}
+		p, err := matrix.Dot(y, col)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = p
+	}
+	return out, nil
+}
+
+// transientMatrix assembles T = [[M_A, M_AB], [M_BA, M_B]].
+func (c *Chain) transientMatrix() (*matrix.Dense, error) {
+	n := c.nA + c.nB
+	t := matrix.NewDense(n, n)
+	copyBlock := func(dst *matrix.Dense, src *matrix.Dense, r0, c0 int) {
+		for i := 0; i < src.Rows(); i++ {
+			for j := 0; j < src.Cols(); j++ {
+				dst.Set(r0+i, c0+j, src.At(i, j))
+			}
+		}
+	}
+	copyBlock(t, c.ma, 0, 0)
+	copyBlock(t, c.mab, 0, c.nA)
+	copyBlock(t, c.mba, c.nA, 0)
+	copyBlock(t, c.mb, c.nA, c.nA)
+	return t, nil
+}
+
+// HitProbabilityA returns the probability that the chain ever visits
+// subset A before absorption (counting a start inside A): the total mass
+// of the entry vector v of relation (5).
+func (c *Chain) HitProbabilityA() (float64, error) {
+	if c.nA == 0 {
+		return 0, nil
+	}
+	v, err := c.entryVector(c.alphaA, c.alphaB, c.mb, c.mba)
+	if err != nil {
+		return 0, err
+	}
+	return matrix.VecSum(v), nil
+}
+
+// HitProbabilityB is the subset-B counterpart of HitProbabilityA.
+func (c *Chain) HitProbabilityB() (float64, error) {
+	if c.nB == 0 {
+		return 0, nil
+	}
+	w, err := c.entryVector(c.alphaB, c.alphaA, c.ma, c.mab)
+	if err != nil {
+		return 0, err
+	}
+	return matrix.VecSum(w), nil
+}
+
+// AbsorbedWithinA returns the probability that the chain reaches one of
+// the named absorbing classes along a path that never leaves subset A:
+// α_A (I − M_A)⁻¹ R^A 1, with R^A the rows of the class blocks
+// corresponding to subset A. Initial mass on subset B contributes
+// nothing. Together with HitProbabilityB this separates "dies clean"
+// from "was ever dirty": P(ever in B ∪ other classes) = 1 − AbsorbedWithinA(safe classes).
+func (c *Chain) AbsorbedWithinA(classes ...string) (float64, error) {
+	if c.nA == 0 {
+		return 0, nil
+	}
+	rhs := make([]float64, c.nA)
+	for _, name := range classes {
+		blk, ok := c.absorbing[name]
+		if !ok {
+			return 0, fmt.Errorf("markov: unknown absorbing class %q", name)
+		}
+		for i := 0; i < c.nA; i++ {
+			for j := 0; j < blk.Cols(); j++ {
+				rhs[i] += blk.At(i, j)
+			}
+		}
+	}
+	ima, err := iMinus(c.ma)
+	if err != nil {
+		return 0, err
+	}
+	z, err := matrix.SolveVec(ima, rhs)
+	if err != nil {
+		return 0, fmt.Errorf("markov: solving (I−M_A)⁻¹: %w", err)
+	}
+	return matrix.Dot(c.alphaA, z)
+}
+
+// ExpectedTotalTransientTime returns E(T_A) + E(T_B): the expected number
+// of transitions before absorption.
+func (c *Chain) ExpectedTotalTransientTime() (float64, error) {
+	a, err := c.ExpectedTotalTimeInA()
+	if err != nil {
+		return 0, err
+	}
+	b, err := c.ExpectedTotalTimeInB()
+	if err != nil {
+		return 0, err
+	}
+	return a + b, nil
+}
+
+// Classes returns the absorbing class names in their fixed order.
+func (c *Chain) Classes() []string {
+	return append([]string(nil), c.classes...)
+}
+
+// TransientSizes returns (|A|, |B|).
+func (c *Chain) TransientSizes() (int, int) { return c.nA, c.nB }

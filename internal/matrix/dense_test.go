@@ -1,0 +1,276 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseFromRows(t *testing.T) {
+	m, err := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := NewDenseFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows: want error, got nil")
+	}
+	empty, err := NewDenseFromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Errorf("empty rows: got %v rows, err=%v", empty.Rows(), err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, err := NewDenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity(3)
+	left, err := id.Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.Equalish(a, 0) || !right.Equalish(a, 0) {
+		t.Error("identity product changed the matrix")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewDenseFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDenseFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equalish(want, 1e-12) {
+		t.Errorf("product = %v, want %v", got, want)
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("want dimension error, got nil")
+	}
+	if _, err := a.MulVec([]float64{1, 2}); err == nil {
+		t.Error("MulVec: want dimension error, got nil")
+	}
+	if _, err := a.VecMul([]float64{1, 2, 3}); err == nil {
+		t.Error("VecMul: want dimension error, got nil")
+	}
+}
+
+func TestSubAddScale(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewDenseFromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := a.AddM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, _ := NewDenseFromRows([][]float64{{5, 5}, {5, 5}})
+	if !sum.Equalish(wantSum, 0) {
+		t.Errorf("sum = %v", sum)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equalish(a, 0) {
+		t.Errorf("(a+b)-b = %v, want a", diff)
+	}
+	if got := a.Scale(2).At(1, 1); got != 8 {
+		t.Errorf("scale: got %v, want 8", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("At(2,1)=%v, want 6", at.At(2, 1))
+	}
+	if !at.Transpose().Equalish(a, 0) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	mv, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv[0] != 3 || mv[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", mv)
+	}
+	vm, err := a.VecMul([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm[0] != 4 || vm[1] != 6 {
+		t.Errorf("VecMul = %v, want [4 6]", vm)
+	}
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Errorf("Dot = %v err %v, want 32", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Dot length mismatch: want error")
+	}
+	if s := VecSum([]float64{0.5, 0.25, 0.25}); s != 1 {
+		t.Errorf("VecSum = %v, want 1", s)
+	}
+	va, err := VecAdd([]float64{1, 2}, []float64{3, 4})
+	if err != nil || va[0] != 4 || va[1] != 6 {
+		t.Errorf("VecAdd = %v err %v", va, err)
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	sub, err := a.SubMatrix([]int{2, 0}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDenseFromRows([][]float64{{8, 9}, {2, 3}})
+	if !sub.Equalish(want, 0) {
+		t.Errorf("SubMatrix = %v, want %v", sub, want)
+	}
+	if _, err := a.SubMatrix([]int{5}, []int{0}); err == nil {
+		t.Error("row out of range: want error")
+	}
+	if _, err := a.SubMatrix([]int{0}, []int{5}); err == nil {
+		t.Error("col out of range: want error")
+	}
+}
+
+func TestRowAndRowView(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Error("Row must copy")
+	}
+	rv := a.RowView(1)
+	rv[1] = 42
+	if a.At(1, 1) != 42 {
+		t.Error("RowView must alias")
+	}
+}
+
+func TestOnesAndMaxAbs(t *testing.T) {
+	if v := Ones(3); len(v) != 3 || v[0] != 1 || v[2] != 1 {
+		t.Errorf("Ones = %v", v)
+	}
+	a, _ := NewDenseFromRows([][]float64{{-5, 2}, {3, 4}})
+	if a.MaxAbs() != 5 {
+		t.Errorf("MaxAbs = %v, want 5", a.MaxAbs())
+	}
+}
+
+// randomMatrix returns an n x n matrix with entries in [-1, 1).
+func randomMatrix(rng *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	return m
+}
+
+// TestMulAssociativityProperty checks (AB)C == A(BC) on random matrices.
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b, c := randomMatrix(rng, n), randomMatrix(rng, n), randomMatrix(rng, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		abc1, err := ab.Mul(c)
+		if err != nil {
+			return false
+		}
+		bc, err := b.Mul(c)
+		if err != nil {
+			return false
+		}
+		abc2, err := a.Mul(bc)
+		if err != nil {
+			return false
+		}
+		return abc1.Equalish(abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransposeProductProperty checks (AB)ᵀ == BᵀAᵀ.
+func TestTransposeProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b := randomMatrix(r, n), randomMatrix(r, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		left := ab.Transpose()
+		right, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return left.Equalish(right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualishShapeMismatch(t *testing.T) {
+	if NewDense(1, 2).Equalish(NewDense(2, 1), 1) {
+		t.Error("different shapes must not be Equalish")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small, _ := NewDenseFromRows([][]float64{{1}})
+	if s := small.String(); s == "" || math.IsNaN(1) {
+		t.Errorf("String() empty: %q", s)
+	}
+	large := NewDense(20, 20)
+	if s := large.String(); s != "Dense(20x20)" {
+		t.Errorf("large String() = %q", s)
+	}
+}

@@ -1,0 +1,184 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters an
+// exactly singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// LU is an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu    *Dense // packed L (unit diagonal, below) and U (on/above diagonal)
+	pivot []int  // row permutation
+	signD float64
+	n     int
+}
+
+// FactorLU computes the LU factorization of a square matrix a with partial
+// (row) pivoting. The input matrix is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("matrix: FactorLU requires a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), signD: 1, n: n}
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	lu := f.lu
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		p := col
+		mx := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > mx {
+				mx, p = v, r
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if p != col {
+			f.swapRows(p, col)
+			f.pivot[p], f.pivot[col] = f.pivot[col], f.pivot[p]
+			f.signD = -f.signD
+		}
+		// Eliminate below.
+		piv := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			m := lu.At(r, col) / piv
+			lu.Set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			rr := lu.RowView(r)
+			cr := lu.RowView(col)
+			for j := col + 1; j < n; j++ {
+				rr[j] -= m * cr[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+func (f *LU) swapRows(i, j int) {
+	ri := f.lu.RowView(i)
+	rj := f.lu.RowView(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.signD
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveVec solves A x = b for a single right-hand side.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("matrix: SolveVec rhs length %d does not match order %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	// Apply permutation: x = P*b.
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower-triangular L.
+	for i := 1; i < f.n; i++ {
+		row := f.lu.RowView(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := f.n - 1; i >= 0; i-- {
+		row := f.lu.RowView(i)
+		s := x[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Solve solves A X = B with one column of X per column of B.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	if b.Rows() != f.n {
+		return nil, fmt.Errorf("matrix: Solve rhs has %d rows, want %d", b.Rows(), f.n)
+	}
+	out := NewDense(f.n, b.Cols())
+	col := make([]float64, f.n)
+	for j := 0; j < b.Cols(); j++ {
+		for i := 0; i < f.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < f.n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Solve solves A X = B, factorizing A internally.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveVec solves A x = b, factorizing A internally.
+func SolveVec(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// SolveVecLeft solves the row-vector system x A = b, i.e. Aᵀ xᵀ = bᵀ.
+func SolveVecLeft(a *Dense, b []float64) ([]float64, error) {
+	return SolveVec(a.Transpose(), b)
+}
+
+// Inverse returns A⁻¹ via the LU factorization. Prefer the Solve variants
+// when only a product with the inverse is needed.
+func Inverse(a *Dense) (*Dense, error) {
+	return Solve(a, Identity(a.Rows()))
+}
+
+// Residual returns max_i |(A x - b)_i|, a cheap a-posteriori accuracy check
+// for solves against ill-conditioned matrices.
+func Residual(a *Dense, x, b []float64) (float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != len(ax) {
+		return 0, fmt.Errorf("matrix: Residual rhs length %d does not match %d", len(b), len(ax))
+	}
+	var mx float64
+	for i := range ax {
+		if r := math.Abs(ax[i] - b[i]); r > mx {
+			mx = r
+		}
+	}
+	return mx, nil
+}

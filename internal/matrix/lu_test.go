@@ -1,0 +1,166 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorLUKnownSolve(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	x, err := SolveVec(a, []float64{5, -2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFactorLUSingular(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestFactorLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Error("non-square: want error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Errorf("det = %v, want -14", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equalish(Identity(2), 1e-12) {
+		t.Errorf("A*A⁻¹ = %v, want I", prod)
+	}
+}
+
+func TestSolveMultiRHS(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 5}})
+	b, _ := NewDenseFromRows([][]float64{{1, 0}, {0, 1}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equalish(Identity(2), 1e-12) {
+		t.Error("Solve with identity RHS must produce inverse")
+	}
+	if _, err := Solve(a, NewDense(3, 1)); err == nil {
+		t.Error("rhs shape mismatch: want error")
+	}
+}
+
+func TestSolveVecLeft(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	// x * A = b  with x = [1, 1]  =>  b = [4, 6].
+	x, err := SolveVecLeft(a, []float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestSolveVecLengthMismatch(t *testing.T) {
+	a := Identity(3)
+	if _, err := SolveVec(a, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := Identity(2)
+	r, err := Residual(a, []float64{1, 2}, []float64{1, 2})
+	if err != nil || r != 0 {
+		t.Errorf("residual = %v err %v, want 0", r, err)
+	}
+	r, err = Residual(a, []float64{1, 2}, []float64{1, 3})
+	if err != nil || r != 1 {
+		t.Errorf("residual = %v err %v, want 1", r, err)
+	}
+	if _, err := Residual(a, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+// TestSolveRandomProperty: for random well-conditioned systems,
+// A * Solve(A, b) ≈ b.
+func TestSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := randomMatrix(r, n)
+		// Diagonal dominance keeps the condition number small.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		x, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return res < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetPermutationSign: factoring a permutation-like matrix exercises the
+// pivoting path and sign bookkeeping.
+func TestDetPermutationSign(t *testing.T) {
+	p, _ := NewDenseFromRows([][]float64{
+		{0, 1, 0},
+		{0, 0, 1},
+		{1, 0, 0},
+	})
+	f, err := FactorLU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("det(cyclic permutation) = %v, want 1", got)
+	}
+}

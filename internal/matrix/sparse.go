@@ -1,0 +1,219 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// coord is a single (row, col) entry used while assembling a sparse matrix.
+type coord struct {
+	row, col int
+	val      float64
+}
+
+// SparseBuilder accumulates entries for a compressed sparse row matrix.
+// Duplicate (row, col) entries are summed, which is convenient when a
+// transition tree reaches the same target state along several branches.
+type SparseBuilder struct {
+	rows, cols int
+	entries    []coord
+}
+
+// NewSparseBuilder returns a builder for a rows x cols sparse matrix.
+func NewSparseBuilder(rows, cols int) *SparseBuilder {
+	return &SparseBuilder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (i, j).
+func (b *SparseBuilder) Add(i, j int, v float64) error {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		return fmt.Errorf("matrix: sparse entry (%d,%d) out of bounds for %dx%d", i, j, b.rows, b.cols)
+	}
+	if v == 0 {
+		return nil
+	}
+	b.entries = append(b.entries, coord{row: i, col: j, val: v})
+	return nil
+}
+
+// Build finalizes the builder into a CSR matrix.
+func (b *SparseBuilder) Build() *CSR {
+	sort.SliceStable(b.entries, func(p, q int) bool {
+		if b.entries[p].row != b.entries[q].row {
+			return b.entries[p].row < b.entries[q].row
+		}
+		return b.entries[p].col < b.entries[q].col
+	})
+	// Merge duplicates in place.
+	merged := b.entries[:0]
+	for _, e := range b.entries {
+		if n := len(merged); n > 0 && merged[n-1].row == e.row && merged[n-1].col == e.col {
+			merged[n-1].val += e.val
+			continue
+		}
+		merged = append(merged, e)
+	}
+	m := &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: make([]int, b.rows+1),
+		colIdx: make([]int, len(merged)),
+		vals:   make([]float64, len(merged)),
+	}
+	for i, e := range merged {
+		m.rowPtr[e.row+1]++
+		m.colIdx[i] = e.col
+		m.vals[i] = e.val
+	}
+	for r := 0; r < b.rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the element at (i, j); O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: CSR index (%d,%d) out of bounds for %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// VecMul returns the row vector v * M.
+func (m *CSR) VecMul(v []float64) ([]float64, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("matrix: CSR VecMul length %d does not match %d rows", len(v), m.rows)
+	}
+	out := make([]float64, m.cols)
+	for i, vv := range v {
+		if vv == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[m.colIdx[k]] += vv * m.vals[k]
+		}
+	}
+	return out, nil
+}
+
+// VecMulInto computes v * M into dst, which must have length Cols.
+// It avoids allocation in hot iteration loops.
+func (m *CSR) VecMulInto(v, dst []float64) error {
+	if len(v) != m.rows {
+		return fmt.Errorf("matrix: CSR VecMulInto length %d does not match %d rows", len(v), m.rows)
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("matrix: CSR VecMulInto dst length %d does not match %d cols", len(dst), m.cols)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, vv := range v {
+		if vv == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += vv * m.vals[k]
+		}
+	}
+	return nil
+}
+
+// MulVec returns the column vector M * v.
+func (m *CSR) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: CSR MulVec length %d does not match %d cols", len(v), m.cols)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * v[m.colIdx[k]]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// RowSums returns the per-row sums, e.g. for stochasticity checks.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dense expands the matrix to dense form.
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}
+
+// RowNonZeros calls fn for every stored entry of row i.
+func (m *CSR) RowNonZeros(i int, fn func(j int, v float64)) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: CSR row %d out of bounds for %d rows", i, m.rows))
+	}
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.vals[k])
+	}
+}
+
+// SubCSR extracts the sub-matrix with the given row and column index sets,
+// preserving sparsity. colPos maps original column index -> position, built
+// once per call.
+func (m *CSR) SubCSR(rowIdx, colIdx []int) (*CSR, error) {
+	colPos := make(map[int]int, len(colIdx))
+	for p, c := range colIdx {
+		if c < 0 || c >= m.cols {
+			return nil, fmt.Errorf("matrix: SubCSR col index %d out of bounds for %d cols", c, m.cols)
+		}
+		colPos[c] = p
+	}
+	b := NewSparseBuilder(len(rowIdx), len(colIdx))
+	for p, r := range rowIdx {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("matrix: SubCSR row index %d out of bounds for %d rows", r, m.rows)
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			if q, ok := colPos[m.colIdx[k]]; ok {
+				if err := b.Add(p, q, m.vals[k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,214 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseBuilderBasic(t *testing.T) {
+	b := NewSparseBuilder(3, 3)
+	mustAdd := func(i, j int, v float64) {
+		t.Helper()
+		if err := b.Add(i, j, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 0, 1)
+	mustAdd(2, 1, 3)
+	mustAdd(0, 2, 2)
+	m := b.Build()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 0) != 1 || m.At(0, 2) != 2 || m.At(2, 1) != 3 {
+		t.Error("stored values wrong")
+	}
+	if m.At(1, 1) != 0 {
+		t.Error("missing entry must read 0")
+	}
+}
+
+func TestSparseBuilderDuplicatesSummed(t *testing.T) {
+	b := NewSparseBuilder(2, 2)
+	_ = b.Add(1, 1, 0.25)
+	_ = b.Add(1, 1, 0.5)
+	_ = b.Add(1, 1, 0.25)
+	m := b.Build()
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (duplicates merged)", m.NNZ())
+	}
+	if m.At(1, 1) != 1 {
+		t.Errorf("At(1,1) = %v, want 1", m.At(1, 1))
+	}
+}
+
+func TestSparseBuilderZeroIgnored(t *testing.T) {
+	b := NewSparseBuilder(1, 1)
+	_ = b.Add(0, 0, 0)
+	if m := b.Build(); m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", m.NNZ())
+	}
+}
+
+func TestSparseBuilderOutOfBounds(t *testing.T) {
+	b := NewSparseBuilder(1, 1)
+	if err := b.Add(1, 0, 1); err == nil {
+		t.Error("row out of bounds: want error")
+	}
+	if err := b.Add(0, -1, 1); err == nil {
+		t.Error("col out of bounds: want error")
+	}
+}
+
+func TestSparseEmptyRows(t *testing.T) {
+	b := NewSparseBuilder(4, 4)
+	_ = b.Add(2, 3, 7)
+	m := b.Build()
+	sums := m.RowSums()
+	want := []float64{0, 0, 7, 0}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Errorf("RowSums[%d] = %v, want %v", i, sums[i], want[i])
+		}
+	}
+}
+
+func TestCSRVecMulMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(10), 1+r.Intn(10)
+		b := NewSparseBuilder(rows, cols)
+		d := NewDense(rows, cols)
+		for e := 0; e < rows*cols/2; e++ {
+			i, j, v := r.Intn(rows), r.Intn(cols), 2*r.Float64()-1
+			if err := b.Add(i, j, v); err != nil {
+				return false
+			}
+			d.Add(i, j, v)
+		}
+		m := b.Build()
+		v := make([]float64, rows)
+		for i := range v {
+			v[i] = 2*r.Float64() - 1
+		}
+		got, err := m.VecMul(v)
+		if err != nil {
+			return false
+		}
+		want, err := d.VecMul(v)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				return false
+			}
+		}
+		// Column product too.
+		u := make([]float64, cols)
+		for i := range u {
+			u[i] = 2*r.Float64() - 1
+		}
+		gotC, err := m.MulVec(u)
+		if err != nil {
+			return false
+		}
+		wantC, err := d.MulVec(u)
+		if err != nil {
+			return false
+		}
+		for i := range wantC {
+			if math.Abs(gotC[i]-wantC[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRVecMulInto(t *testing.T) {
+	b := NewSparseBuilder(2, 3)
+	_ = b.Add(0, 1, 2)
+	_ = b.Add(1, 2, 3)
+	m := b.Build()
+	dst := make([]float64, 3)
+	if err := m.VecMulInto([]float64{1, 1}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 || dst[1] != 2 || dst[2] != 3 {
+		t.Errorf("dst = %v, want [0 2 3]", dst)
+	}
+	if err := m.VecMulInto([]float64{1}, dst); err == nil {
+		t.Error("bad v length: want error")
+	}
+	if err := m.VecMulInto([]float64{1, 1}, make([]float64, 1)); err == nil {
+		t.Error("bad dst length: want error")
+	}
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	b := NewSparseBuilder(3, 2)
+	_ = b.Add(0, 1, 5)
+	_ = b.Add(2, 0, -1)
+	d := b.Build().Dense()
+	if d.At(0, 1) != 5 || d.At(2, 0) != -1 || d.At(1, 1) != 0 {
+		t.Errorf("Dense round trip wrong: %v", d)
+	}
+}
+
+func TestCSRRowNonZeros(t *testing.T) {
+	b := NewSparseBuilder(2, 4)
+	_ = b.Add(1, 0, 1)
+	_ = b.Add(1, 3, 2)
+	m := b.Build()
+	var cols []int
+	var vals []float64
+	m.RowNonZeros(1, func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 3 || vals[1] != 2 {
+		t.Errorf("RowNonZeros cols=%v vals=%v", cols, vals)
+	}
+	m.RowNonZeros(0, func(j int, v float64) {
+		t.Error("row 0 must be empty")
+	})
+}
+
+func TestSubCSR(t *testing.T) {
+	b := NewSparseBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			_ = b.Add(i, j, float64(10*i+j))
+		}
+	}
+	m := b.Build()
+	sub, err := m.SubCSR([]int{2, 0}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.At(0, 0) != 21 || sub.At(0, 1) != 22 || sub.At(1, 0) != 1 || sub.At(1, 1) != 2 {
+		t.Errorf("SubCSR wrong: %v", sub.Dense())
+	}
+	if _, err := m.SubCSR([]int{9}, []int{0}); err == nil {
+		t.Error("row out of range: want error")
+	}
+	if _, err := m.SubCSR([]int{0}, []int{9}); err == nil {
+		t.Error("col out of range: want error")
+	}
+}
+
+func TestCSRVecMulLengthMismatch(t *testing.T) {
+	m := NewSparseBuilder(2, 2).Build()
+	if _, err := m.VecMul([]float64{1}); err == nil {
+		t.Error("want error")
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("want error")
+	}
+}

@@ -1,0 +1,213 @@
+// Package montecarlo simulates the cluster Markov chain of the DSN 2011
+// targeted-attack model by direct sampling, providing an independent
+// cross-validation of every closed-form quantity (expected safe/polluted
+// times, successive sojourns, absorption probabilities) computed by
+// internal/core and internal/markov.
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/stats"
+)
+
+// Simulator samples trajectories of a cluster model.
+type Simulator struct {
+	model *core.Model
+	rng   *rand.Rand
+}
+
+// New creates a simulator with a deterministic seed.
+func New(model *core.Model, seed int64) (*Simulator, error) {
+	if model == nil {
+		return nil, fmt.Errorf("montecarlo: nil model")
+	}
+	return &Simulator{model: model, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Trajectory is the outcome of one simulated cluster lifetime.
+type Trajectory struct {
+	// StepsSafe and StepsPolluted count transitions spent in S and P.
+	StepsSafe, StepsPolluted int
+	// Absorbed names the absorbing class reached ("" if MaxSteps hit).
+	Absorbed string
+	// SojournsSafe[i] is the length of the (i+1)-th sojourn in S;
+	// likewise for SojournsPolluted.
+	SojournsSafe, SojournsPolluted []int
+	// Truncated reports that the trajectory hit the step budget before
+	// absorption.
+	Truncated bool
+}
+
+// Run simulates one trajectory from the given state, stopping at
+// absorption or after maxSteps transitions.
+func (s *Simulator) Run(start core.State, maxSteps int) (*Trajectory, error) {
+	sp := s.model.Space()
+	idx, ok := sp.Index(start)
+	if !ok {
+		return nil, fmt.Errorf("montecarlo: start state %v outside Ω", start)
+	}
+	return s.run(idx, maxSteps)
+}
+
+func (s *Simulator) run(idx, maxSteps int) (*Trajectory, error) {
+	if maxSteps < 1 {
+		return nil, fmt.Errorf("montecarlo: maxSteps must be ≥ 1, got %d", maxSteps)
+	}
+	sp := s.model.Space()
+	m := s.model.TransitionMatrix()
+	tr := &Trajectory{}
+	cur := idx
+	var curSojourn int                    // length of the sojourn in progress
+	var curClass core.Class = -1          // class of the sojourn in progress
+	closeSojourn := func(cl core.Class) { // record a finished sojourn
+		if curSojourn == 0 {
+			return
+		}
+		switch cl {
+		case core.ClassSafe:
+			tr.SojournsSafe = append(tr.SojournsSafe, curSojourn)
+		case core.ClassPolluted:
+			tr.SojournsPolluted = append(tr.SojournsPolluted, curSojourn)
+		}
+		curSojourn = 0
+	}
+	for step := 0; step < maxSteps; step++ {
+		cl := sp.Classify(sp.At(cur))
+		if !cl.Transient() {
+			closeSojourn(curClass)
+			tr.Absorbed = cl.AbsorbingName()
+			return tr, nil
+		}
+		if cl != curClass {
+			closeSojourn(curClass)
+			curClass = cl
+		}
+		next, err := sampleRow(s.rng, m, cur)
+		if err != nil {
+			return nil, err
+		}
+		switch cl {
+		case core.ClassSafe:
+			tr.StepsSafe++
+		case core.ClassPolluted:
+			tr.StepsPolluted++
+		}
+		curSojourn++
+		cur = next
+	}
+	closeSojourn(curClass)
+	tr.Truncated = true
+	return tr, nil
+}
+
+// sampleRow draws the next state from row `row` of the transition matrix.
+func sampleRow(rng *rand.Rand, m *matrix.CSR, row int) (int, error) {
+	u := rng.Float64()
+	var acc float64
+	next := -1
+	m.RowNonZeros(row, func(j int, v float64) {
+		if next >= 0 {
+			return
+		}
+		acc += v
+		if u <= acc {
+			next = j
+		}
+	})
+	if next < 0 {
+		// Numerical slack at the row-sum boundary: take the last positive
+		// entry.
+		m.RowNonZeros(row, func(j int, v float64) {
+			if v > 0 {
+				next = j
+			}
+		})
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("montecarlo: row %d has no outgoing transitions", row)
+	}
+	return next, nil
+}
+
+// Summary aggregates many trajectories.
+type Summary struct {
+	// Runs is the number of simulated trajectories.
+	Runs int
+	// Truncated counts trajectories that hit the step budget.
+	Truncated int
+	// SafeTime and PollutedTime estimate E(T_S) and E(T_P).
+	SafeTime, PollutedTime stats.Running
+	// FirstSafeSojourn and FirstPollutedSojourn estimate E(T_S,1) and
+	// E(T_P,1); a trajectory with no sojourn contributes 0, matching the
+	// convention of the closed forms.
+	FirstSafeSojourn, FirstPollutedSojourn stats.Running
+	// Absorption counts per absorbing class.
+	Absorption *stats.Counter
+}
+
+// RunMany simulates runs trajectories with the initial state drawn from
+// alpha (a distribution over Ω).
+func (s *Simulator) RunMany(alpha []float64, runs, maxSteps int) (*Summary, error) {
+	sp := s.model.Space()
+	if len(alpha) != sp.Size() {
+		return nil, fmt.Errorf("montecarlo: alpha has length %d, want |Ω| = %d", len(alpha), sp.Size())
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("montecarlo: runs must be ≥ 1, got %d", runs)
+	}
+	sum := &Summary{Runs: runs, Absorption: stats.NewCounter()}
+	for r := 0; r < runs; r++ {
+		start, err := sampleDistribution(s.rng, alpha)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.run(start, maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		sum.SafeTime.Observe(float64(tr.StepsSafe))
+		sum.PollutedTime.Observe(float64(tr.StepsPolluted))
+		first := 0.0
+		if len(tr.SojournsSafe) > 0 {
+			first = float64(tr.SojournsSafe[0])
+		}
+		sum.FirstSafeSojourn.Observe(first)
+		first = 0.0
+		if len(tr.SojournsPolluted) > 0 {
+			first = float64(tr.SojournsPolluted[0])
+		}
+		sum.FirstPollutedSojourn.Observe(first)
+		if tr.Truncated {
+			sum.Truncated++
+		} else {
+			sum.Absorption.Add(tr.Absorbed)
+		}
+	}
+	return sum, nil
+}
+
+// sampleDistribution draws an index from a probability vector.
+func sampleDistribution(rng *rand.Rand, dist []float64) (int, error) {
+	u := rng.Float64()
+	var acc float64
+	for i, p := range dist {
+		if p < 0 {
+			return 0, fmt.Errorf("montecarlo: negative probability %v at %d", p, i)
+		}
+		acc += p
+		if u <= acc {
+			return i, nil
+		}
+	}
+	// Tolerate rounding: fall back to the last state with positive mass.
+	for i := len(dist) - 1; i >= 0; i-- {
+		if dist[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("montecarlo: distribution sums to 0")
+}

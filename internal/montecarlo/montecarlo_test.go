@@ -1,0 +1,244 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"targetedattacks/internal/core"
+)
+
+func newModel(t *testing.T, p core.Params) *core.Model {
+	t.Helper()
+	m, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("nil model: want error")
+	}
+	m := newModel(t, core.DefaultParams())
+	if _, err := New(m, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := newModel(t, core.DefaultParams())
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(core.State{S: 99, X: 0, Y: 0}, 100); err == nil {
+		t.Error("state outside Ω: want error")
+	}
+	if _, err := s.Run(core.State{S: 3, X: 0, Y: 0}, 0); err == nil {
+		t.Error("maxSteps=0: want error")
+	}
+}
+
+func TestRunReachesAbsorption(t *testing.T) {
+	m := newModel(t, core.Params{C: 7, Delta: 7, Mu: 0.1, D: 0.5, K: 1, Nu: 0.1})
+	s, err := New(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(core.State{S: 3, X: 0, Y: 0}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Truncated {
+		t.Fatal("trajectory truncated despite huge budget")
+	}
+	if tr.Absorbed == "" {
+		t.Error("no absorbing class recorded")
+	}
+	if tr.StepsSafe <= 0 {
+		t.Error("no safe steps recorded from a safe start")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	// With d extremely close to 1 and µ large, pollution lasts ~forever;
+	// a tiny budget must truncate.
+	m := newModel(t, core.Params{C: 7, Delta: 7, Mu: 0.3, D: 0.999, K: 1, Nu: 0.1})
+	s, err := New(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(core.State{S: 3, X: 7, Y: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated {
+		t.Error("expected truncation with 5-step budget")
+	}
+	if tr.Absorbed != "" {
+		t.Error("truncated run must not record absorption")
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	m := newModel(t, core.DefaultParams())
+	s, err := New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunMany([]float64{1}, 10, 100); err == nil {
+		t.Error("short alpha: want error")
+	}
+	if _, err := s.RunMany(m.InitialDelta(), 0, 100); err == nil {
+		t.Error("runs=0: want error")
+	}
+}
+
+// TestCrossValidationFailureFree: µ=0 must give exactly the random-walk
+// absorption time 12 in expectation and 4/7 merge probability.
+func TestCrossValidationFailureFree(t *testing.T) {
+	m := newModel(t, core.Params{C: 7, Delta: 7, Mu: 0, D: 0.5, K: 1, Nu: 0.1})
+	s, err := New(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.RunMany(m.InitialDelta(), 20000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Truncated != 0 {
+		t.Fatalf("%d truncated runs", sum.Truncated)
+	}
+	if got := sum.SafeTime.Mean(); math.Abs(got-12) > 4*sum.SafeTime.StdErr()+0.2 {
+		t.Errorf("MC E(T_S) = %v, want 12", got)
+	}
+	if got := sum.Absorption.Frequency(core.ClassNameSafeMerge); math.Abs(got-4.0/7.0) > 0.02 {
+		t.Errorf("MC p(safe-merge) = %v, want 4/7", got)
+	}
+	if sum.Absorption.Count(core.ClassNamePollutedMerge) != 0 {
+		t.Error("polluted absorption at µ=0")
+	}
+}
+
+// TestCrossValidationAgainstClosedForm compares simulation with the exact
+// analytic results at a moderate parameter point.
+func TestCrossValidationAgainstClosedForm(t *testing.T) {
+	p := core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1}
+	m := newModel(t, p)
+	exact, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.RunMany(m.InitialDelta(), 30000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Truncated != 0 {
+		t.Fatalf("%d truncated runs", sum.Truncated)
+	}
+	checks := []struct {
+		name        string
+		got, exact  float64
+		absSlack    float64
+		statStdErrs float64
+	}{
+		{"E(T_S)", sum.SafeTime.Mean(), exact.ExpectedSafeTime, 0.15, 4},
+		{"E(T_P)", sum.PollutedTime.Mean(), exact.ExpectedPollutedTime, 0.15, 4},
+		{"p(safe-merge)", sum.Absorption.Frequency(core.ClassNameSafeMerge),
+			exact.Absorption[core.ClassNameSafeMerge], 0.02, 0},
+		{"p(safe-split)", sum.Absorption.Frequency(core.ClassNameSafeSplit),
+			exact.Absorption[core.ClassNameSafeSplit], 0.02, 0},
+		{"p(polluted-merge)", sum.Absorption.Frequency(core.ClassNamePollutedMerge),
+			exact.Absorption[core.ClassNamePollutedMerge], 0.01, 0},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.exact) > c.absSlack {
+			t.Errorf("%s: MC %v vs exact %v", c.name, c.got, c.exact)
+		}
+	}
+	// First sojourns against relations (7), (8).
+	if math.Abs(sum.FirstSafeSojourn.Mean()-exact.SafeSojourns[0]) > 0.2 {
+		t.Errorf("E(T_S,1): MC %v vs exact %v", sum.FirstSafeSojourn.Mean(), exact.SafeSojourns[0])
+	}
+	if math.Abs(sum.FirstPollutedSojourn.Mean()-exact.PollutedSojourns[0]) > 0.1 {
+		t.Errorf("E(T_P,1): MC %v vs exact %v", sum.FirstPollutedSojourn.Mean(), exact.PollutedSojourns[0])
+	}
+}
+
+// TestCrossValidationProtocolC exercises the k=C maintenance kernel.
+func TestCrossValidationProtocolC(t *testing.T) {
+	p := core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 7, Nu: 0.1}
+	m := newModel(t, p)
+	exact, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.RunMany(m.InitialDelta(), 20000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.SafeTime.Mean()-exact.ExpectedSafeTime) > 0.2 {
+		t.Errorf("E(T_S): MC %v vs exact %v", sum.SafeTime.Mean(), exact.ExpectedSafeTime)
+	}
+	if math.Abs(sum.PollutedTime.Mean()-exact.ExpectedPollutedTime) > 0.3 {
+		t.Errorf("E(T_P): MC %v vs exact %v", sum.PollutedTime.Mean(), exact.ExpectedPollutedTime)
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	m := newModel(t, core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1})
+	run := func(seed int64) *Summary {
+		s, err := New(m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.RunMany(m.InitialDelta(), 500, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(123), run(123)
+	if a.SafeTime.Mean() != b.SafeTime.Mean() {
+		t.Error("same seed must reproduce results")
+	}
+	c := run(124)
+	if a.SafeTime.Mean() == c.SafeTime.Mean() && a.PollutedTime.Mean() == c.PollutedTime.Mean() {
+		t.Error("different seeds produced identical trajectories (suspicious)")
+	}
+}
+
+func TestSojournDecomposition(t *testing.T) {
+	// Total steps must equal the sum of recorded sojourns per subset.
+	m := newModel(t, core.Params{C: 7, Delta: 7, Mu: 0.3, D: 0.9, K: 1, Nu: 0.1})
+	s, err := New(m, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tr, err := s.Run(core.State{S: 3, X: 0, Y: 0}, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var safe, poll int
+		for _, d := range tr.SojournsSafe {
+			safe += d
+		}
+		for _, d := range tr.SojournsPolluted {
+			poll += d
+		}
+		if safe != tr.StepsSafe || poll != tr.StepsPolluted {
+			t.Fatalf("sojourn decomposition mismatch: %d/%d vs %d/%d",
+				safe, poll, tr.StepsSafe, tr.StepsPolluted)
+		}
+	}
+}

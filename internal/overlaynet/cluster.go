@@ -1,0 +1,127 @@
+package overlaynet
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/hypercube"
+)
+
+// Cluster is one vertex of the structured graph: a labelled set of peers
+// split into a constant-size core (running the overlay operations) and a
+// bounded spare set (buffering churn).
+type Cluster struct {
+	// Label is the cluster's prefix label; members' identifiers match it.
+	Label hypercube.Label
+	// Core members run routing and cluster operations; the protocol keeps
+	// |Core| = C except transiently after a core underflow.
+	Core []*Peer
+	// Spare members absorb churn and are promoted by the maintenance.
+	Spare []*Peer
+	// MergePending marks a cluster whose spare set emptied while its
+	// sibling had already split further, so the paper's merge could not
+	// run (see DESIGN.md deviation notes).
+	MergePending bool
+	// SplitPending marks a cluster whose spare set reached ∆ while one
+	// child half would have fallen below C members, so the split is
+	// deferred until the membership rebalances (see DESIGN.md deviation
+	// notes). While pending, the spare set may exceed ∆.
+	SplitPending bool
+}
+
+// SpareSize returns s.
+func (c *Cluster) SpareSize() int { return len(c.Spare) }
+
+// Size returns the total member count.
+func (c *Cluster) Size() int { return len(c.Core) + len(c.Spare) }
+
+// MaliciousCore returns x.
+func (c *Cluster) MaliciousCore() int {
+	n := 0
+	for _, p := range c.Core {
+		if p.Malicious {
+			n++
+		}
+	}
+	return n
+}
+
+// MaliciousSpare returns y.
+func (c *Cluster) MaliciousSpare() int {
+	n := 0
+	for _, p := range c.Spare {
+		if p.Malicious {
+			n++
+		}
+	}
+	return n
+}
+
+// Polluted reports whether strictly more than quorum core members are
+// malicious.
+func (c *Cluster) Polluted(quorum int) bool {
+	return c.MaliciousCore() > quorum
+}
+
+// View builds the adversary's view of the cluster.
+func (c *Cluster) View(coreSize, spareMax int) adversary.ClusterView {
+	return adversary.ClusterView{
+		SpareSize:      len(c.Spare),
+		SpareMax:       spareMax,
+		CoreSize:       coreSize,
+		MaliciousCore:  c.MaliciousCore(),
+		MaliciousSpare: c.MaliciousSpare(),
+	}
+}
+
+// removeSpare removes the spare at index i.
+func (c *Cluster) removeSpare(i int) (*Peer, error) {
+	if i < 0 || i >= len(c.Spare) {
+		return nil, fmt.Errorf("overlaynet: spare index %d outside [0,%d)", i, len(c.Spare))
+	}
+	p := c.Spare[i]
+	c.Spare = append(c.Spare[:i], c.Spare[i+1:]...)
+	return p, nil
+}
+
+// removeCore removes the core member at index i.
+func (c *Cluster) removeCore(i int) (*Peer, error) {
+	if i < 0 || i >= len(c.Core) {
+		return nil, fmt.Errorf("overlaynet: core index %d outside [0,%d)", i, len(c.Core))
+	}
+	p := c.Core[i]
+	c.Core = append(c.Core[:i], c.Core[i+1:]...)
+	return p, nil
+}
+
+// indexOf locates a peer; role is "core" or "spare", -1 when absent.
+func (c *Cluster) indexOf(p *Peer) (role string, idx int) {
+	for i, m := range c.Core {
+		if m == p {
+			return "core", i
+		}
+	}
+	for i, m := range c.Spare {
+		if m == p {
+			return "spare", i
+		}
+	}
+	return "", -1
+}
+
+// firstSpare returns the index of the first spare matching want
+// (malicious or honest), or -1.
+func (c *Cluster) firstSpare(wantMalicious bool) int {
+	for i, p := range c.Spare {
+		if p.Malicious == wantMalicious {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the cluster state compactly.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster[%v core=%d(x=%d) spare=%d(y=%d)]",
+		c.Label, len(c.Core), c.MaliciousCore(), len(c.Spare), c.MaliciousSpare())
+}

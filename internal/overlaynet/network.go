@@ -1,0 +1,503 @@
+package overlaynet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/churn"
+	"targetedattacks/internal/combin"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/des"
+	"targetedattacks/internal/hypercube"
+	"targetedattacks/internal/identity"
+)
+
+// Mode selects the churn fidelity of the simulation.
+type Mode int
+
+// Simulation modes.
+const (
+	// ModelFidelity mirrors the analytic chain: identifier expiry is
+	// folded into leave events through Bernoulli(d^count) draws, exactly
+	// as in the Figure 2 transition tree.
+	ModelFidelity Mode = iota
+	// RealTime schedules explicit incarnation-expiry events on the
+	// discrete-event engine; peers leave and rejoin when their
+	// identifiers expire (Property 1 enforced literally).
+	RealTime
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Params carries C, ∆, µ, d, k, ν.
+	Params core.Params
+	// IDBits is the identifier width m (default 128).
+	IDBits int
+	// InitialLabelBits sizes the bootstrap topology at 2^bits clusters
+	// (default 3).
+	InitialLabelBits int
+	// Lifetime is the incarnation lifetime L; 0 derives it from Params.D
+	// via L = 6.65·ln2/(1−d).
+	Lifetime float64
+	// GraceWindow is the clock-skew tolerance W (default 0: perfectly
+	// synchronized simulation clocks).
+	GraceWindow float64
+	// EventRate is the expected number of churn events per time unit
+	// (default 1).
+	EventRate float64
+	// Mode selects ModelFidelity (default) or RealTime.
+	Mode Mode
+	// UseConsensus runs a real Byzantine agreement (Dolev-Strong seed
+	// agreement) for every randomized maintenance decision instead of the
+	// agreed-coin abstraction. Expensive; intended for demonstrations and
+	// small runs.
+	UseConsensus bool
+	// StationaryPopulation re-balances the join share of the workload
+	// around the bootstrap population with a proportional controller.
+	// Without it, the raw 50/50 event split of the paper's model slowly
+	// drains the overlay (Rule 2 discards joins while honest leaves
+	// always succeed) until everything merges into the root cluster.
+	StationaryPopulation bool
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Params.Validate(); err != nil {
+		return c, fmt.Errorf("overlaynet: %w", err)
+	}
+	if c.IDBits == 0 {
+		c.IDBits = 128
+	}
+	if c.IDBits < 8 || c.IDBits > identity.MaxIDBits {
+		return c, fmt.Errorf("overlaynet: IDBits %d outside [8,%d]", c.IDBits, identity.MaxIDBits)
+	}
+	if c.InitialLabelBits == 0 {
+		c.InitialLabelBits = 3
+	}
+	if c.InitialLabelBits < 0 || c.InitialLabelBits > 16 {
+		return c, fmt.Errorf("overlaynet: InitialLabelBits %d outside [0,16]", c.InitialLabelBits)
+	}
+	if c.Lifetime == 0 {
+		if c.Params.D > 0 {
+			l, err := combin.LifetimeFromSurvival(c.Params.D)
+			if err != nil {
+				return c, err
+			}
+			c.Lifetime = l
+		} else {
+			c.Lifetime = 1 // d = 0: identifiers expire every event on average
+		}
+	}
+	if c.Lifetime <= 0 {
+		return c, fmt.Errorf("overlaynet: non-positive lifetime %v", c.Lifetime)
+	}
+	if c.GraceWindow < 0 {
+		return c, fmt.Errorf("overlaynet: negative grace window %v", c.GraceWindow)
+	}
+	if c.EventRate == 0 {
+		c.EventRate = 1
+	}
+	if c.EventRate <= 0 {
+		return c, fmt.Errorf("overlaynet: non-positive event rate %v", c.EventRate)
+	}
+	return c, nil
+}
+
+// Metrics counts protocol activity.
+type Metrics struct {
+	Events          int64 // churn events processed
+	Joins           int64 // successful join operations
+	DiscardedJoins  int64 // joins suppressed by Rule 2
+	Leaves          int64 // completed leave operations
+	RefusedLeaves   int64 // leave events refused by unexpired malicious peers
+	VoluntaryLeaves int64 // Rule 1 departures
+	ExpiryLeaves    int64 // Property 1 forced departures (RealTime mode)
+	Splits          int64
+	Merges          int64
+	DeferredSplits  int64 // split condition met but a child would underflow
+	DeferredMerges  int64 // merge condition met but sibling not a leaf
+	CoreUnderflows  int64 // core left below C with an empty spare set
+	ConsensusRuns   int64 // Byzantine agreements executed (UseConsensus)
+}
+
+// Snapshot is an instantaneous view of the overlay.
+type Snapshot struct {
+	Time             float64
+	Clusters         int
+	PollutedClusters int
+	Peers            int
+	MaliciousPeers   int
+	MinLabelBits     int
+	MaxLabelBits     int
+	PollutedFraction float64
+}
+
+// Network is the running overlay.
+type Network struct {
+	cfg      Config
+	ca       *identity.CA
+	engine   *des.Engine
+	rng      *rand.Rand
+	adv      *adversary.Adversary
+	clusters map[string]*Cluster
+	gen      *churn.Uniform
+	metrics  Metrics
+	peerSeq  int64
+	asyncErr error // first error raised inside a scheduled expiry event
+	// targetPop is the bootstrap population targeted by the
+	// StationaryPopulation controller.
+	targetPop int
+}
+
+// New bootstraps an overlay of 2^InitialLabelBits clusters, each with a
+// full core of C peers and about ∆/2 spares, malicious with probability µ.
+func New(cfg Config) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ca, err := identity.NewCA("overlay-ca", cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := adversary.New(cfg.Params, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := churn.NewUniform(cfg.Seed+2, cfg.EventRate, cfg.Params.Mu, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		ca:       ca,
+		engine:   des.NewEngine(),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 3)),
+		adv:      adv,
+		clusters: make(map[string]*Cluster),
+		gen:      gen,
+	}
+	if err := n.bootstrap(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// bootstrap builds the initial balanced topology.
+func (n *Network) bootstrap() error {
+	labels := []hypercube.Label{hypercube.RootLabel()}
+	for b := 0; b < n.cfg.InitialLabelBits; b++ {
+		next := make([]hypercube.Label, 0, 2*len(labels))
+		for _, l := range labels {
+			c0, err := l.Child(0)
+			if err != nil {
+				return err
+			}
+			c1, err := l.Child(1)
+			if err != nil {
+				return err
+			}
+			next = append(next, c0, c1)
+		}
+		labels = next
+	}
+	for _, l := range labels {
+		n.clusters[l.String()] = &Cluster{Label: l}
+	}
+	// Populate by rejection: generate peers with random identifiers and
+	// place each in its matching cluster until every cluster holds a full
+	// core plus half a spare set.
+	target := n.cfg.Params.C + n.cfg.Params.Delta/2
+	remaining := len(labels)
+	for guard := 0; remaining > 0; guard++ {
+		if guard > 1000*target*len(labels) {
+			return fmt.Errorf("overlaynet: bootstrap did not converge")
+		}
+		p, err := n.newPeer(n.rng.Float64() < n.cfg.Params.Mu, n.rng.Int63())
+		if err != nil {
+			return err
+		}
+		cl, err := n.findCluster(p.CurrentID)
+		if err != nil {
+			return err
+		}
+		if cl.Size() >= target {
+			continue
+		}
+		if len(cl.Core) < n.cfg.Params.C {
+			cl.Core = append(cl.Core, p)
+		} else {
+			cl.Spare = append(cl.Spare, p)
+		}
+		if cl.Size() == target {
+			remaining--
+		}
+		if n.cfg.Mode == RealTime {
+			n.scheduleExpiry(p)
+		}
+	}
+	n.targetPop = n.Population()
+	return nil
+}
+
+// Population returns the total number of overlay members.
+func (n *Network) Population() int {
+	total := 0
+	for _, cl := range n.clusters {
+		total += cl.Size()
+	}
+	return total
+}
+
+// newPeer registers a fresh peer with the CA. In RealTime mode the
+// certificate creation time is backdated uniformly within one lifetime so
+// incarnation expiries are staggered.
+func (n *Network) newPeer(malicious bool, seed int64) (*Peer, error) {
+	n.peerSeq++
+	t0 := n.engine.Now()
+	if n.cfg.Mode == RealTime {
+		// Backdating staggers incarnation expiries; a negative t0 models
+		// a certificate issued before the simulation started.
+		t0 -= n.rng.Float64() * n.cfg.Lifetime
+	}
+	name := fmt.Sprintf("peer-%d", n.peerSeq)
+	idn, err := identity.NewIdentity(n.ca, name, t0, n.cfg.IDBits, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{Name: name, Identity: idn, Malicious: malicious}
+	if err := p.Refresh(n.engine.Now(), n.cfg.Lifetime); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// findCluster locates the unique cluster whose label prefixes id by
+// walking prefixes of increasing length.
+func (n *Network) findCluster(id identity.ID) (*Cluster, error) {
+	l := hypercube.RootLabel()
+	for depth := 0; depth <= hypercube.MaxLabelBits; depth++ {
+		if cl, ok := n.clusters[l.String()]; ok {
+			if !cl.Label.Matches(id) {
+				return nil, fmt.Errorf("overlaynet: cluster %v does not match id %v", cl.Label, id)
+			}
+			return cl, nil
+		}
+		if depth == hypercube.MaxLabelBits {
+			break
+		}
+		bit, err := id.Bit(depth)
+		if err != nil {
+			return nil, err
+		}
+		l, err = l.Child(bit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("overlaynet: no cluster matches id %v", id)
+}
+
+// Run processes the next `events` churn events. In RealTime mode,
+// identifier expiries interleave at their scheduled instants.
+func (n *Network) Run(events int) error {
+	for i := 0; i < events; i++ {
+		ev, err := n.gen.Next()
+		if err != nil {
+			return err
+		}
+		if n.cfg.Mode == RealTime {
+			// Let scheduled expiries up to the event time fire first.
+			if _, err := n.engine.RunUntil(ev.Time); err != nil {
+				return err
+			}
+		}
+		n.metrics.Events++
+		kind := ev.Kind
+		if n.cfg.StationaryPopulation {
+			kind = n.rebalancedKind(ev)
+		}
+		switch kind {
+		case churn.Join:
+			malicious := ev.Malicious
+			if ev.Kind != churn.Join {
+				// A rebalanced leave-turned-join needs a fresh draw.
+				malicious = n.rng.Float64() < n.cfg.Params.Mu
+			}
+			err = n.handleJoin(malicious, ev.PeerSeed)
+		case churn.Leave:
+			err = n.handleLeave()
+		}
+		if err != nil {
+			return fmt.Errorf("overlaynet: event %d (%v): %w", ev.Seq, ev.Kind, err)
+		}
+		if n.asyncErr != nil {
+			err := n.asyncErr
+			n.asyncErr = nil
+			return fmt.Errorf("overlaynet: expiry event: %w", err)
+		}
+	}
+	return nil
+}
+
+// rebalancedKind redraws the event kind with a join probability steered
+// toward the bootstrap population: p = 0.5 + 0.4·(target−pop)/target,
+// clamped to [0.1, 0.9]. It keeps the overlay stationary despite the
+// join/leave asymmetries the adversary introduces (Rule 2 discards,
+// refused leaves).
+func (n *Network) rebalancedKind(ev churn.Event) churn.Kind {
+	pop := n.Population()
+	p := 0.5
+	if n.targetPop > 0 {
+		p += 0.4 * float64(n.targetPop-pop) / float64(n.targetPop)
+	}
+	if p < 0.1 {
+		p = 0.1
+	}
+	if p > 0.9 {
+		p = 0.9
+	}
+	if n.rng.Float64() < p {
+		return churn.Join
+	}
+	return churn.Leave
+}
+
+// handleJoin implements the join operation of Section IV plus Rule 2.
+func (n *Network) handleJoin(malicious bool, seed int64) error {
+	p, err := n.newPeer(malicious, seed)
+	if err != nil {
+		return err
+	}
+	return n.joinPeer(p)
+}
+
+// joinPeer routes p to its cluster and inserts it into the spare set.
+func (n *Network) joinPeer(p *Peer) error {
+	cl, err := n.findCluster(p.CurrentID)
+	if err != nil {
+		return err
+	}
+	view := cl.View(n.cfg.Params.C, n.cfg.Params.Delta)
+	if n.adv.ShouldDiscardJoin(view, p.Malicious) {
+		n.metrics.DiscardedJoins++
+		return nil
+	}
+	cl.Spare = append(cl.Spare, p)
+	n.metrics.Joins++
+	if cl.MergePending && cl.SpareSize() > 0 {
+		cl.MergePending = false
+	}
+	if n.cfg.Mode == RealTime {
+		n.scheduleExpiry(p)
+	}
+	// Refill an underflowed core immediately.
+	if len(cl.Core) < n.cfg.Params.C {
+		if err := n.promoteSpare(cl); err != nil {
+			return err
+		}
+	}
+	if cl.SpareSize() >= n.cfg.Params.Delta || cl.SplitPending {
+		return n.split(cl)
+	}
+	return nil
+}
+
+// handleLeave implements the leave operation of Section IV: the event
+// targets a uniform member of a uniform cluster; honest peers comply,
+// malicious peers refuse unless Property 1 (expiry) forces them or
+// Rule 1 makes the departure profitable.
+func (n *Network) handleLeave() error {
+	cl := n.randomCluster()
+	if cl == nil {
+		return fmt.Errorf("overlaynet: no clusters")
+	}
+	total := cl.Size()
+	if total == 0 {
+		return nil
+	}
+	idx := n.rng.Intn(total)
+	fromCore := idx < len(cl.Core)
+	var p *Peer
+	if fromCore {
+		p = cl.Core[idx]
+	} else {
+		p = cl.Spare[idx-len(cl.Core)]
+	}
+	if !p.Malicious {
+		n.metrics.Leaves++
+		return n.processDeparture(cl, p)
+	}
+	// Malicious member targeted: expired?
+	expired := false
+	switch n.cfg.Mode {
+	case ModelFidelity:
+		count := cl.MaliciousSpare()
+		if fromCore {
+			count = cl.MaliciousCore()
+		}
+		expired = !n.adv.SampleSurvival(count)
+	case RealTime:
+		expired = p.ExpiresAt(n.cfg.Lifetime) <= n.engine.Now()
+	}
+	if n.adv.CompliesWithLeave(expired) {
+		n.metrics.Leaves++
+		return n.processDeparture(cl, p)
+	}
+	// Rule 1: a safe cluster's colluding core may still profit from a
+	// voluntary departure.
+	if fromCore {
+		view := cl.View(n.cfg.Params.C, n.cfg.Params.Delta)
+		fires, err := n.adv.ShouldTriggerVoluntaryLeave(view)
+		if err != nil {
+			return err
+		}
+		if fires {
+			n.metrics.VoluntaryLeaves++
+			n.metrics.Leaves++
+			return n.processDeparture(cl, p)
+		}
+	}
+	n.metrics.RefusedLeaves++
+	return nil
+}
+
+// processDeparture removes p from its cluster and runs the follow-up
+// operation (spare shrink or core maintenance), then checks the merge
+// condition.
+func (n *Network) processDeparture(cl *Cluster, p *Peer) error {
+	role, idx := cl.indexOf(p)
+	switch role {
+	case "spare":
+		if _, err := cl.removeSpare(idx); err != nil {
+			return err
+		}
+	case "core":
+		if _, err := cl.removeCore(idx); err != nil {
+			return err
+		}
+		if err := n.maintainCore(cl); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("overlaynet: %s not in %v", p.Name, cl.Label)
+	}
+	if cl.SpareSize() == 0 {
+		return n.tryMerge(cl)
+	}
+	return nil
+}
+
+// randomCluster picks a uniform cluster (join/leave events are uniform
+// over clusters, Section III-A). Selection goes through the sorted label
+// list so a fixed seed reproduces the run exactly.
+func (n *Network) randomCluster() *Cluster {
+	if len(n.clusters) == 0 {
+		return nil
+	}
+	labels := n.sortedLabels()
+	return n.clusters[labels[n.rng.Intn(len(labels))]]
+}

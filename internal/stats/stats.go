@@ -1,0 +1,180 @@
+// Package stats provides the small statistical toolkit used by the
+// simulators: online mean/variance accumulation (Welford), normal-theory
+// confidence intervals, frequency counters and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations with Welford's online
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe adds one observation.
+func (r *Running) Observe(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// ConfidenceInterval95 returns the normal-theory 95% confidence interval
+// half-width (1.96 standard errors).
+func (r *Running) ConfidenceInterval95() float64 {
+	return 1.96 * r.StdErr()
+}
+
+// String renders mean ± 95% CI.
+func (r *Running) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (n=%d)", r.Mean(), r.ConfidenceInterval95(), r.n)
+}
+
+// Counter tallies string-labelled outcomes.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments label's count.
+func (c *Counter) Add(label string) {
+	c.counts[label]++
+	c.total++
+}
+
+// Count returns label's count.
+func (c *Counter) Count(label string) int { return c.counts[label] }
+
+// Total returns the number of Add calls.
+func (c *Counter) Total() int { return c.total }
+
+// Frequency returns label's relative frequency (0 when empty).
+func (c *Counter) Frequency(label string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[label]) / float64(c.total)
+}
+
+// Labels returns the seen labels, sorted.
+func (c *Counter) Labels() []string {
+	out := make([]string, 0, len(c.counts))
+	for l := range c.counts {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Histogram is a fixed-width histogram over [lo, hi); values outside the
+// range are clamped into the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given bounds and bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram bounds [%v,%v) empty", lo, hi)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("stats: need ≥ 1 bucket, got %d", buckets)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, buckets)}, nil
+}
+
+// Observe adds a value.
+func (h *Histogram) Observe(x float64) {
+	i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []int {
+	return append([]int(nil), h.buckets...)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming uniform
+// mass within buckets.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	if h.n == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty histogram")
+	}
+	target := q * float64(h.n)
+	var acc float64
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + width*(float64(i)+frac), nil
+		}
+		acc = next
+	}
+	return h.hi, nil
+}
+
+// Mean of grouped data (bucket midpoints).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	var sum float64
+	for i, c := range h.buckets {
+		mid := h.lo + width*(float64(i)+0.5)
+		sum += mid * float64(c)
+	}
+	return sum / float64(h.n)
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningKnown(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if want := 32.0 / 7.0; math.Abs(r.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), want)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("zero-value Running must report zeros")
+	}
+	r.Observe(42)
+	if r.Mean() != 42 || r.Variance() != 0 {
+		t.Errorf("single observation: mean=%v var=%v", r.Mean(), r.Variance())
+	}
+	if r.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestRunningMatchesBatch compares online results with direct two-pass
+// computation on random data.
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			r.Observe(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Variance()-variance) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidenceIntervalShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Running
+	for i := 0; i < 100; i++ {
+		small.Observe(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Observe(rng.NormFloat64())
+	}
+	if large.ConfidenceInterval95() >= small.ConfidenceInterval95() {
+		t.Errorf("CI did not shrink: %v vs %v",
+			large.ConfidenceInterval95(), small.ConfidenceInterval95())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	if c.Total() != 0 || c.Frequency("x") != 0 {
+		t.Error("empty counter wrong")
+	}
+	c.Add("a")
+	c.Add("b")
+	c.Add("a")
+	if c.Count("a") != 2 || c.Count("b") != 1 || c.Count("c") != 0 {
+		t.Error("counts wrong")
+	}
+	if c.Total() != 3 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if math.Abs(c.Frequency("a")-2.0/3.0) > 1e-12 {
+		t.Errorf("Frequency(a) = %v", c.Frequency("a"))
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Observe(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	b := h.Buckets()
+	if b[0] != 2 || b[1] != 1 || b[2] != 1 || b[3] != 1 || b[4] != 2 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(-5)
+	h.Observe(5)
+	b := h.Buckets()
+	if b[0] != 1 || b[1] != 1 {
+		t.Errorf("clamped buckets = %v", b)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 2); err == nil {
+		t.Error("empty range: want error")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("no buckets: want error")
+	}
+	h, _ := NewHistogram(0, 1, 2)
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Error("quantile of empty histogram: want error")
+	}
+	h.Observe(0.5)
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Error("q<0: want error")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Error("q>1: want error")
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Float64() * 100)
+	}
+	med, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-50) > 2 {
+		t.Errorf("median of U(0,100) = %v", med)
+	}
+	if m := h.Mean(); math.Abs(m-50) > 2 {
+		t.Errorf("mean of U(0,100) = %v", m)
+	}
+}
+
+func TestHistogramMeanEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean must be 0")
+	}
+}
