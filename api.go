@@ -3,6 +3,8 @@ package targetedattacks
 import (
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/experiments"
 	"targetedattacks/internal/montecarlo"
 	"targetedattacks/internal/overlay"
 )
@@ -34,6 +36,11 @@ type (
 	Trajectory = montecarlo.Trajectory
 	// SimulationSummary aggregates Monte-Carlo runs.
 	SimulationSummary = montecarlo.Summary
+	// Pool is the worker-pool execution engine under every parallel
+	// entry point: Monte-Carlo batches (Simulator.RunBatch and
+	// Simulator.RunManyBatch) and experiment scenario sweeps. Results
+	// are deterministic for a fixed seed, whatever the pool width.
+	Pool = engine.Pool
 )
 
 // Initial distributions of the paper (Section VII-A).
@@ -75,8 +82,19 @@ func NewModel(p Params) (*Model, error) { return core.New(p) }
 func NewOverlay(m *Model, n int) (*Overlay, error) { return overlay.New(m, n) }
 
 // NewSimulator builds a Monte-Carlo simulator of the cluster chain with a
-// deterministic seed.
+// deterministic root seed. Its RunBatch and RunManyBatch methods fan
+// trajectories across a Pool with one PCG stream per trajectory, so the
+// aggregated Summary is bit-identical on one worker or many.
 func NewSimulator(m *Model, seed int64) (*Simulator, error) { return montecarlo.New(m, seed) }
+
+// NewPool creates a worker pool of the given width; workers < 1 selects
+// one worker per available CPU.
+func NewPool(workers int) *Pool { return engine.New(workers) }
+
+// ScenarioKeys lists the registered experiment scenarios (every figure,
+// table, ablation and sweep of the reproduction) in registry order; run
+// them with cmd/paperrepro.
+func ScenarioKeys() []string { return experiments.Keys() }
 
 // Rule1Holds evaluates the adversarial leave strategy (relation (2)) in
 // state (s, x, y): whether a colluding adversary should trigger a

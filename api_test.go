@@ -1,6 +1,7 @@
 package targetedattacks
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -65,6 +66,53 @@ func TestFacadeSimulator(t *testing.T) {
 	}
 	if sum.Runs != 500 {
 		t.Errorf("Runs = %d", sum.Runs)
+	}
+}
+
+func TestFacadeBatchSimulation(t *testing.T) {
+	params := DefaultParams()
+	params.Mu = 0.2
+	params.D = 0.8
+	model, err := NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func(workers int) *SimulationSummary {
+		sim, err := NewSimulator(model, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sim.RunManyBatch(context.Background(), NewPool(workers), model.InitialDelta(), 400, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial, parallel := batch(1), batch(8)
+	if serial.Runs != 400 || parallel.Runs != 400 {
+		t.Fatalf("Runs = %d/%d", serial.Runs, parallel.Runs)
+	}
+	if serial.SafeTime.Mean() != parallel.SafeTime.Mean() {
+		t.Error("facade batch is not deterministic across pool widths")
+	}
+}
+
+func TestFacadeScenarioKeys(t *testing.T) {
+	keys := ScenarioKeys()
+	if len(keys) < 12 {
+		t.Fatalf("only %d scenarios registered: %v", len(keys), keys)
+	}
+	seen := map[string]bool{}
+	for _, key := range keys {
+		if seen[key] {
+			t.Errorf("duplicate scenario key %q", key)
+		}
+		seen[key] = true
+	}
+	for _, want := range []string{"fig3", "mc", "nusweep", "stress9"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from facade listing", want)
+		}
 	}
 }
 

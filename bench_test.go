@@ -1,11 +1,19 @@
 package targetedattacks
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/montecarlo"
 )
+
+// benchPool is the shared per-CPU pool the experiment benchmarks fan out
+// on, mirroring how cmd/paperrepro runs them.
+var benchPool = engine.New(0)
 
 // The benchmarks below regenerate every table and figure of the paper's
 // evaluation (DESIGN.md experiment index E1-E7) plus this reproduction's
@@ -37,7 +45,7 @@ func BenchmarkFigure3ExpectedTimes(b *testing.B) {
 	cfg := experiments.DefaultFigure3Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(cfg); err != nil {
+		if _, err := experiments.Figure3(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +56,7 @@ func BenchmarkTable1HighSurvival(b *testing.B) {
 	cfg := experiments.DefaultTable1Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(cfg); err != nil {
+		if _, err := experiments.Table1(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -59,7 +67,7 @@ func BenchmarkTable2SuccessiveSojourns(b *testing.B) {
 	cfg := experiments.DefaultTable2Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(cfg); err != nil {
+		if _, err := experiments.Table2(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +78,7 @@ func BenchmarkFigure4Absorption(b *testing.B) {
 	cfg := experiments.DefaultFigure4Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(cfg); err != nil {
+		if _, err := experiments.Figure4(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,7 +91,7 @@ func BenchmarkFigure5OverlayProportions(b *testing.B) {
 	cfg := experiments.DefaultFigure5Config()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Figure5(cfg); err != nil {
+		if _, _, err := experiments.Figure5(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +102,7 @@ func BenchmarkAblationNuSensitivity(b *testing.B) {
 	cfg := experiments.DefaultAblationNuConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationNu(cfg); err != nil {
+		if _, err := experiments.AblationNu(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +113,7 @@ func BenchmarkAblationAllK(b *testing.B) {
 	cfg := experiments.DefaultAblationKConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationK(cfg); err != nil {
+		if _, err := experiments.AblationK(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,7 +127,7 @@ func BenchmarkValidationMonteCarlo(b *testing.B) {
 	cfg.Runs = 2000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Validation(cfg); err != nil {
+		if _, err := experiments.Validation(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +140,7 @@ func BenchmarkSystemOverlaySim(b *testing.B) {
 	cfg.Events = 5000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SystemSim(cfg); err != nil {
+		if _, err := experiments.SystemSim(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -146,9 +154,38 @@ func BenchmarkLookupAvailability(b *testing.B) {
 	cfg.Trials = 100
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Lookup(cfg); err != nil {
+		if _, err := experiments.Lookup(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunBatch tracks the serial→parallel Monte-Carlo speedup on the
+// paper's C=∆=7 model: the same 4000-trajectory batch (bit-identical
+// output by construction) across pool widths. On a multi-core machine the
+// workers=8 case should run ≥ 2× faster than workers=1; on a single-core
+// runner the widths tie, which is itself evidence the engine adds little
+// overhead.
+func BenchmarkRunBatch(b *testing.B) {
+	m, err := core.New(core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := m.InitialDelta()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := engine.New(workers)
+			sim, err := montecarlo.New(m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunManyBatch(context.Background(), pool, alpha, 4000, 1_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,19 +7,28 @@
 //
 //	attackmodel [-C 7] [-delta 7] [-mu 0.2] [-d 0.9] [-k 1] [-nu 0.1]
 //	            [-alpha delta|beta] [-sojourns 2] [-overlay 0] [-events 100000]
+//	            [-mc 0] [-mcsteps 1000000] [-workers 0] [-seed 1]
+//	            [-scenarios]
 //
 // With -overlay n > 0 it additionally prints the overlay-level expected
 // proportions of safe and polluted clusters after -events events
-// (Theorem 2).
+// (Theorem 2). With -mc N > 0 it cross-validates the closed forms against
+// N Monte-Carlo trajectories fanned across -workers workers — the result
+// is deterministic in -seed alone, for any worker count. -scenarios lists
+// the registered experiment scenarios (run them with cmd/paperrepro).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/montecarlo"
 	"targetedattacks/internal/overlay"
 )
 
@@ -33,19 +42,31 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("attackmodel", flag.ContinueOnError)
 	var (
-		c        = fs.Int("C", 7, "core set size C")
-		delta    = fs.Int("delta", 7, "maximal spare set size ∆")
-		mu       = fs.Float64("mu", 0.2, "fraction µ of malicious peers in the universe")
-		d        = fs.Float64("d", 0.9, "identifier survival probability d per time unit")
-		k        = fs.Int("k", 1, "protocol_k randomization amount (1..C)")
-		nu       = fs.Float64("nu", 0.1, "Rule 1 threshold ν")
-		alpha    = fs.String("alpha", "delta", "initial distribution: delta or beta")
-		sojourns = fs.Int("sojourns", 2, "number of successive sojourns to report")
-		overlayN = fs.Int("overlay", 0, "if > 0, also evaluate an overlay of n clusters (Theorem 2)")
-		events   = fs.Int("events", 100000, "overlay events m for -overlay")
+		c         = fs.Int("C", 7, "core set size C")
+		delta     = fs.Int("delta", 7, "maximal spare set size ∆")
+		mu        = fs.Float64("mu", 0.2, "fraction µ of malicious peers in the universe")
+		d         = fs.Float64("d", 0.9, "identifier survival probability d per time unit")
+		k         = fs.Int("k", 1, "protocol_k randomization amount (1..C)")
+		nu        = fs.Float64("nu", 0.1, "Rule 1 threshold ν")
+		alpha     = fs.String("alpha", "delta", "initial distribution: delta or beta")
+		sojourns  = fs.Int("sojourns", 2, "number of successive sojourns to report")
+		overlayN  = fs.Int("overlay", 0, "if > 0, also evaluate an overlay of n clusters (Theorem 2)")
+		events    = fs.Int("events", 100000, "overlay events m for -overlay")
+		mcRuns    = fs.Int("mc", 0, "if > 0, cross-validate with this many Monte-Carlo trajectories")
+		mcSteps   = fs.Int("mcsteps", 1_000_000, "step budget per Monte-Carlo trajectory")
+		workers   = fs.Int("workers", 0, "worker pool width for -mc (0 = one per CPU)")
+		seed      = fs.Int64("seed", 1, "root seed for -mc")
+		scenarios = fs.Bool("scenarios", false, "list the experiment scenario registry and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenarios {
+		for _, s := range experiments.Scenarios() {
+			fmt.Printf("%-10s %s\n", s.Key, s.Desc)
+		}
+		fmt.Println("\nrun scenarios with: paperrepro -only <keys> [-workers N] [-seed S]")
+		return nil
 	}
 	p := core.Params{C: *c, Delta: *delta, Mu: *mu, D: *d, K: *k, Nu: *nu}
 	model, err := core.New(p)
@@ -81,6 +102,11 @@ func run(args []string) error {
 	for _, name := range names {
 		fmt.Printf("p(%s) = %.6g\n", name, a.Absorption[name])
 	}
+	if *mcRuns > 0 {
+		if err := crossValidate(model, a, dist, *mcRuns, *mcSteps, *workers, *seed); err != nil {
+			return err
+		}
+	}
 	if *overlayN > 0 {
 		cc, err := overlay.New(model, *overlayN)
 		if err != nil {
@@ -99,6 +125,41 @@ func run(args []string) error {
 		for _, pt := range pts {
 			fmt.Printf("%-12d %-12.6f %.6f\n", pt.Events, pt.Safe, pt.Polluted)
 		}
+	}
+	return nil
+}
+
+// crossValidate fans runs Monte-Carlo trajectories across the pool and
+// prints the simulated estimates beside the closed forms.
+func crossValidate(model *core.Model, exact *core.Analysis, dist core.InitialDistribution, runs, maxSteps, workers int, seed int64) error {
+	init, err := model.Initial(dist)
+	if err != nil {
+		return err
+	}
+	sim, err := montecarlo.New(model, seed)
+	if err != nil {
+		return err
+	}
+	pool := engine.New(workers)
+	sum, err := sim.RunManyBatch(context.Background(), pool, init, runs, maxSteps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nMonte-Carlo cross-check (%d runs, seed %d, %d workers):\n", runs, seed, pool.Workers())
+	fmt.Printf("%-22s %-14s %s\n", "quantity", "closed form", "monte carlo")
+	fmt.Printf("%-22s %-14.6g %.6g ± %.2g\n", "E(T_S)",
+		exact.ExpectedSafeTime, sum.SafeTime.Mean(), sum.SafeTime.ConfidenceInterval95())
+	fmt.Printf("%-22s %-14.6g %.6g ± %.2g\n", "E(T_P)",
+		exact.ExpectedPollutedTime, sum.PollutedTime.Mean(), sum.PollutedTime.ConfidenceInterval95())
+	for _, class := range []string{
+		core.ClassNameSafeMerge, core.ClassNameSafeSplit,
+		core.ClassNamePollutedMerge, core.ClassNamePollutedSplit,
+	} {
+		fmt.Printf("%-22s %-14.6g %.6g\n", "p("+class+")",
+			exact.Absorption[class], sum.Absorption.Frequency(class))
+	}
+	if sum.Truncated > 0 {
+		fmt.Printf("%d trajectories hit the %d-step budget\n", sum.Truncated, maxSteps)
 	}
 	return nil
 }

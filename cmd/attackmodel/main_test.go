@@ -40,3 +40,22 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("unknown flag: want error")
 	}
 }
+
+func TestRunMonteCarloCrossCheck(t *testing.T) {
+	if err := run([]string{"-mu", "0.1", "-d", "0.5", "-mc", "500", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioListing(t *testing.T) {
+	if err := run([]string{"-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLargeCluster(t *testing.T) {
+	// The C=∆=9 point of the stress sweep must also work one-off.
+	if err := run([]string{"-C", "9", "-delta", "9", "-k", "9", "-mu", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}

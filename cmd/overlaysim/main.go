@@ -8,18 +8,26 @@
 //
 //	overlaysim [-mu 0.2] [-d 0.9] [-k 1] [-events 50000] [-clusters 8]
 //	           [-mode model|realtime] [-consensus] [-seed 1] [-interval 5000]
+//	           [-replicas 1] [-workers 0]
 //
-// The simulator prints a pollution report every -interval events and a
-// final operation census.
+// With -replicas 1 (the default) the simulator prints a pollution report
+// every -interval events and a final operation census. With -replicas R >
+// 1 it runs R independent overlays with seeds derived from -seed, fanned
+// across the worker pool, and reports the per-replica outcomes plus the
+// mean polluted fraction with a 95% confidence interval — Monte-Carlo
+// over whole systems instead of a single anecdote.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlaynet"
+	"targetedattacks/internal/stats"
 )
 
 func main() {
@@ -42,6 +50,8 @@ func run(args []string) error {
 		consensus = fs.Bool("consensus", false, "run real Byzantine agreements for maintenance (slow)")
 		seed      = fs.Int64("seed", 1, "deterministic seed")
 		interval  = fs.Int("interval", 5000, "events between progress reports")
+		replicas  = fs.Int("replicas", 1, "independent replicated simulations (seeds derived from -seed)")
+		workers   = fs.Int("workers", 0, "worker pool width for -replicas (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +69,12 @@ func run(args []string) error {
 		cfg.Mode = overlaynet.RealTime
 	default:
 		return fmt.Errorf("unknown -mode %q (want model or realtime)", *mode)
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas)
+	}
+	if *replicas > 1 {
+		return runReplicated(cfg, *events, *replicas, *workers)
 	}
 	net, err := overlaynet.New(cfg)
 	if err != nil {
@@ -98,5 +114,77 @@ func run(args []string) error {
 	fmt.Printf("  merges                %d (deferred: %d)\n", m.Merges, m.DeferredMerges)
 	fmt.Printf("  core underflows       %d\n", m.CoreUnderflows)
 	fmt.Printf("  consensus runs        %d\n", m.ConsensusRuns)
+	return nil
+}
+
+// replicaOutcome is the result of one replicated simulation.
+type replicaOutcome struct {
+	seed     int64
+	polluted float64
+	peak     float64
+	clusters int
+	splits   int64
+	merges   int64
+}
+
+// runReplicated executes `replicas` independent overlays in parallel.
+// Replica i runs with seed base+i, so the whole ensemble is reproducible
+// from the base seed alone, for any pool width.
+func runReplicated(cfg overlaynet.Config, events, replicas, workers int) error {
+	outcomes := make([]replicaOutcome, replicas)
+	pool := engine.New(workers)
+	err := pool.Run(context.Background(), replicas, func(i int) error {
+		rcfg := cfg
+		rcfg.Seed = cfg.Seed + int64(i)
+		net, err := overlaynet.New(rcfg)
+		if err != nil {
+			return err
+		}
+		// Sample pollution at ~20 checkpoints to catch the peak.
+		step := events / 20
+		if step == 0 {
+			step = events
+		}
+		var peak float64
+		for done := 0; done < events; done += step {
+			n := step
+			if done+n > events {
+				n = events - done
+			}
+			if err := net.Run(n); err != nil {
+				return err
+			}
+			if frac := net.Snapshot().PollutedFraction; frac > peak {
+				peak = frac
+			}
+		}
+		snap := net.Snapshot()
+		m := net.Metrics()
+		outcomes[i] = replicaOutcome{
+			seed:     rcfg.Seed,
+			polluted: snap.PollutedFraction,
+			peak:     peak,
+			clusters: snap.Clusters,
+			splits:   m.Splits,
+			merges:   m.Merges,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replicated overlay: %d replicas × %d events, %v, workers=%d\n",
+		replicas, events, cfg.Params, pool.Workers())
+	fmt.Printf("%-8s %-10s %-10s %-9s %-7s %s\n",
+		"seed", "polluted", "peak", "clusters", "splits", "merges")
+	var final, peaks stats.Running
+	for _, o := range outcomes {
+		fmt.Printf("%-8d %-10.4f %-10.4f %-9d %-7d %d\n",
+			o.seed, o.polluted, o.peak, o.clusters, o.splits, o.merges)
+		final.Observe(o.polluted)
+		peaks.Observe(o.peak)
+	}
+	fmt.Printf("\nfinal polluted fraction: %s\n", final.String())
+	fmt.Printf("peak polluted fraction:  %s\n", peaks.String())
 	return nil
 }

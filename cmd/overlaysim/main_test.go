@@ -37,3 +37,15 @@ func TestRunZeroInterval(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunReplicated(t *testing.T) {
+	if err := run([]string{"-events", "800", "-clusters", "2", "-replicas", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadReplicas(t *testing.T) {
+	if err := run([]string{"-replicas", "0"}); err == nil {
+		t.Error("replicas=0: want error")
+	}
+}

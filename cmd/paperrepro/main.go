@@ -1,17 +1,23 @@
 // Command paperrepro regenerates every table and figure of the evaluation
 // sections of the DSN 2011 targeted-attack paper (see DESIGN.md for the
-// experiment index) and this reproduction's ablations. Text renderings go
-// to stdout; with -outdir, each artifact is also written as CSV.
+// experiment index) plus this reproduction's ablations and engine-enabled
+// sweeps. Experiments are scenarios in the internal/experiments registry;
+// the full reproduction executes them concurrently on a worker pool while
+// staying deterministic for a fixed -seed. Text renderings go to stdout in
+// registry order; with -outdir, each artifact is also written as CSV.
 //
 // Usage:
 //
 //	paperrepro [-outdir results] [-quick] [-only fig3,table1,...]
+//	           [-workers N] [-seed S] [-list]
 //
-// -quick shrinks the Monte-Carlo validation and Figure 5 grids for a fast
-// smoke run.
+// -quick shrinks the slow grids for a fast smoke run. -workers 0 (the
+// default) uses one worker per CPU. -list prints the scenario catalog and
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,144 +25,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
 )
-
-// artifact is one regenerable experiment output.
-type artifact struct {
-	key  string
-	desc string
-	gen  func(quick bool) ([]renderable, error)
-}
-
-// renderable is a named object that renders as text and CSV.
-type renderable struct {
-	name string
-	text func(io.Writer) error
-	csv  func(io.Writer) error
-}
-
-func tableArtifact(t *experiments.Table, name string) renderable {
-	return renderable{name: name, text: t.Render, csv: t.CSV}
-}
-
-func figureArtifact(f *experiments.Figure, name string) renderable {
-	return renderable{
-		name: name,
-		text: func(w io.Writer) error { return f.RenderASCII(w, 72, 20) },
-		csv:  f.CSV,
-	}
-}
-
-func artifacts() []artifact {
-	return []artifact{
-		{"fig1", "Figure 1: state-space partition census", func(bool) ([]renderable, error) {
-			t, err := experiments.Figure1(7, 7)
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "figure1")}, nil
-		}},
-		{"fig2", "Figure 2: transition matrix construction", func(bool) ([]renderable, error) {
-			t, err := experiments.Figure2([]int{1, 2, 3, 4, 5, 6, 7})
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "figure2")}, nil
-		}},
-		{"fig3", "Figure 3: E(T_S^k), E(T_P^k) panels", func(bool) ([]renderable, error) {
-			t, err := experiments.Figure3(experiments.DefaultFigure3Config())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "figure3")}, nil
-		}},
-		{"table1", "Table I: E(T_S), E(T_P) at high survival", func(bool) ([]renderable, error) {
-			t, err := experiments.Table1(experiments.DefaultTable1Config())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "table1")}, nil
-		}},
-		{"table2", "Table II: successive sojourn times", func(bool) ([]renderable, error) {
-			t, err := experiments.Table2(experiments.DefaultTable2Config())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "table2")}, nil
-		}},
-		{"fig4", "Figure 4: absorption probabilities", func(bool) ([]renderable, error) {
-			t, err := experiments.Figure4(experiments.DefaultFigure4Config())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "figure4")}, nil
-		}},
-		{"fig5", "Figure 5: overlay safe/polluted proportions", func(quick bool) ([]renderable, error) {
-			cfg := experiments.DefaultFigure5Config()
-			if quick {
-				cfg.MaxEvents = 10000
-				cfg.Samples = 20
-			}
-			safe, polluted, err := experiments.Figure5(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{
-				figureArtifact(safe, "figure5_safe"),
-				figureArtifact(polluted, "figure5_polluted"),
-			}, nil
-		}},
-		{"ablk", "Ablation A2: all protocol_k", func(bool) ([]renderable, error) {
-			t, err := experiments.AblationK(experiments.DefaultAblationKConfig())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "ablation_k")}, nil
-		}},
-		{"ablnu", "Ablation A1: Rule 1 ν sensitivity", func(bool) ([]renderable, error) {
-			t, err := experiments.AblationNu(experiments.DefaultAblationNuConfig())
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "ablation_nu")}, nil
-		}},
-		{"mc", "Validation A3: Monte-Carlo cross-check", func(quick bool) ([]renderable, error) {
-			cfg := experiments.DefaultValidationConfig()
-			if quick {
-				cfg.Runs = 2000
-			}
-			t, err := experiments.Validation(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "validation_mc")}, nil
-		}},
-		{"sys", "System A4: agent-based overlay simulation", func(quick bool) ([]renderable, error) {
-			cfg := experiments.DefaultSystemSimConfig()
-			if quick {
-				cfg.Events = 4000
-			}
-			t, err := experiments.SystemSim(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "system_sim")}, nil
-		}},
-		{"lookup", "Lookup A5: availability under attack", func(quick bool) ([]renderable, error) {
-			cfg := experiments.DefaultLookupConfig()
-			if quick {
-				cfg.Events = 2000
-				cfg.Trials = 100
-			}
-			t, err := experiments.Lookup(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return []renderable{tableArtifact(t, "lookup_availability")}, nil
-		}},
-	}
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -168,17 +39,32 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
 	var (
-		outdir = fs.String("outdir", "", "directory for CSV outputs (optional)")
-		quick  = fs.Bool("quick", false, "shrink slow experiments for a smoke run")
-		only   = fs.String("only", "", "comma-separated subset of experiments (e.g. fig3,table1)")
+		outdir  = fs.String("outdir", "", "directory for CSV outputs (optional)")
+		quick   = fs.Bool("quick", false, "shrink slow experiments for a smoke run")
+		only    = fs.String("only", "", "comma-separated subset of scenarios (e.g. fig3,table1)")
+		workers = fs.Int("workers", 0, "worker pool width (0 = one per CPU)")
+		seed    = fs.Int64("seed", 1, "root seed for randomized scenarios")
+		list    = fs.Bool("list", false, "list the scenario catalog and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	want := map[string]bool{}
+	if *list {
+		for _, s := range experiments.Scenarios() {
+			fmt.Fprintf(out, "%-10s %s\n", s.Key, s.Desc)
+		}
+		return nil
+	}
+	keys := experiments.Keys()
 	if *only != "" {
+		keys = nil
 		for _, key := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(key)] = true
+			if key = strings.TrimSpace(key); key != "" {
+				keys = append(keys, key)
+			}
+		}
+		if len(keys) == 0 {
+			return fmt.Errorf("no experiments matched -only=%q", *only)
 		}
 	}
 	if *outdir != "" {
@@ -186,29 +72,38 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	ran := 0
-	for _, a := range artifacts() {
-		if len(want) > 0 && !want[a.key] {
+	env := experiments.Env{
+		Pool:  engine.New(*workers),
+		Seed:  *seed,
+		Quick: *quick,
+	}
+	results, err := experiments.RunScenarios(context.Background(), env, keys)
+	if err != nil {
+		return err
+	}
+	var failed []string
+	for _, res := range results {
+		fmt.Fprintf(out, "\n### %s (%s)\n\n", res.Scenario.Desc, res.Scenario.Key)
+		if res.Err != nil {
+			// Scenario failures are isolated: report it, keep rendering
+			// the others, fail the run at the end.
+			fmt.Fprintf(out, "error: %v\n", res.Err)
+			failed = append(failed, res.Scenario.Key)
 			continue
 		}
-		fmt.Fprintf(out, "\n### %s (%s)\n\n", a.desc, a.key)
-		items, err := a.gen(*quick)
-		if err != nil {
-			return fmt.Errorf("%s: %w", a.key, err)
-		}
-		for _, item := range items {
-			if err := item.text(out); err != nil {
-				return fmt.Errorf("%s: rendering: %w", a.key, err)
+		for _, art := range res.Artifacts {
+			if err := art.Text(out); err != nil {
+				return fmt.Errorf("%s: rendering: %w", res.Scenario.Key, err)
 			}
 			if *outdir != "" {
-				path := filepath.Join(*outdir, item.name+".csv")
+				path := filepath.Join(*outdir, art.Name+".csv")
 				f, err := os.Create(path)
 				if err != nil {
 					return err
 				}
-				if err := item.csv(f); err != nil {
+				if err := art.CSV(f); err != nil {
 					f.Close()
-					return fmt.Errorf("%s: writing %s: %w", a.key, path, err)
+					return fmt.Errorf("%s: writing %s: %w", res.Scenario.Key, path, err)
 				}
 				if err := f.Close(); err != nil {
 					return err
@@ -216,11 +111,10 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "csv: %s\n", path)
 			}
 		}
-		ran++
 	}
-	if ran == 0 {
-		return fmt.Errorf("no experiments matched -only=%q", *only)
+	fmt.Fprintf(out, "\n%d experiment groups regenerated.\n", len(results)-len(failed))
+	if len(failed) > 0 {
+		return fmt.Errorf("%d scenario(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
-	fmt.Fprintf(out, "\n%d experiment groups regenerated.\n", ran)
 	return nil
 }

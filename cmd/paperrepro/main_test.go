@@ -69,3 +69,43 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("unknown flag: want error")
 	}
 }
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"fig1", "fig5", "mc", "nusweep", "stress9"} {
+		if !strings.Contains(out.String(), key) {
+			t.Errorf("-list missing scenario %q", key)
+		}
+	}
+}
+
+func TestRunNewSweeps(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "nusweep,stress9", "-quick", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sweep S1", "Sweep S2", "C=9", "2 experiment groups"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers checks the CLI contract: the same
+// -seed renders identical output for any -workers width.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var out bytes.Buffer
+		args := []string{"-only", "mc,table2", "-quick", "-seed", "9", "-workers", workers}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if one, eight := render("1"), render("8"); one != eight {
+		t.Error("-workers 1 and -workers 8 rendered different output for the same seed")
+	}
+}

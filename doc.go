@@ -11,7 +11,9 @@
 // through limited-lifetime peer identifiers. A cluster is *polluted* when
 // strictly more than c = ⌊(C−1)/3⌋ of its C core members are malicious.
 //
-// The package exposes three layers:
+// # Layers
+//
+// The package exposes four layers:
 //
 //   - The exact analytical model: the absorbing Markov chain over states
 //     (s, x, y) — spare size, malicious core members, malicious spare
@@ -29,6 +31,29 @@
 //     hypercube topology, Byzantine-tolerant core maintenance, and a
 //     colluding adversary executing the paper's targeted-attack strategy.
 //
+//   - The execution engine beneath all of them (internal/engine): a
+//     worker pool that fans independent units of work — Monte-Carlo
+//     trajectories, parameter-grid cells, whole experiment scenarios —
+//     across CPUs while staying deterministic.
+//
+// # Deterministic parallelism
+//
+// Every randomized task derives its own math/rand/v2 PCG stream from a
+// root seed and the task's global index, never sharing a generator. A
+// Monte-Carlo batch (Simulator.RunBatch, Simulator.RunManyBatch) or a
+// parallel sweep therefore produces bit-identical results on one worker
+// or many; NewPool(workers) chooses the width (0 = one per CPU).
+//
+// # Scenario registry
+//
+// The paper's evaluation — every figure, table, ablation, validation and
+// sweep — is registered as a named scenario in internal/experiments.
+// ScenarioKeys lists them; cmd/paperrepro executes any subset
+// concurrently with -workers and -seed flags. Sweeps over the parameter
+// axes (C, ∆, k, ν, d, µ) are data in the registry rather than bespoke
+// code, so new grids (like the ν response surface or the C=∆=9 stress
+// sweep) are one registration away.
+//
 // # Quick start
 //
 //	params := targetedattacks.DefaultParams() // C=7, ∆=7, protocol_1
@@ -40,6 +65,12 @@
 //	if err != nil { ... }
 //	fmt.Println("expected events before pollution ends:",
 //		analysis.ExpectedSafeTime, analysis.ExpectedPollutedTime)
+//
+//	// Cross-validate in parallel, deterministically:
+//	sim, err := targetedattacks.NewSimulator(model, 1)
+//	if err != nil { ... }
+//	sum, err := sim.RunManyBatch(ctx, targetedattacks.NewPool(0),
+//		model.InitialDelta(), 100000, 1_000_000)
 //
 // See the examples/ directory for runnable programs and cmd/paperrepro
 // for the harness that regenerates every table and figure of the paper.

@@ -1,0 +1,3 @@
+module targetedattacks
+
+go 1.24

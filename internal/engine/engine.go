@@ -1,0 +1,154 @@
+// Package engine provides the worker-pool execution engine under the
+// repository's evaluation pipeline: Monte-Carlo trajectory batches,
+// parameter-grid sweeps and whole experiment scenarios all fan their
+// independent units of work across one Pool.
+//
+// Determinism is the engine's contract. Randomized tasks never share a
+// random-number generator: each task derives its own math/rand/v2 PCG
+// stream from a root seed and the task's global index (Stream). Because a
+// stream depends only on (seed, index) — never on the number of workers or
+// on scheduling order — a batch executed on eight workers is bit-identical
+// to the same batch executed on one, and results are reproducible across
+// runs and machines.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-width worker pool, safe for concurrent use. Nested Run
+// calls (a task that itself fans out sub-tasks on the same Pool) share
+// the pool's width rather than multiplying it: each Run sizes its worker
+// set to the slack left by tasks already in flight, and always spawns at
+// least one worker, which keeps nesting deadlock-free while bounding the
+// total concurrency near the configured width.
+type Pool struct {
+	workers int
+	// active counts in-flight worker goroutines across all Run calls;
+	// it is what lets nested calls see how much width remains.
+	active atomic.Int64
+}
+
+// New creates a pool of the given width. workers < 1 selects
+// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Ensure returns p, or a serial (single-worker) pool when p is nil, so
+// callers can accept an optional pool without nil checks.
+func Ensure(p *Pool) *Pool {
+	if p == nil {
+		return New(1)
+	}
+	return p
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes tasks 0..n-1 by calling fn(i) from at most Workers()
+// goroutines. It returns after every started task has finished.
+//
+// Task order is unspecified, so fn must only write to per-index state
+// (e.g. slot i of a pre-allocated slice); determinism is then guaranteed
+// regardless of the pool width. Errors do not cancel the remaining tasks
+// (tasks are expected to be pure compute); after all tasks ran, the error
+// of the lowest-indexed failing task is returned, which keeps the
+// reported error independent of scheduling. A cancelled context stops
+// workers from claiming further tasks and is reported as ctx.Err().
+func (p *Pool) Run(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if fn == nil {
+		return fmt.Errorf("engine: Run with nil task function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Claim the pool's remaining width (but never less than one worker):
+	// a nested Run inside a saturated pool degrades to serial instead of
+	// stacking another full worker set on top of the outer one. The CAS
+	// loop makes the read-and-claim atomic so concurrent Run calls cannot
+	// both see the same slack and oversubscribe past the width.
+	var workers int
+	for {
+		cur := p.active.Load()
+		claim := int64(p.workers) - cur
+		if claim < 1 {
+			claim = 1
+		}
+		if claim > int64(n) {
+			claim = int64(n)
+		}
+		if p.active.CompareAndSwap(cur, cur+claim) {
+			workers = int(claim)
+			break
+		}
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.active.Add(-1)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("engine: task %d: %w", firstIdx, firstErr)
+	}
+	return ctx.Err()
+}
+
+// splitmix64 is Vigna's SplitMix64 finalizer: a bijective 64-bit mixer
+// used to decorrelate the (seed, task) pairs fed to PCG, so that nearby
+// task indices yield unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream returns the deterministic random stream of task `task` under the
+// root seed `seed`: a math/rand/v2 PCG whose two 64-bit seeds are mixed
+// from (seed, task). The mapping is pure — the same (seed, task) always
+// produces the same stream — and distinct tasks get distinct streams, so
+// parallel consumers stay reproducible independently of worker count.
+func Stream(seed, task uint64) *rand.Rand {
+	hi := splitmix64(seed ^ splitmix64(task))
+	lo := splitmix64(task + splitmix64(seed+0x632be59bd9b4e019))
+	return rand.New(rand.NewPCG(hi, lo))
+}

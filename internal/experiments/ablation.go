@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/montecarlo"
 )
 
@@ -25,35 +27,44 @@ func DefaultAblationKConfig() AblationKConfig {
 
 // AblationK extends the paper's Figure 3 to every k = 1…C. The paper only
 // shows k = 1 and k = C, asserting that they bound the other protocols;
-// this ablation verifies the claim for the whole family.
-func AblationK(cfg AblationKConfig) (*Table, error) {
+// this ablation verifies the claim for the whole family, one (µ, k) model
+// per pool task.
+func AblationK(ctx context.Context, pool *engine.Pool, cfg AblationKConfig) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation A2 — protocol_k for k=1…C (d=%g%%, α=δ)", cfg.D*100),
 		Columns: []string{"mu", "k", "E(T_S)", "E(T_P)"},
 		Note:    "paper (Section VII-C): protocol_1 and protocol_C bound the family",
 	}
+	type point struct {
+		mu float64
+		k  int
+	}
+	var points []point
 	for _, mu := range cfg.Mus {
 		for k := 1; k <= 7; k++ {
-			p := baseParams()
-			p.Mu, p.D, p.K, p.Nu = mu, cfg.D, k, cfg.Nu
-			m, err := core.New(p)
-			if err != nil {
-				return nil, err
-			}
-			a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-			if err != nil {
-				return nil, err
-			}
-			err = t.AddRow(
-				fmtPercent(mu),
-				fmt.Sprintf("%d", k),
-				fmtFloat(a.ExpectedSafeTime),
-				fmtFloat(a.ExpectedPollutedTime),
-			)
-			if err != nil {
-				return nil, err
-			}
+			points = append(points, point{mu, k})
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D, p.K, p.Nu = pt.mu, cfg.D, pt.k, cfg.Nu
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmtPercent(pt.mu),
+			fmt.Sprintf("%d", pt.k),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -78,40 +89,49 @@ func DefaultAblationNuConfig() AblationNuConfig {
 
 // AblationNu measures the sensitivity of the results to the Rule 1
 // threshold ν, which the paper leaves unspecified. For k = 1 Rule 1 never
-// fires, so only k > 1 protocols are swept.
-func AblationNu(cfg AblationNuConfig) (*Table, error) {
+// fires, so only k > 1 protocols are swept. Each (k, ν) point runs on its
+// own pool task.
+func AblationNu(ctx context.Context, pool *engine.Pool, cfg AblationNuConfig) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation A1 — ν sensitivity of Rule 1 (µ=%g%%, d=%g%%, α=δ)", cfg.Mu*100, cfg.D*100),
 		Columns: []string{"k", "nu", "E(T_S)", "E(T_P)", "rule1 states"},
 		Note:    "ν is not printed in the paper; this reproduction defaults to 0.1",
 	}
+	type point struct {
+		k  int
+		nu float64
+	}
+	var points []point
 	for _, k := range cfg.Ks {
 		for _, nu := range cfg.Nus {
-			p := baseParams()
-			p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, k, nu
-			m, err := core.New(p)
-			if err != nil {
-				return nil, err
-			}
-			a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-			if err != nil {
-				return nil, err
-			}
-			fires, err := countRule1States(p)
-			if err != nil {
-				return nil, err
-			}
-			err = t.AddRow(
-				fmt.Sprintf("%d", k),
-				fmt.Sprintf("%g", nu),
-				fmtFloat(a.ExpectedSafeTime),
-				fmtFloat(a.ExpectedPollutedTime),
-				fmt.Sprintf("%d", fires),
-			)
-			if err != nil {
-				return nil, err
-			}
+			points = append(points, point{k, nu})
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, pt.k, pt.nu
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		fires, err := countRule1States(p)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmt.Sprintf("%d", pt.k),
+			fmt.Sprintf("%g", pt.nu),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+			fmt.Sprintf("%d", fires),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -161,8 +181,9 @@ func DefaultValidationConfig() ValidationConfig {
 }
 
 // Validation cross-checks the closed forms against direct Monte-Carlo
-// simulation of the chain (experiment A3).
-func Validation(cfg ValidationConfig) (*Table, error) {
+// simulation of the chain (experiment A3). The trajectory batches fan out
+// across the pool; results are identical for every pool width.
+func Validation(ctx context.Context, pool *engine.Pool, cfg ValidationConfig) (*Table, error) {
 	t := &Table{
 		Title: "Validation A3 — closed form vs Monte-Carlo",
 		Columns: []string{
@@ -182,7 +203,7 @@ func Validation(cfg ValidationConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err := sim.RunMany(m.InitialDelta(), cfg.Runs, cfg.MaxSteps)
+		sum, err := sim.RunManyBatch(ctx, pool, m.InitialDelta(), cfg.Runs, cfg.MaxSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -143,7 +144,7 @@ func TestFigure3SmallGrid(t *testing.T) {
 		Ks:            []int{1},
 		Distributions: []core.InitialDistribution{core.DistributionDelta},
 	}
-	tb, err := Figure3(cfg)
+	tb, err := Figure3(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestFigure4SmallGrid(t *testing.T) {
 		Ds:            []float64{0.9},
 		Distributions: []core.InitialDistribution{core.DistributionDelta},
 	}
-	tb, err := Figure4(cfg)
+	tb, err := Figure4(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFigure5Small(t *testing.T) {
 		MaxEvents: 2000,
 		Samples:   10,
 	}
-	safe, polluted, err := Figure5(cfg)
+	safe, polluted, err := Figure5(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +200,13 @@ func TestFigure5Small(t *testing.T) {
 	if !strings.Contains(s.Name, "L=") {
 		t.Errorf("series name %q missing lifetime annotation", s.Name)
 	}
-	if _, _, err := Figure5(Figure5Config{Ns: []int{1}, Ds: []float64{0.5}, MaxEvents: 0, Samples: 1}); err == nil {
+	if _, _, err := Figure5(context.Background(), nil, Figure5Config{Ns: []int{1}, Ds: []float64{0.5}, MaxEvents: 0, Samples: 1}); err == nil {
 		t.Error("MaxEvents=0: want error")
 	}
 }
 
 func TestTable1Small(t *testing.T) {
-	tb, err := Table1(Table1Config{Mus: []float64{0, 0.2}, Ds: []float64{0.99}})
+	tb, err := Table1(context.Background(), nil, Table1Config{Mus: []float64{0, 0.2}, Ds: []float64{0.99}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestTable1Small(t *testing.T) {
 }
 
 func TestTable2Small(t *testing.T) {
-	tb, err := Table2(DefaultTable2Config())
+	tb, err := Table2(context.Background(), nil, DefaultTable2Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,13 +233,13 @@ func TestTable2Small(t *testing.T) {
 	if len(tb.Columns) != 5 {
 		t.Fatalf("columns = %d, want 5", len(tb.Columns))
 	}
-	if _, err := Table2(Table2Config{Mus: []float64{0}, D: 0.9, Sojourns: 0}); err == nil {
+	if _, err := Table2(context.Background(), nil, Table2Config{Mus: []float64{0}, D: 0.9, Sojourns: 0}); err == nil {
 		t.Error("Sojourns=0: want error")
 	}
 }
 
 func TestAblationK(t *testing.T) {
-	tb, err := AblationK(AblationKConfig{Mus: []float64{0.2}, D: 0.9, Nu: 0.1})
+	tb, err := AblationK(context.Background(), nil, AblationKConfig{Mus: []float64{0.2}, D: 0.9, Nu: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestAblationK(t *testing.T) {
 }
 
 func TestAblationNu(t *testing.T) {
-	tb, err := AblationNu(AblationNuConfig{Nus: []float64{0.05, 0.5}, Mu: 0.3, D: 0.9, Ks: []int{7}})
+	tb, err := AblationNu(context.Background(), nil, AblationNuConfig{Nus: []float64{0.05, 0.5}, Mu: 0.3, D: 0.9, Ks: []int{7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestValidationSmall(t *testing.T) {
 		MaxSteps: 100000,
 		Seed:     1,
 	}
-	tb, err := Validation(cfg)
+	tb, err := Validation(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestSystemSimSmall(t *testing.T) {
 		Checkpoints:      4,
 		Seed:             1,
 	}
-	tb, err := SystemSim(cfg)
+	tb, err := SystemSim(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestSystemSimSmall(t *testing.T) {
 	if tb.Rows[0][2] != "0" || tb.Rows[0][3] != "0" {
 		t.Errorf("µ=0 system row = %v, want zero pollution", tb.Rows[0])
 	}
-	if _, err := SystemSim(SystemSimConfig{Events: 0, Checkpoints: 1}); err == nil {
+	if _, err := SystemSim(context.Background(), nil, SystemSimConfig{Events: 0, Checkpoints: 1}); err == nil {
 		t.Error("Events=0: want error")
 	}
 }
@@ -324,7 +325,7 @@ func TestLookupSmall(t *testing.T) {
 		InitialLabelBits: 2,
 		Seed:             1,
 	}
-	tb, err := Lookup(cfg)
+	tb, err := Lookup(context.Background(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestLookupSmall(t *testing.T) {
 	if tb.Rows[0][3] != "1.0000" || tb.Rows[0][4] != "1.0000" {
 		t.Errorf("µ=0 lookup row = %v, want full availability", tb.Rows[0])
 	}
-	if _, err := Lookup(LookupConfig{Trials: 0, Redundancy: 1}); err == nil {
+	if _, err := Lookup(context.Background(), nil, LookupConfig{Trials: 0, Redundancy: 1}); err == nil {
 		t.Error("Trials=0: want error")
 	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlay"
 )
 
@@ -110,10 +112,19 @@ func DefaultFigure3Config() Figure3Config {
 	}
 }
 
+// figure3Point is one cell of the Figure 3 grid.
+type figure3Point struct {
+	k    int
+	dist core.InitialDistribution
+	d    float64
+	mu   float64
+}
+
 // Figure3 regenerates the paper's Figure 3: the expected number of events
 // spent in safe and polluted transient states before absorption,
-// E(T_S^k) and E(T_P^k), as a function of µ, d, k and α.
-func Figure3(cfg Figure3Config) (*Table, error) {
+// E(T_S^k) and E(T_P^k), as a function of µ, d, k and α. Every grid point
+// builds and solves its own model, so the sweep fans out across the pool.
+func Figure3(ctx context.Context, pool *engine.Pool, cfg Figure3Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 3 — E(T_S^k) and E(T_P^k) before absorption (C=7, ∆=7)",
 		Columns: []string{
@@ -121,34 +132,38 @@ func Figure3(cfg Figure3Config) (*Table, error) {
 		},
 		Note: "paper panels: protocol_1/protocol_7 × α∈{δ,β}; bars E(T_S) hatched, E(T_P) plain",
 	}
+	var points []figure3Point
 	for _, k := range cfg.Ks {
 		for _, dist := range cfg.Distributions {
 			for _, d := range cfg.Ds {
 				for _, mu := range cfg.Mus {
-					p := baseParams()
-					p.Mu, p.D, p.K = mu, d, k
-					m, err := core.New(p)
-					if err != nil {
-						return nil, err
-					}
-					a, err := m.AnalyzeNamed(dist, 1)
-					if err != nil {
-						return nil, err
-					}
-					err = t.AddRow(
-						fmt.Sprintf("protocol_%d", k),
-						dist.String(),
-						fmtPercent(d),
-						fmtPercent(mu),
-						fmtFloat(a.ExpectedSafeTime),
-						fmtFloat(a.ExpectedPollutedTime),
-					)
-					if err != nil {
-						return nil, err
-					}
+					points = append(points, figure3Point{k, dist, d, mu})
 				}
 			}
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D, p.K = pt.mu, pt.d, pt.k
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(pt.dist, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmt.Sprintf("protocol_%d", pt.k),
+			pt.dist.String(),
+			fmtPercent(pt.d),
+			fmtPercent(pt.mu),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -170,8 +185,9 @@ func DefaultFigure4Config() Figure4Config {
 }
 
 // Figure4 regenerates the paper's Figure 4: absorption probabilities
-// p(A^m_S), p(A^ℓ_S), p(A^m_P) as a function of µ and d for protocol_1.
-func Figure4(cfg Figure4Config) (*Table, error) {
+// p(A^m_S), p(A^ℓ_S), p(A^m_P) as a function of µ and d for protocol_1,
+// with the (α, d, µ) grid fanned across the pool.
+func Figure4(ctx context.Context, pool *engine.Pool, cfg Figure4Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 4 — absorption probabilities (k=1, C=7, ∆=7)",
 		Columns: []string{
@@ -179,33 +195,42 @@ func Figure4(cfg Figure4Config) (*Table, error) {
 		},
 		Note: "paper: µ=0 gives 0.57/0.43; p(polluted-merge) < 8% even at µ=30%, d=90%",
 	}
+	type point struct {
+		dist core.InitialDistribution
+		d    float64
+		mu   float64
+	}
+	var points []point
 	for _, dist := range cfg.Distributions {
 		for _, d := range cfg.Ds {
 			for _, mu := range cfg.Mus {
-				p := baseParams()
-				p.Mu, p.D = mu, d
-				m, err := core.New(p)
-				if err != nil {
-					return nil, err
-				}
-				a, err := m.AnalyzeNamed(dist, 1)
-				if err != nil {
-					return nil, err
-				}
-				err = t.AddRow(
-					dist.String(),
-					fmtPercent(d),
-					fmtPercent(mu),
-					fmtFloat(a.Absorption[core.ClassNameSafeMerge]),
-					fmtFloat(a.Absorption[core.ClassNameSafeSplit]),
-					fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
-					fmtFloat(a.Absorption[core.ClassNamePollutedSplit]),
-				)
-				if err != nil {
-					return nil, err
-				}
+				points = append(points, point{dist, d, mu})
 			}
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D = pt.mu, pt.d
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(pt.dist, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			pt.dist.String(),
+			fmtPercent(pt.d),
+			fmtPercent(pt.mu),
+			fmtFloat(a.Absorption[core.ClassNameSafeMerge]),
+			fmtFloat(a.Absorption[core.ClassNameSafeSplit]),
+			fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
+			fmtFloat(a.Absorption[core.ClassNamePollutedSplit]),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -237,10 +262,18 @@ func DefaultFigure5Config() Figure5Config {
 	}
 }
 
+// figure5Curve is the computed pair of series for one (n, d) combination.
+type figure5Curve struct {
+	name   string
+	xs, ys []float64
+	yp     []float64
+}
+
 // Figure5 regenerates the paper's Figure 5: the expected proportions
 // E(N_S(m))/n (left panel) and E(N_P(m))/n (right panel) of safe and
-// polluted clusters after m overlay events (Theorem 2), for each (n, d).
-func Figure5(cfg Figure5Config) (safe, polluted *Figure, err error) {
+// polluted clusters after m overlay events (Theorem 2). Each (n, d) curve
+// is an independent matrix-power series, computed in parallel.
+func Figure5(ctx context.Context, pool *engine.Pool, cfg Figure5Config) (safe, polluted *Figure, err error) {
 	if cfg.MaxEvents < 1 || cfg.Samples < 1 {
 		return nil, nil, fmt.Errorf("experiments: Figure5 needs positive MaxEvents and Samples")
 	}
@@ -255,41 +288,60 @@ func Figure5(cfg Figure5Config) (safe, polluted *Figure, err error) {
 		YLabel: "expected proportion of polluted clusters",
 		Note:   "paper (Section VIII): stays below 2.2% for d=90%",
 	}
+	type combo struct {
+		n int
+		d float64
+	}
+	var combos []combo
 	for _, n := range cfg.Ns {
 		for _, d := range cfg.Ds {
-			p := baseParams()
-			p.Mu, p.D = cfg.Mu, d
-			m, err := core.New(p)
-			if err != nil {
-				return nil, nil, err
-			}
-			cc, err := overlay.New(m, n)
-			if err != nil {
-				return nil, nil, err
-			}
-			pts, err := cc.ProportionSeries(m.InitialDelta(), cfg.MaxEvents, cfg.Samples)
-			if err != nil {
-				return nil, nil, err
-			}
-			lifetime, err := combin.LifetimeFromSurvival(d)
-			if err != nil {
-				return nil, nil, err
-			}
-			name := fmt.Sprintf("n=%d d=%g%% (L=%.2f)", n, d*100, lifetime)
-			xs := make([]float64, len(pts))
-			ys := make([]float64, len(pts))
-			yp := make([]float64, len(pts))
-			for i, pt := range pts {
-				xs[i] = float64(pt.Events)
-				ys[i] = pt.Safe
-				yp[i] = pt.Polluted
-			}
-			if err := safe.AddSeries(Series{Name: name, X: xs, Y: ys}); err != nil {
-				return nil, nil, err
-			}
-			if err := polluted.AddSeries(Series{Name: name, X: xs, Y: yp}); err != nil {
-				return nil, nil, err
-			}
+			combos = append(combos, combo{n, d})
+		}
+	}
+	curves := make([]figure5Curve, len(combos))
+	err = engine.Ensure(pool).Run(ctx, len(combos), func(i int) error {
+		cb := combos[i]
+		p := baseParams()
+		p.Mu, p.D = cfg.Mu, cb.d
+		m, err := core.New(p)
+		if err != nil {
+			return err
+		}
+		cc, err := overlay.New(m, cb.n)
+		if err != nil {
+			return err
+		}
+		pts, err := cc.ProportionSeries(m.InitialDelta(), cfg.MaxEvents, cfg.Samples)
+		if err != nil {
+			return err
+		}
+		lifetime, err := combin.LifetimeFromSurvival(cb.d)
+		if err != nil {
+			return err
+		}
+		curve := figure5Curve{
+			name: fmt.Sprintf("n=%d d=%g%% (L=%.2f)", cb.n, cb.d*100, lifetime),
+			xs:   make([]float64, len(pts)),
+			ys:   make([]float64, len(pts)),
+			yp:   make([]float64, len(pts)),
+		}
+		for j, pt := range pts {
+			curve.xs[j] = float64(pt.Events)
+			curve.ys[j] = pt.Safe
+			curve.yp[j] = pt.Polluted
+		}
+		curves[i] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, curve := range curves {
+		if err := safe.AddSeries(Series{Name: curve.name, X: curve.xs, Y: curve.ys}); err != nil {
+			return nil, nil, err
+		}
+		if err := polluted.AddSeries(Series{Name: curve.name, X: curve.xs, Y: curve.yp}); err != nil {
+			return nil, nil, err
 		}
 	}
 	return safe, polluted, nil

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"context"
+
+	"targetedattacks/internal/engine"
+)
+
+// gridRows evaluates n independent blocks of table rows across the pool
+// (nil means serial) and appends them to t in block order, so a parallel
+// sweep renders identically to the serial loop it replaced. Block i must
+// derive everything it needs from i alone.
+func gridRows(ctx context.Context, pool *engine.Pool, t *Table, n int, f func(i int) ([][]string, error)) error {
+	blocks := make([][][]string, n)
+	err := engine.Ensure(pool).Run(ctx, n, func(i int) error {
+		rows, err := f(i)
+		if err != nil {
+			return err
+		}
+		blocks[i] = rows
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, block := range blocks {
+		for _, row := range block {
+			if err := t.AddRow(row...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

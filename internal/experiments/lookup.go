@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlaynet"
 )
 
@@ -41,8 +43,9 @@ func DefaultLookupConfig() LookupConfig {
 // clusters dropping requests they own or transit (the paper's motivating
 // attack: "preventing data indexed at targeted nodes from being
 // discovered"), with and without redundant routing (the Castro et al.
-// defense the paper cites as complementary).
-func Lookup(cfg LookupConfig) (*Table, error) {
+// defense the paper cites as complementary). Each (µ, d) cell churns and
+// measures its own overlay, fanned across the pool.
+func Lookup(ctx context.Context, pool *engine.Pool, cfg LookupConfig) (*Table, error) {
 	if cfg.Events < 0 || cfg.Trials < 1 || cfg.Redundancy < 1 {
 		return nil, fmt.Errorf("experiments: Lookup needs Events ≥ 0, Trials ≥ 1, Redundancy ≥ 1")
 	}
@@ -55,39 +58,46 @@ func Lookup(cfg LookupConfig) (*Table, error) {
 		Note: "polluted clusters drop lookups they own or transit; redundancy " +
 			"removes the transit losses, the responsible cluster remains the residual",
 	}
+	type point struct {
+		mu, d float64
+	}
+	var points []point
 	for _, mu := range cfg.Mus {
 		for _, d := range cfg.Ds {
-			net, err := overlaynet.New(overlaynet.Config{
-				Params:               core.Params{C: 7, Delta: 7, Mu: mu, D: d, K: 1, Nu: 0.1},
-				InitialLabelBits:     cfg.InitialLabelBits,
-				StationaryPopulation: true,
-				Seed:                 cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := net.Run(cfg.Events); err != nil {
-				return nil, err
-			}
-			single, err := net.LookupAvailability(cfg.Trials)
-			if err != nil {
-				return nil, err
-			}
-			redundant, err := measureRedundant(net, cfg.Trials, cfg.Redundancy)
-			if err != nil {
-				return nil, err
-			}
-			err = t.AddRow(
-				fmtPercent(mu),
-				fmtPercent(d),
-				fmtFloat(net.Snapshot().PollutedFraction),
-				fmtFloat(single),
-				fmtFloat(redundant),
-			)
-			if err != nil {
-				return nil, err
-			}
+			points = append(points, point{mu, d})
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		net, err := overlaynet.New(overlaynet.Config{
+			Params:               core.Params{C: 7, Delta: 7, Mu: pt.mu, D: pt.d, K: 1, Nu: 0.1},
+			InitialLabelBits:     cfg.InitialLabelBits,
+			StationaryPopulation: true,
+			Seed:                 cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Run(cfg.Events); err != nil {
+			return nil, err
+		}
+		single, err := net.LookupAvailability(cfg.Trials)
+		if err != nil {
+			return nil, err
+		}
+		redundant, err := measureRedundant(net, cfg.Trials, cfg.Redundancy)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmtPercent(pt.mu),
+			fmtPercent(pt.d),
+			fmtFloat(net.Snapshot().PollutedFraction),
+			fmtFloat(single),
+			fmtFloat(redundant),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

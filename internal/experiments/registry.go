@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+)
+
+// This file registers the built-in scenarios: every table and figure of
+// the paper's evaluation (E1-E7), this reproduction's ablations and
+// validations (A1-A5), and the engine-enabled sweeps (S1-S2). Randomized
+// scenarios take their root seed from Env.Seed (the CLIs' -seed flag);
+// Env.Quick shrinks the slow grids for smoke runs.
+
+func init() {
+	Register(Scenario{
+		Key:  "fig1",
+		Desc: "Figure 1: state-space partition census",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Figure1(7, 7)
+			return tableArtifacts("figure1", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "fig2",
+		Desc: "Figure 2: transition matrix construction",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Figure2([]int{1, 2, 3, 4, 5, 6, 7})
+			return tableArtifacts("figure2", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "fig3",
+		Desc: "Figure 3: E(T_S^k), E(T_P^k) panels",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Figure3(ctx, env.Pool, DefaultFigure3Config())
+			return tableArtifacts("figure3", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "table1",
+		Desc: "Table I: E(T_S), E(T_P) at high survival",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Table1(ctx, env.Pool, DefaultTable1Config())
+			return tableArtifacts("table1", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "table2",
+		Desc: "Table II: successive sojourn times",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Table2(ctx, env.Pool, DefaultTable2Config())
+			return tableArtifacts("table2", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "fig4",
+		Desc: "Figure 4: absorption probabilities",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := Figure4(ctx, env.Pool, DefaultFigure4Config())
+			return tableArtifacts("figure4", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "fig5",
+		Desc: "Figure 5: overlay safe/polluted proportions",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultFigure5Config()
+			if env.Quick {
+				cfg.MaxEvents = 10000
+				cfg.Samples = 20
+			}
+			safe, polluted, err := Figure5(ctx, env.Pool, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []Artifact{
+				{Name: "figure5_safe", Figure: safe},
+				{Name: "figure5_polluted", Figure: polluted},
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Key:  "ablk",
+		Desc: "Ablation A2: all protocol_k",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := AblationK(ctx, env.Pool, DefaultAblationKConfig())
+			return tableArtifacts("ablation_k", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "ablnu",
+		Desc: "Ablation A1: Rule 1 ν sensitivity",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			t, err := AblationNu(ctx, env.Pool, DefaultAblationNuConfig())
+			return tableArtifacts("ablation_nu", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "mc",
+		Desc: "Validation A3: Monte-Carlo cross-check",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultValidationConfig()
+			cfg.Seed = env.Seed
+			if env.Quick {
+				cfg.Runs = 2000
+			}
+			t, err := Validation(ctx, env.Pool, cfg)
+			return tableArtifacts("validation_mc", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "sys",
+		Desc: "System A4: agent-based overlay simulation",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultSystemSimConfig()
+			cfg.Seed = env.Seed
+			if env.Quick {
+				cfg.Events = 4000
+			}
+			t, err := SystemSim(ctx, env.Pool, cfg)
+			return tableArtifacts("system_sim", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "lookup",
+		Desc: "Lookup A5: availability under attack",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultLookupConfig()
+			cfg.Seed = env.Seed
+			if env.Quick {
+				cfg.Events = 2000
+				cfg.Trials = 100
+			}
+			t, err := Lookup(ctx, env.Pool, cfg)
+			return tableArtifacts("lookup_availability", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "nusweep",
+		Desc: "Sweep S1: dense ν response surface",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultNuSweepConfig()
+			if env.Quick {
+				cfg.Nus = []float64{0.05, 0.20, 0.50}
+				cfg.Ks = []int{2, 7}
+			}
+			t, err := NuSweep(ctx, env.Pool, cfg)
+			return tableArtifacts("sweep_nu", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "stress9",
+		Desc: "Sweep S2: large-cluster stress (C=∆=9)",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultStressConfig()
+			if env.Quick {
+				cfg.Mus = []float64{0.20}
+				cfg.Ds = []float64{0.50, 0.90}
+			}
+			t, err := Stress(ctx, env.Pool, cfg)
+			return tableArtifacts("sweep_stress", t, err)
+		},
+	})
+}

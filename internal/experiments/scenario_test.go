@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"targetedattacks/internal/engine"
+)
+
+func TestRegistryHasAllBuiltins(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "table1", "table2", "fig4", "fig5",
+		"ablk", "ablnu", "mc", "sys", "lookup", "nusweep", "stress9",
+	}
+	keys := Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("registry has %d scenarios %v, want %d", len(keys), keys, len(want))
+	}
+	for i, key := range want {
+		if keys[i] != key {
+			t.Errorf("keys[%d] = %q, want %q (registration order is the paper's order)", i, keys[i], key)
+		}
+	}
+	for _, key := range want {
+		s, ok := Find(key)
+		if !ok {
+			t.Errorf("Find(%q) missing", key)
+			continue
+		}
+		if s.Desc == "" {
+			t.Errorf("scenario %q has no description", key)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find of unknown key succeeded")
+	}
+}
+
+func TestRegisterValidates(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("empty key", func() {
+		Register(Scenario{Desc: "x", Run: func(context.Context, Env) ([]Artifact, error) { return nil, nil }})
+	})
+	assertPanics("nil run", func() { Register(Scenario{Key: "k"}) })
+	assertPanics("duplicate", func() {
+		Register(Scenario{Key: "fig1", Run: func(context.Context, Env) ([]Artifact, error) { return nil, nil }})
+	})
+}
+
+func TestRunScenariosConcurrent(t *testing.T) {
+	env := Env{Pool: engine.New(4), Seed: 1, Quick: true}
+	results, err := RunScenarios(context.Background(), env, []string{"fig1", "table2", "stress9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, key := range []string{"fig1", "table2", "stress9"} {
+		if results[i].Scenario.Key != key {
+			t.Errorf("results[%d] is %q, want %q (input order)", i, results[i].Scenario.Key, key)
+		}
+		if results[i].Err != nil {
+			t.Errorf("%s: %v", key, results[i].Err)
+		}
+		if len(results[i].Artifacts) == 0 {
+			t.Errorf("%s produced no artifacts", key)
+		}
+	}
+}
+
+func TestRunScenariosUnknownKey(t *testing.T) {
+	if _, err := RunScenarios(context.Background(), Env{}, []string{"fig1", "bogus"}); err == nil {
+		t.Error("unknown key: want error")
+	}
+}
+
+func TestArtifactRendering(t *testing.T) {
+	tb := &Table{Title: "t", Columns: []string{"a"}}
+	if err := tb.AddRow("1"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	art := Artifact{Name: "x", Table: tb}
+	if err := art.Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t") {
+		t.Error("text rendering lost the table")
+	}
+	buf.Reset()
+	if err := art.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a\n") {
+		t.Errorf("CSV = %q", buf.String())
+	}
+	empty := Artifact{Name: "hollow"}
+	if err := empty.Text(&buf); err == nil {
+		t.Error("empty artifact Text: want error")
+	}
+	if err := empty.CSV(&buf); err == nil {
+		t.Error("empty artifact CSV: want error")
+	}
+}
+
+func TestNuSweepScenario(t *testing.T) {
+	cfg := NuSweepConfig{Nus: []float64{0.05, 0.5}, Ks: []int{2, 7}, Mu: 0.3, D: 0.9}
+	tb, err := NuSweep(context.Background(), engine.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	if _, err := NuSweep(context.Background(), nil, NuSweepConfig{}); err == nil {
+		t.Error("empty grid: want error")
+	}
+}
+
+func TestStressScenario(t *testing.T) {
+	cfg := StressConfig{C: 9, Delta: 9, Ks: []int{1}, Mus: []float64{0, 0.2}, Ds: []float64{0.9}}
+	tb, err := Stress(context.Background(), engine.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Title, "C=9") {
+		t.Errorf("title %q missing C=9", tb.Title)
+	}
+	// µ=0 must be pollution-free even on the larger cluster.
+	if tb.Rows[0][5] != "0" {
+		t.Errorf("µ=0 P(ever polluted) = %q, want 0", tb.Rows[0][5])
+	}
+	if _, err := Stress(context.Background(), nil, StressConfig{C: 9, Delta: 9}); err == nil {
+		t.Error("empty grid: want error")
+	}
+}
+
+// TestParallelMatchesSerial is the sweep-level determinism check: a grid
+// computed on 8 workers must render identically to the serial loop.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Figure3Config{
+		Mus:           []float64{0, 0.1, 0.2, 0.3},
+		Ds:            []float64{0.5, 0.9},
+		Ks:            []int{1, 7},
+		Distributions: DefaultFigure3Config().Distributions,
+	}
+	serial, err := Figure3(context.Background(), engine.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure3(context.Background(), engine.New(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("parallel Figure 3 differs from serial rendering")
+	}
+}

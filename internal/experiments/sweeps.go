@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+)
+
+// The sweeps in this file go beyond the paper's printed evaluation. They
+// exist because the engine makes them affordable: each is a dense
+// parameter grid of independent model solves that the former serial
+// design made too slow to run routinely.
+
+// NuSweepConfig parameterizes the fine-grained ν sweep (S1).
+type NuSweepConfig struct {
+	// Nus is the Rule 1 threshold grid, much denser than ablation A1.
+	Nus []float64
+	// Ks are the protocols swept (Rule 1 is inert for k = 1).
+	Ks []int
+	// Mu and D fix the attack point.
+	Mu, D float64
+}
+
+// DefaultNuSweepConfig sweeps 11 thresholds × every randomizing protocol
+// at the paper's hardest printed attack point (µ=30%, d=90%).
+func DefaultNuSweepConfig() NuSweepConfig {
+	return NuSweepConfig{
+		Nus: []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60, 0.75, 0.90},
+		Ks:  []int{2, 3, 4, 5, 6, 7},
+		Mu:  0.30,
+		D:   0.90,
+	}
+}
+
+// NuSweep densely maps the response surface of the unspecified Rule 1
+// threshold ν: for every (k, ν) it reports the expected safe/polluted
+// times, the probability of ever being polluted and the number of states
+// in which Rule 1 fires. It extends ablation A1 from 15 to 66 model
+// solves, fanned across the pool.
+func NuSweep(ctx context.Context, pool *engine.Pool, cfg NuSweepConfig) (*Table, error) {
+	if len(cfg.Nus) == 0 || len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: NuSweep needs non-empty Nus and Ks")
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Sweep S1 — dense ν response surface (µ=%g%%, d=%g%%, α=δ)", cfg.Mu*100, cfg.D*100),
+		Columns: []string{"k", "nu", "E(T_S)", "E(T_P)", "P(ever polluted)", "rule1 states"},
+		Note:    "extends ablation A1: the paper never fixes ν; the surface shows how the adversary's voluntary-leave trigger shapes pollution",
+	}
+	type point struct {
+		k  int
+		nu float64
+	}
+	var points []point
+	for _, k := range cfg.Ks {
+		for _, nu := range cfg.Nus {
+			points = append(points, point{k, nu})
+		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, pt.k, pt.nu
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		fires, err := countRule1States(p)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmt.Sprintf("%d", pt.k),
+			fmt.Sprintf("%g", pt.nu),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+			fmtFloat(a.PollutionProbability),
+			fmt.Sprintf("%d", fires),
+		}}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// StressConfig parameterizes the large-cluster stress sweep (S2).
+type StressConfig struct {
+	// C and Delta size the cluster; C = ∆ = 9 grows Ω well past the
+	// paper's 288 states and raises the Byzantine quorum to c = 2.
+	C, Delta int
+	// Ks are the protocols compared (typically 1 and C).
+	Ks []int
+	// Mus and Ds span the attack grid.
+	Mus []float64
+	Ds  []float64
+}
+
+// DefaultStressConfig evaluates C = ∆ = 9 across the paper's attack axes.
+func DefaultStressConfig() StressConfig {
+	return StressConfig{
+		C:     9,
+		Delta: 9,
+		Ks:    []int{1, 9},
+		Mus:   []float64{0.10, 0.20, 0.30},
+		Ds:    []float64{0.50, 0.80, 0.90},
+	}
+}
+
+// Stress evaluates the closed forms on a larger cluster than the paper
+// ever prints (C = ∆ = 9 by default): expected safe/polluted times,
+// pollution probability and the polluted-merge absorption risk for every
+// (k, µ, d). Each cell builds and solves its own enlarged chain, fanned
+// across the pool.
+func Stress(ctx context.Context, pool *engine.Pool, cfg StressConfig) (*Table, error) {
+	if len(cfg.Ks) == 0 || len(cfg.Mus) == 0 || len(cfg.Ds) == 0 {
+		return nil, fmt.Errorf("experiments: Stress needs non-empty Ks, Mus and Ds")
+	}
+	sp, err := core.NewSpace(cfg.C, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Sweep S2 — large-cluster stress (C=%d, ∆=%d, |Ω|=%d, α=δ)",
+			cfg.C, cfg.Delta, sp.Size()),
+		Columns: []string{"protocol", "mu", "d", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
+		Note: fmt.Sprintf("beyond the paper's evaluation: quorum c=%d; checks that the C=∆=7 "+
+			"qualitative ordering survives a larger cluster", (cfg.C-1)/3),
+	}
+	type point struct {
+		k     int
+		mu, d float64
+	}
+	var points []point
+	for _, k := range cfg.Ks {
+		for _, mu := range cfg.Mus {
+			for _, d := range cfg.Ds {
+				points = append(points, point{k, mu, d})
+			}
+		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := core.Params{C: cfg.C, Delta: cfg.Delta, Mu: pt.mu, D: pt.d, K: pt.k, Nu: 0.1}
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmt.Sprintf("protocol_%d", pt.k),
+			fmtPercent(pt.mu),
+			fmtPercent(pt.d),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+			fmtFloat(a.PollutionProbability),
+			fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
+		}}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

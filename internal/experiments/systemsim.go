@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlaynet"
 )
 
@@ -41,8 +43,9 @@ func DefaultSystemSimConfig() SystemSimConfig {
 // the operation census. The analytic model predicts pollution levels to
 // rise with both µ and d (Figure 3's ordering); this experiment checks
 // the same ordering emerges from the running system rather than from the
-// chain abstraction.
-func SystemSim(cfg SystemSimConfig) (*Table, error) {
+// chain abstraction. Each grid cell simulates an independent overlay with
+// its own deterministic seed, so cells fan out across the pool.
+func SystemSim(ctx context.Context, pool *engine.Pool, cfg SystemSimConfig) (*Table, error) {
 	if cfg.Events < 1 || cfg.Checkpoints < 1 {
 		return nil, fmt.Errorf("experiments: SystemSim needs positive Events and Checkpoints")
 	}
@@ -57,66 +60,73 @@ func SystemSim(cfg SystemSimConfig) (*Table, error) {
 			"never reset, so the standing malicious fraction ratchets up until " +
 			"Property 1 expiries balance it — see EXPERIMENTS.md",
 	}
+	type point struct {
+		mu, d float64
+	}
+	var points []point
 	for _, mu := range cfg.Mus {
 		for _, d := range cfg.Ds {
-			net, err := overlaynet.New(overlaynet.Config{
-				Params:           core.Params{C: 7, Delta: 7, Mu: mu, D: d, K: 1, Nu: 0.1},
-				InitialLabelBits: cfg.InitialLabelBits,
-				// ModelFidelity evicts malicious peers through the same
-				// Bernoulli(d^count) survival draws as the analytic
-				// chain, making d the decisive knob; the stationary
-				// controller keeps the overlay from draining so the
-				// long-run pollution level is well defined.
-				Mode:                 overlaynet.ModelFidelity,
-				StationaryPopulation: true,
-				Seed:                 cfg.Seed,
-			})
-			if err != nil {
+			points = append(points, point{mu, d})
+		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		net, err := overlaynet.New(overlaynet.Config{
+			Params:           core.Params{C: 7, Delta: 7, Mu: pt.mu, D: pt.d, K: 1, Nu: 0.1},
+			InitialLabelBits: cfg.InitialLabelBits,
+			// ModelFidelity evicts malicious peers through the same
+			// Bernoulli(d^count) survival draws as the analytic
+			// chain, making d the decisive knob; the stationary
+			// controller keeps the overlay from draining so the
+			// long-run pollution level is well defined.
+			Mode:                 overlaynet.ModelFidelity,
+			StationaryPopulation: true,
+			Seed:                 cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		step := cfg.Events / cfg.Checkpoints
+		if step == 0 {
+			step = 1
+		}
+		var sum, peak float64
+		var samples int
+		for done := 0; done < cfg.Events; done += step {
+			n := step
+			if done+n > cfg.Events {
+				n = cfg.Events - done
+			}
+			if err := net.Run(n); err != nil {
 				return nil, err
 			}
-			step := cfg.Events / cfg.Checkpoints
-			if step == 0 {
-				step = 1
-			}
-			var sum, peak float64
-			var samples int
-			for done := 0; done < cfg.Events; done += step {
-				n := step
-				if done+n > cfg.Events {
-					n = cfg.Events - done
-				}
-				if err := net.Run(n); err != nil {
-					return nil, err
-				}
-				frac := net.Snapshot().PollutedFraction
-				sum += frac
-				samples++
-				if frac > peak {
-					peak = frac
-				}
-			}
-			m := net.Metrics()
-			final := net.Snapshot()
-			malFrac := 0.0
-			if final.Peers > 0 {
-				malFrac = float64(final.MaliciousPeers) / float64(final.Peers)
-			}
-			err = t.AddRow(
-				fmtPercent(mu),
-				fmtPercent(d),
-				fmtFloat(sum/float64(samples)),
-				fmtFloat(peak),
-				fmtFloat(malFrac),
-				fmt.Sprintf("%d", final.Clusters),
-				fmt.Sprintf("%d", m.Splits),
-				fmt.Sprintf("%d", m.Merges),
-				fmt.Sprintf("%d", m.DiscardedJoins),
-				fmt.Sprintf("%d", m.RefusedLeaves),
-			)
-			if err != nil {
-				return nil, err
+			frac := net.Snapshot().PollutedFraction
+			sum += frac
+			samples++
+			if frac > peak {
+				peak = frac
 			}
 		}
+		m := net.Metrics()
+		final := net.Snapshot()
+		malFrac := 0.0
+		if final.Peers > 0 {
+			malFrac = float64(final.MaliciousPeers) / float64(final.Peers)
+		}
+		return [][]string{{
+			fmtPercent(pt.mu),
+			fmtPercent(pt.d),
+			fmtFloat(sum / float64(samples)),
+			fmtFloat(peak),
+			fmtFloat(malFrac),
+			fmt.Sprintf("%d", final.Clusters),
+			fmt.Sprintf("%d", m.Splits),
+			fmt.Sprintf("%d", m.Merges),
+			fmt.Sprintf("%d", m.DiscardedJoins),
+			fmt.Sprintf("%d", m.RefusedLeaves),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

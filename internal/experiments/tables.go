@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 )
 
 // Table1Config parameterizes Table I.
@@ -21,36 +23,44 @@ func DefaultTable1Config() Table1Config {
 }
 
 // Table1 regenerates the paper's Table I: E(T_S^1) and E(T_P^1) as a
-// function of µ and d for k = 1, C = ∆ = 7, α = δ.
-func Table1(cfg Table1Config) (*Table, error) {
+// function of µ and d for k = 1, C = ∆ = 7, α = δ. The (µ, d) grid fans
+// out across the pool.
+func Table1(ctx context.Context, pool *engine.Pool, cfg Table1Config) (*Table, error) {
 	t := &Table{
 		Title:   "Table I — E(T_S^(1)) and E(T_P^(1)) vs µ and d (k=1, C=7, ∆=7, α=δ)",
 		Columns: []string{"mu", "d", "E(T_S)", "E(T_P)"},
 		Note: "paper prints 1518 at (µ=10%, d=0.999); computed 1.488e6 fits the " +
 			"paper's own ×7e5 column growth (see EXPERIMENTS.md)",
 	}
+	type point struct {
+		mu, d float64
+	}
+	var points []point
 	for _, mu := range cfg.Mus {
 		for _, d := range cfg.Ds {
-			p := baseParams()
-			p.Mu, p.D = mu, d
-			m, err := core.New(p)
-			if err != nil {
-				return nil, err
-			}
-			a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-			if err != nil {
-				return nil, err
-			}
-			err = t.AddRow(
-				fmtPercent(mu),
-				fmt.Sprintf("%g", d),
-				fmtFloat(a.ExpectedSafeTime),
-				fmtFloat(a.ExpectedPollutedTime),
-			)
-			if err != nil {
-				return nil, err
-			}
+			points = append(points, point{mu, d})
 		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := baseParams()
+		p.Mu, p.D = pt.mu, pt.d
+		m, err := core.New(p)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmtPercent(pt.mu),
+			fmt.Sprintf("%g", pt.d),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -72,8 +82,9 @@ func DefaultTable2Config() Table2Config {
 }
 
 // Table2 regenerates the paper's Table II: the expected durations of the
-// successive sojourns in S and P (k=1, C=7, ∆=7, d=90%, α=δ).
-func Table2(cfg Table2Config) (*Table, error) {
+// successive sojourns in S and P (k=1, C=7, ∆=7, d=90%, α=δ), one µ per
+// pool task.
+func Table2(ctx context.Context, pool *engine.Pool, cfg Table2Config) (*Table, error) {
 	if cfg.Sojourns < 1 {
 		return nil, fmt.Errorf("experiments: Table2 needs ≥ 1 sojourn, got %d", cfg.Sojourns)
 	}
@@ -90,7 +101,8 @@ func Table2(cfg Table2Config) (*Table, error) {
 		Note: "paper prints 0.26 at (µ=20%, E(T_P,2)); computed 0.026 matches all " +
 			"neighboring magnitudes (see EXPERIMENTS.md)",
 	}
-	for _, mu := range cfg.Mus {
+	if err := gridRows(ctx, pool, t, len(cfg.Mus), func(i int) ([][]string, error) {
+		mu := cfg.Mus[i]
 		p := baseParams()
 		p.Mu, p.D = mu, cfg.D
 		m, err := core.New(p)
@@ -108,9 +120,9 @@ func Table2(cfg Table2Config) (*Table, error) {
 		for _, v := range a.PollutedSojourns {
 			cells = append(cells, fmtFloat(v))
 		}
-		if err := t.AddRow(cells...); err != nil {
-			return nil, err
-		}
+		return [][]string{cells}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -3,29 +3,50 @@
 // cross-validation of every closed-form quantity (expected safe/polluted
 // times, successive sojourns, absorption probabilities) computed by
 // internal/core and internal/markov.
+//
+// Randomness comes from math/rand/v2 PCG streams derived by the execution
+// engine (internal/engine): the batch entry points RunBatch and
+// RunManyBatch give every trajectory its own stream keyed by (root seed,
+// trajectory index), so a batch is bit-identical whether it runs on one
+// worker or many. The sequential Run method keeps a single advancing
+// stream for callers that want one continuous trajectory source.
 package montecarlo
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/stats"
 )
 
-// Simulator samples trajectories of a cluster model.
+// batchChunk is the number of trajectories aggregated per engine task.
+// Worker count and scheduling never affect results (each trajectory has
+// its own stream and partial summaries merge in chunk order), but the
+// chunk size itself is part of the numeric contract: changing it
+// repartitions the floating-point merge tree and shifts Summary values
+// in the low bits, so treat a change like the seeded-RNG migration — a
+// deliberate, golden-test-updating event.
+const batchChunk = 64
+
+// Simulator samples trajectories of a cluster model. It is not safe for
+// concurrent use — the batch entry points parallelize internally instead.
 type Simulator struct {
 	model *core.Model
-	rng   *rand.Rand
+	seed  uint64
+	rng   *rand.Rand // advancing stream used by the sequential Run path
+	drawn uint64     // trajectories consumed by earlier batch calls
 }
 
-// New creates a simulator with a deterministic seed.
+// New creates a simulator with a deterministic root seed.
 func New(model *core.Model, seed int64) (*Simulator, error) {
 	if model == nil {
 		return nil, fmt.Errorf("montecarlo: nil model")
 	}
-	return &Simulator{model: model, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Simulator{model: model, seed: uint64(seed), rng: engine.Stream(uint64(seed), 0)}, nil
 }
 
 // Trajectory is the outcome of one simulated cluster lifetime.
@@ -43,17 +64,20 @@ type Trajectory struct {
 }
 
 // Run simulates one trajectory from the given state, stopping at
-// absorption or after maxSteps transitions.
+// absorption or after maxSteps transitions. Successive calls advance the
+// simulator's sequential random stream.
 func (s *Simulator) Run(start core.State, maxSteps int) (*Trajectory, error) {
 	sp := s.model.Space()
 	idx, ok := sp.Index(start)
 	if !ok {
 		return nil, fmt.Errorf("montecarlo: start state %v outside Ω", start)
 	}
-	return s.run(idx, maxSteps)
+	return s.sample(s.rng, idx, maxSteps)
 }
 
-func (s *Simulator) run(idx, maxSteps int) (*Trajectory, error) {
+// sample simulates one trajectory from state index idx using rng. It is
+// the stateless sampling kernel shared by the sequential and batch paths.
+func (s *Simulator) sample(rng *rand.Rand, idx, maxSteps int) (*Trajectory, error) {
 	if maxSteps < 1 {
 		return nil, fmt.Errorf("montecarlo: maxSteps must be ≥ 1, got %d", maxSteps)
 	}
@@ -86,7 +110,7 @@ func (s *Simulator) run(idx, maxSteps int) (*Trajectory, error) {
 			closeSojourn(curClass)
 			curClass = cl
 		}
-		next, err := sampleRow(s.rng, m, cur)
+		next, err := sampleRow(rng, m, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -149,9 +173,62 @@ type Summary struct {
 	Absorption *stats.Counter
 }
 
+func newSummary() *Summary {
+	return &Summary{Absorption: stats.NewCounter()}
+}
+
+// observe folds one trajectory into the summary.
+func (sum *Summary) observe(tr *Trajectory) {
+	sum.Runs++
+	sum.SafeTime.Observe(float64(tr.StepsSafe))
+	sum.PollutedTime.Observe(float64(tr.StepsPolluted))
+	first := 0.0
+	if len(tr.SojournsSafe) > 0 {
+		first = float64(tr.SojournsSafe[0])
+	}
+	sum.FirstSafeSojourn.Observe(first)
+	first = 0.0
+	if len(tr.SojournsPolluted) > 0 {
+		first = float64(tr.SojournsPolluted[0])
+	}
+	sum.FirstPollutedSojourn.Observe(first)
+	if tr.Truncated {
+		sum.Truncated++
+	} else {
+		sum.Absorption.Add(tr.Absorbed)
+	}
+}
+
+// merge folds another summary into sum. Merging partials in a fixed order
+// keeps batch results independent of the pool width.
+func (sum *Summary) merge(o *Summary) {
+	sum.Runs += o.Runs
+	sum.Truncated += o.Truncated
+	sum.SafeTime.Merge(o.SafeTime)
+	sum.PollutedTime.Merge(o.PollutedTime)
+	sum.FirstSafeSojourn.Merge(o.FirstSafeSojourn)
+	sum.FirstPollutedSojourn.Merge(o.FirstPollutedSojourn)
+	sum.Absorption.Merge(o.Absorption)
+}
+
 // RunMany simulates runs trajectories with the initial state drawn from
-// alpha (a distribution over Ω).
+// alpha (a distribution over Ω). It is the serial form of RunManyBatch:
+// the same root seed and call sequence produce the identical Summary
+// through either entry point, on any number of workers, and repeated
+// calls accumulate independent samples.
 func (s *Simulator) RunMany(alpha []float64, runs, maxSteps int) (*Summary, error) {
+	return s.RunManyBatch(context.Background(), nil, alpha, runs, maxSteps)
+}
+
+// RunManyBatch simulates runs trajectories with initial states drawn from
+// alpha, fanning fixed-size chunks of trajectories across the pool (nil
+// pool means serial). Trajectory r of a call draws all its randomness —
+// including its initial state — from the stream (seed, drawn+r+1), where
+// drawn counts the trajectories consumed by earlier batch calls: the
+// Summary is bit-identical for every pool width, successive calls on one
+// Simulator yield independent samples, and a fresh Simulator with the
+// same seed reproduces the whole call sequence.
+func (s *Simulator) RunManyBatch(ctx context.Context, pool *engine.Pool, alpha []float64, runs, maxSteps int) (*Summary, error) {
 	sp := s.model.Space()
 	if len(alpha) != sp.Size() {
 		return nil, fmt.Errorf("montecarlo: alpha has length %d, want |Ω| = %d", len(alpha), sp.Size())
@@ -159,33 +236,67 @@ func (s *Simulator) RunMany(alpha []float64, runs, maxSteps int) (*Summary, erro
 	if runs < 1 {
 		return nil, fmt.Errorf("montecarlo: runs must be ≥ 1, got %d", runs)
 	}
-	sum := &Summary{Runs: runs, Absorption: stats.NewCounter()}
-	for r := 0; r < runs; r++ {
-		start, err := sampleDistribution(s.rng, alpha)
-		if err != nil {
-			return nil, err
+	return s.batch(ctx, pool, runs, maxSteps, func(rng *rand.Rand) (int, error) {
+		return sampleDistribution(rng, alpha)
+	})
+}
+
+// RunBatch simulates n trajectories from the fixed start state, fanning
+// them across the pool (nil pool means serial) and merging the per-chunk
+// summaries. It shares RunManyBatch's determinism contract: independent
+// of pool width, advancing across calls, reproducible from the seed.
+func (s *Simulator) RunBatch(ctx context.Context, pool *engine.Pool, start core.State, n, maxSteps int) (*Summary, error) {
+	sp := s.model.Space()
+	idx, ok := sp.Index(start)
+	if !ok {
+		return nil, fmt.Errorf("montecarlo: start state %v outside Ω", start)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("montecarlo: runs must be ≥ 1, got %d", n)
+	}
+	return s.batch(ctx, pool, n, maxSteps, func(*rand.Rand) (int, error) {
+		return idx, nil
+	})
+}
+
+// batch fans runs trajectories across the pool in chunks, drawing each
+// trajectory's start index via startIdx from the trajectory's own stream.
+func (s *Simulator) batch(ctx context.Context, pool *engine.Pool, runs, maxSteps int, startIdx func(rng *rand.Rand) (int, error)) (*Summary, error) {
+	if maxSteps < 1 {
+		return nil, fmt.Errorf("montecarlo: maxSteps must be ≥ 1, got %d", maxSteps)
+	}
+	base := s.drawn
+	s.drawn += uint64(runs)
+	chunks := (runs + batchChunk - 1) / batchChunk
+	partials := make([]*Summary, chunks)
+	err := engine.Ensure(pool).Run(ctx, chunks, func(ci int) error {
+		lo := ci * batchChunk
+		hi := lo + batchChunk
+		if hi > runs {
+			hi = runs
 		}
-		tr, err := s.run(start, maxSteps)
-		if err != nil {
-			return nil, err
+		part := newSummary()
+		for r := lo; r < hi; r++ {
+			rng := engine.Stream(s.seed, base+uint64(r)+1)
+			idx, err := startIdx(rng)
+			if err != nil {
+				return err
+			}
+			tr, err := s.sample(rng, idx, maxSteps)
+			if err != nil {
+				return err
+			}
+			part.observe(tr)
 		}
-		sum.SafeTime.Observe(float64(tr.StepsSafe))
-		sum.PollutedTime.Observe(float64(tr.StepsPolluted))
-		first := 0.0
-		if len(tr.SojournsSafe) > 0 {
-			first = float64(tr.SojournsSafe[0])
-		}
-		sum.FirstSafeSojourn.Observe(first)
-		first = 0.0
-		if len(tr.SojournsPolluted) > 0 {
-			first = float64(tr.SojournsPolluted[0])
-		}
-		sum.FirstPollutedSojourn.Observe(first)
-		if tr.Truncated {
-			sum.Truncated++
-		} else {
-			sum.Absorption.Add(tr.Absorbed)
-		}
+		partials[ci] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := newSummary()
+	for _, part := range partials {
+		sum.merge(part)
 	}
 	return sum, nil
 }

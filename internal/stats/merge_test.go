@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	var whole Running
+	for _, x := range xs {
+		whole.Observe(x)
+	}
+	for _, cut := range []int{0, 1, 7, len(xs)} {
+		var a, b Running
+		for _, x := range xs[:cut] {
+			a.Observe(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Observe(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: N = %d, want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("cut %d: mean %v vs %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-12 {
+			t.Errorf("cut %d: variance %v vs %v", cut, a.Variance(), whole.Variance())
+		}
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Observe(2)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 2 {
+		t.Errorf("merge of empty changed a: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 2 {
+		t.Errorf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	a.Add("x")
+	a.Add("y")
+	b.Add("y")
+	b.Add("z")
+	a.Merge(b)
+	if a.Total() != 4 {
+		t.Errorf("Total = %d, want 4", a.Total())
+	}
+	for label, want := range map[string]int{"x": 1, "y": 2, "z": 1} {
+		if got := a.Count(label); got != want {
+			t.Errorf("Count(%q) = %d, want %d", label, got, want)
+		}
+	}
+	a.Merge(nil) // nil is a no-op
+	if a.Total() != 4 {
+		t.Errorf("Total after nil merge = %d", a.Total())
+	}
+}

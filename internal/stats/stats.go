@@ -42,6 +42,26 @@ func (r *Running) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
+// Merge folds another accumulator into r using Chan et al.'s parallel
+// update, as if every observation of o had been Observed on r. Merging
+// partial accumulators in a fixed order yields results independent of how
+// the observations were partitioned across workers.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	nA, nB := float64(r.n), float64(o.n)
+	n := nA + nB
+	delta := o.mean - r.mean
+	r.mean += delta * nB / n
+	r.m2 += o.m2 + delta*delta*nA*nB/n
+	r.n += o.n
+}
+
 // StdErr returns the standard error of the mean.
 func (r *Running) StdErr() float64 {
 	if r.n == 0 {
@@ -80,6 +100,17 @@ func (c *Counter) Add(label string) {
 
 // Count returns label's count.
 func (c *Counter) Count(label string) int { return c.counts[label] }
+
+// Merge adds every count of o into c.
+func (c *Counter) Merge(o *Counter) {
+	if o == nil {
+		return
+	}
+	for label, n := range o.counts {
+		c.counts[label] += n
+	}
+	c.total += o.total
+}
 
 // Total returns the number of Add calls.
 func (c *Counter) Total() int { return c.total }
