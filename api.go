@@ -5,6 +5,7 @@ import (
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/montecarlo"
 	"targetedattacks/internal/overlay"
 )
@@ -41,6 +42,12 @@ type (
 	// Simulator.RunManyBatch) and experiment scenario sweeps. Results
 	// are deterministic for a fixed seed, whatever the pool width.
 	Pool = engine.Pool
+	// SolverConfig selects the linear-solver backend of the closed-form
+	// analytics: the exact dense LU (the zero value) or a sparse
+	// iterative path ("sparse"/"bicgstab", "gs", "auto") that never
+	// densifies the transition matrix and keeps state spaces with
+	// thousands of transient states affordable.
+	SolverConfig = matrix.SolverConfig
 )
 
 // Initial distributions of the paper (Section VII-A).
@@ -74,8 +81,19 @@ const (
 func DefaultParams() Params { return core.DefaultParams() }
 
 // NewModel validates p and builds the cluster model: its state space Ω
-// and the exact transition matrix of the paper's Figure 2.
+// and the exact transition matrix of the paper's Figure 2. Analyses use
+// the exact dense LU solver; use NewModelWithSolver for the sparse path.
 func NewModel(p Params) (*Model, error) { return core.New(p) }
+
+// NewModelWithSolver is NewModel with an explicit linear-solver backend,
+// e.g. SolverConfig{Kind: "sparse"} for the iterative CSR path that makes
+// large C/∆ state spaces affordable.
+func NewModelWithSolver(p Params, sc SolverConfig) (*Model, error) {
+	return core.NewWithSolver(p, sc)
+}
+
+// SolverKinds lists the accepted SolverConfig.Kind values.
+func SolverKinds() []string { return matrix.SolverKinds() }
 
 // NewOverlay builds the n-cluster overlay view of a model, implementing
 // Theorems 1 and 2 (competing Markov chains).

@@ -162,3 +162,34 @@ func TestFacadeConstantsDistinct(t *testing.T) {
 		t.Error("distributions must be distinct")
 	}
 }
+
+func TestFacadeSparseSolver(t *testing.T) {
+	params := DefaultParams()
+	params.Mu = 0.2
+	params.D = 0.9
+	dense, err := NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewModelWithSolver(params, SolverConfig{Kind: "sparse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dense.AnalyzeNamed(DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparse.AnalyzeNamed(DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.ExpectedSafeTime-b.ExpectedSafeTime) > 1e-9*(1+a.ExpectedSafeTime) {
+		t.Errorf("E(T_S): dense %v vs sparse %v", a.ExpectedSafeTime, b.ExpectedSafeTime)
+	}
+	if len(SolverKinds()) == 0 {
+		t.Error("SolverKinds is empty")
+	}
+	if _, err := NewModelWithSolver(params, SolverConfig{Kind: "qr"}); err == nil {
+		t.Error("unknown solver kind: want error")
+	}
+}

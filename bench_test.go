@@ -8,6 +8,7 @@ import (
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/montecarlo"
 )
 
@@ -201,8 +202,32 @@ func BenchmarkModelConstruction(b *testing.B) {
 	}
 }
 
-// BenchmarkAnalyze measures one full closed-form analysis.
+// BenchmarkAnalyze measures one full closed-form analysis per solver
+// backend at the 550-state stress9 size (C=∆=9): the dense LU reference
+// against the sparse iterative path. The sparse path runs ≥ 5× faster
+// here and the gap widens with the state space (see the
+// "large" scenario for C=∆ up to 25, where dense is no longer viable).
 func BenchmarkAnalyze(b *testing.B) {
+	p := core.Params{C: 9, Delta: 9, Mu: 0.2, D: 0.9, K: 1, Nu: 0.1}
+	for _, kind := range []string{"dense", "sparse"} {
+		b.Run(kind, func(b *testing.B) {
+			m, err := core.NewWithSolver(p, matrix.SolverConfig{Kind: kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.AnalyzeNamed(core.DistributionDelta, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzePaperSize keeps the original C=∆=7 measurement (the
+// kernel under every paper-exact experiment).
+func BenchmarkAnalyzePaperSize(b *testing.B) {
 	m, err := core.New(core.Params{C: 7, Delta: 7, Mu: 0.2, D: 0.9, K: 1, Nu: 0.1})
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +235,19 @@ func BenchmarkAnalyze(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.AnalyzeNamed(core.DistributionDelta, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeClusterSweep tracks the sparse pipeline at scale: the
+// full S3 sweep (C=∆ ∈ {16, 20, 25}, up to 8424 transient states per
+// solve) on a per-CPU pool.
+func BenchmarkLargeClusterSweep(b *testing.B) {
+	cfg := experiments.DefaultLargeClusterConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LargeCluster(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

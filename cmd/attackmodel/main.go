@@ -8,7 +8,11 @@
 //	attackmodel [-C 7] [-delta 7] [-mu 0.2] [-d 0.9] [-k 1] [-nu 0.1]
 //	            [-alpha delta|beta] [-sojourns 2] [-overlay 0] [-events 100000]
 //	            [-mc 0] [-mcsteps 1000000] [-workers 0] [-seed 1]
-//	            [-scenarios]
+//	            [-scenarios] [-solver dense|sparse|gs|auto] [-tol 1e-12]
+//
+// -solver selects the linear-solver backend of the closed forms: the
+// exact dense LU (default) or a sparse iterative path that keeps large
+// C/∆ state spaces affordable; -tol tunes the iterative residual target.
 //
 // With -overlay n > 0 it additionally prints the overlay-level expected
 // proportions of safe and polluted clusters after -events events
@@ -24,10 +28,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/montecarlo"
 	"targetedattacks/internal/overlay"
 )
@@ -57,6 +63,8 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "worker pool width for -mc (0 = one per CPU)")
 		seed      = fs.Int64("seed", 1, "root seed for -mc")
 		scenarios = fs.Bool("scenarios", false, "list the experiment scenario registry and exit")
+		solver    = fs.String("solver", "", "linear-solver backend: "+strings.Join(matrix.SolverKinds(), ", "))
+		tol       = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +77,7 @@ func run(args []string) error {
 		return nil
 	}
 	p := core.Params{C: *c, Delta: *delta, Mu: *mu, D: *d, K: *k, Nu: *nu}
-	model, err := core.New(p)
+	model, err := core.NewWithSolver(p, matrix.SolverConfig{Kind: *solver, Tol: *tol})
 	if err != nil {
 		return err
 	}
@@ -86,7 +94,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model: %v, α = %v, |Ω| = %d states\n", p, dist, model.Space().Size())
+	fmt.Printf("model: %v, α = %v, |Ω| = %d states, solver = %s\n", p, dist, model.Space().Size(), model.SolverName())
 	fmt.Printf("E(T_S) = %.6g   (expected events in safe states before absorption)\n", a.ExpectedSafeTime)
 	fmt.Printf("E(T_P) = %.6g   (expected events in polluted states before absorption)\n", a.ExpectedPollutedTime)
 	fmt.Printf("P(ever polluted) = %.6g\n", a.PollutionProbability)

@@ -59,3 +59,17 @@ func TestRunLargeCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunSparseSolver(t *testing.T) {
+	// A C=∆=12 one-off is out of reach for casual dense runs but quick on
+	// the sparse path.
+	if err := run([]string{"-C", "12", "-delta", "12", "-mu", "0.2", "-d", "0.8", "-solver", "sparse"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSolver(t *testing.T) {
+	if err := run([]string{"-solver", "cholesky"}); err == nil {
+		t.Error("unknown solver: want error")
+	}
+}

@@ -9,11 +9,15 @@
 // Usage:
 //
 //	paperrepro [-outdir results] [-quick] [-only fig3,table1,...]
-//	           [-workers N] [-seed S] [-list]
+//	           [-workers N] [-seed S] [-list] [-solver dense|sparse|gs|auto]
+//	           [-tol 1e-12] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks the slow grids for a fast smoke run. -workers 0 (the
 // default) uses one worker per CPU. -list prints the scenario catalog and
-// exits.
+// exits. -solver/-tol pick the analytic linear-solver backend for the
+// sweep scenarios S1-S3 (the paper-exact artifacts always use dense LU).
+// -cpuprofile/-memprofile write pprof profiles so solver hot spots are
+// inspectable without code edits.
 package main
 
 import (
@@ -23,10 +27,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
+	"targetedattacks/internal/matrix"
 )
 
 func main() {
@@ -39,15 +46,48 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
 	var (
-		outdir  = fs.String("outdir", "", "directory for CSV outputs (optional)")
-		quick   = fs.Bool("quick", false, "shrink slow experiments for a smoke run")
-		only    = fs.String("only", "", "comma-separated subset of scenarios (e.g. fig3,table1)")
-		workers = fs.Int("workers", 0, "worker pool width (0 = one per CPU)")
-		seed    = fs.Int64("seed", 1, "root seed for randomized scenarios")
-		list    = fs.Bool("list", false, "list the scenario catalog and exit")
+		outdir     = fs.String("outdir", "", "directory for CSV outputs (optional)")
+		quick      = fs.Bool("quick", false, "shrink slow experiments for a smoke run")
+		only       = fs.String("only", "", "comma-separated subset of scenarios (e.g. fig3,table1)")
+		workers    = fs.Int("workers", 0, "worker pool width (0 = one per CPU)")
+		seed       = fs.Int64("seed", 1, "root seed for randomized scenarios")
+		list       = fs.Bool("list", false, "list the scenario catalog and exit")
+		solver     = fs.String("solver", "", "linear-solver backend for the sweep scenarios (S1-S3): "+strings.Join(matrix.SolverKinds(), ", "))
+		tol        = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	solverCfg := matrix.SolverConfig{Kind: *solver, Tol: *tol}
+	if _, err := solverCfg.Build(); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro: memprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, s := range experiments.Scenarios() {
@@ -73,9 +113,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	env := experiments.Env{
-		Pool:  engine.New(*workers),
-		Seed:  *seed,
-		Quick: *quick,
+		Pool:   engine.New(*workers),
+		Seed:   *seed,
+		Quick:  *quick,
+		Solver: solverCfg,
 	}
 	results, err := experiments.RunScenarios(context.Background(), env, keys)
 	if err != nil {

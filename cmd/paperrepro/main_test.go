@@ -109,3 +109,41 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		t.Error("-workers 1 and -workers 8 rendered different output for the same seed")
 	}
 }
+
+func TestRunLargeSparseScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "large", "-quick", "-solver", "sparse"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sweep S3", "2295"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadSolver(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig1", "-solver", "cholesky"}, &out); err == nil {
+		t.Error("unknown solver: want error")
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig1", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

@@ -13,7 +13,7 @@
 //
 // # Layers
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
 //   - The exact analytical model: the absorbing Markov chain over states
 //     (s, x, y) — spare size, malicious core members, malicious spare
@@ -23,6 +23,17 @@
 //     successive sojourn times, absorption probabilities, and the
 //     overlay-level proportions of safe/polluted clusters under n
 //     competing chains.
+//
+//   - The sparse linear-solver layer beneath the closed forms
+//     (internal/matrix): the transition matrix lives in CSR form from
+//     construction to solve; internal/markov carves its transient and
+//     absorbing blocks directly out of the CSR and routes every relation
+//     through a pluggable Solver interface. The dense LU backend is the
+//     exact reference; the iterative backends (BiCGSTAB, Gauss–Seidel,
+//     residual-controlled) never materialize a dense matrix, which is
+//     what makes state spaces with thousands of transient states — C=∆
+//     up to 25 and beyond — affordable. Select a backend with
+//     NewModelWithSolver or the CLIs' -solver/-tol flags.
 //
 //   - A Monte-Carlo simulator of the same chain for cross-validation.
 //
@@ -51,8 +62,9 @@
 // ScenarioKeys lists them; cmd/paperrepro executes any subset
 // concurrently with -workers and -seed flags. Sweeps over the parameter
 // axes (C, ∆, k, ν, d, µ) are data in the registry rather than bespoke
-// code, so new grids (like the ν response surface or the C=∆=9 stress
-// sweep) are one registration away.
+// code, so new grids (like the ν response surface, the C=∆=9 stress
+// sweep or the C=∆≤25 large-cluster sparse sweep) are one registration
+// away.
 //
 // # Quick start
 //

@@ -1,0 +1,50 @@
+// Command largecluster demonstrates the sparse analytic pipeline on a
+// cluster far larger than anything the paper prints: C = ∆ = 20, a state
+// space of 4851 states with 4389 transient ones. The dense LU path would
+// factor a 4389×4389 matrix several times per analysis; the sparse
+// BiCGSTAB backend solves the same relations in milliseconds without ever
+// materializing a dense matrix.
+//
+// Run it with:
+//
+//	go run ./examples/largecluster
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	attacks "targetedattacks"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "largecluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	p := attacks.Params{C: 20, Delta: 20, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1}
+	model, err := attacks.NewModelWithSolver(p, attacks.SolverConfig{Kind: "sparse"})
+	if err != nil {
+		return err
+	}
+	a, err := model.AnalyzeNamed(attacks.DistributionDelta, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "model: %v, |Ω| = %d states, solver = %s\n", p, model.Space().Size(), model.SolverName())
+	fmt.Fprintf(w, "E(T_S) = %.4f\n", a.ExpectedSafeTime)
+	fmt.Fprintf(w, "E(T_P) = %.4f\n", a.ExpectedPollutedTime)
+	fmt.Fprintf(w, "P(ever polluted) = %.4f\n", a.PollutionProbability)
+	fmt.Fprintf(w, "p(safe-merge) = %.4f\n", a.Absorption[attacks.ClassNameSafeMerge])
+	fmt.Fprintf(w, "p(polluted-merge) = %.4f\n", a.Absorption[attacks.ClassNamePollutedMerge])
+	var sum float64
+	for _, pr := range a.Absorption {
+		sum += pr
+	}
+	fmt.Fprintf(w, "Σ absorption = %.6f\n", sum)
+	return nil
+}

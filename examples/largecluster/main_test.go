@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLargeClusterSmoke pins the example's expected output: a C = ∆ = 20
+// analysis (4851 states) on the sparse solver, with the headline numbers
+// stable to the printed precision. A dense-path regression (or a solver
+// accuracy drift past 1e-4) breaks this test.
+func TestLargeClusterSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"|Ω| = 4851 states",
+		"solver = bicgstab",
+		"E(T_S) = 88.0730",
+		"E(T_P) = 4.1537",
+		"P(ever polluted) = 0.1745",
+		"p(safe-merge) = 0.3017",
+		"p(polluted-merge) = 0.1292",
+		"Σ absorption = 1.000000",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

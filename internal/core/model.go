@@ -13,19 +13,36 @@ type Model struct {
 	params Params
 	space  *Space
 	m      *matrix.CSR
+	solver matrix.Solver
 }
 
-// New validates p and builds the model (state space + transition matrix).
+// New validates p and builds the model (state space + transition matrix)
+// with the exact dense LU solver backend.
 func New(p Params) (*Model, error) {
+	return NewWithSolver(p, matrix.SolverConfig{})
+}
+
+// NewWithSolver is New with an explicit linear-solver backend for the
+// closed-form analyses. The sparse backends ("sparse"/"bicgstab", "gs",
+// "auto") keep the whole pipeline CSR-only, which is what makes
+// large-cluster state spaces (thousands of transient states) affordable.
+func NewWithSolver(p Params, sc matrix.SolverConfig) (*Model, error) {
+	solver, err := sc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	m, sp, err := BuildTransitionMatrix(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{params: p, space: sp, m: m}, nil
+	return &Model{params: p, space: sp, m: m, solver: solver}, nil
 }
 
 // Params returns the model parameters.
 func (m *Model) Params() Params { return m.params }
+
+// SolverName reports the linear-solver backend of the analyses.
+func (m *Model) SolverName() string { return m.solver.Name() }
 
 // Space returns the state space Ω.
 func (m *Model) Space() *Space { return m.space }
@@ -56,6 +73,7 @@ func (m *Model) Chain(alpha []float64) (*markov.Chain, error) {
 			ClassNamePollutedMerge,
 			ClassNamePollutedSplit,
 		},
+		Solver: m.solver,
 	})
 }
 

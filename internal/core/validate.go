@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"targetedattacks/internal/matrix"
+)
+
+// DefaultStochasticityTol is the row-sum tolerance of
+// ValidateStochasticity: the transition tree of Figure 2 is built from
+// exact probability splits, so rounding error across a row stays well
+// under 1e-12.
+const DefaultStochasticityTol = 1e-12
+
+// ValidateStochasticity checks that m is the transition matrix of a
+// well-formed absorbing chain over sp:
+//
+//   - every entry is a probability (non-negative, ≤ 1 + tol);
+//   - every transient row sums to 1 within tol;
+//   - every absorbing row is an exact self-loop: a single stored entry
+//     at (i, i) with value exactly 1.
+//
+// tol ≤ 0 selects DefaultStochasticityTol. The check is sparse: it visits
+// only stored entries.
+func ValidateStochasticity(m *matrix.CSR, sp *Space, tol float64) error {
+	if m == nil || sp == nil {
+		return fmt.Errorf("core: ValidateStochasticity needs a matrix and a space")
+	}
+	if tol <= 0 {
+		tol = DefaultStochasticityTol
+	}
+	n := sp.Size()
+	if m.Rows() != n || m.Cols() != n {
+		return fmt.Errorf("core: transition matrix is %dx%d, want %dx%d over Ω", m.Rows(), m.Cols(), n, n)
+	}
+	for i := 0; i < n; i++ {
+		st := sp.At(i)
+		var sum float64
+		var entries int
+		var selfLoop float64
+		var bad error
+		m.RowNonZeros(i, func(j int, v float64) {
+			entries++
+			if j == i {
+				selfLoop = v
+			}
+			if bad == nil && (v < 0 || v > 1+tol || math.IsNaN(v)) {
+				bad = fmt.Errorf("core: state %v: entry to state %v is %v, not a probability", st, sp.At(j), v)
+			}
+			sum += v
+		})
+		if bad != nil {
+			return bad
+		}
+		if sp.Classify(st).Transient() {
+			if math.Abs(sum-1) > tol {
+				return fmt.Errorf("core: transient state %v: row sums to %v (|Δ| = %.3g > %g)",
+					st, sum, math.Abs(sum-1), tol)
+			}
+			continue
+		}
+		if entries != 1 || selfLoop != 1 {
+			return fmt.Errorf("core: absorbing state %v: want exact self-loop, got %d entries with self-loop %v",
+				st, entries, selfLoop)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"targetedattacks/internal/matrix"
+)
+
+// TestStochasticityFullDefaultGrid validates every transition matrix of
+// the paper's default parameter grid: all protocols k = 1…C crossed with
+// the printed attack axes (µ up to 30%, d up to 99%), plus the ν
+// extremes. Every transient row must sum to 1 within 1e-12 and every
+// absorbing row must be an exact self-loop.
+func TestStochasticityFullDefaultGrid(t *testing.T) {
+	base := DefaultParams()
+	for k := 1; k <= base.C; k++ {
+		for _, mu := range []float64{0, 0.1, 0.2, 0.3} {
+			for _, d := range []float64{0, 0.3, 0.5, 0.8, 0.9, 0.95, 0.99} {
+				for _, nu := range []float64{0.02, 0.1, 0.9} {
+					p := base
+					p.K, p.Mu, p.D, p.Nu = k, mu, d, nu
+					m, sp, err := BuildTransitionMatrix(p)
+					if err != nil {
+						t.Fatalf("%v: %v", p, err)
+					}
+					if err := ValidateStochasticity(m, sp, 0); err != nil {
+						t.Errorf("%v: %v", p, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStochasticityLargeCluster extends the validator to an enlarged
+// state space on the sparse path's home turf.
+func TestStochasticityLargeCluster(t *testing.T) {
+	p := Params{C: 16, Delta: 16, Mu: 0.25, D: 0.9, K: 1, Nu: 0.1}
+	m, sp, err := BuildTransitionMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateStochasticity(m, sp, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateStochasticityRejects(t *testing.T) {
+	sp, err := NewSpace(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(mutate func(b *matrix.SparseBuilder)) *matrix.CSR {
+		b := matrix.NewSparseBuilder(sp.Size(), sp.Size())
+		for i, st := range sp.States() {
+			if sp.Classify(st).Transient() {
+				_ = b.Add(i, 0, 0.5)
+				_ = b.Add(i, 1, 0.5)
+			} else {
+				_ = b.Add(i, i, 1)
+			}
+		}
+		mutate(b)
+		return b.Build()
+	}
+	transient := sp.IndicesOf(ClassSafe)[0]
+	absorbing := sp.IndicesOf(ClassSafeMerge)[0]
+
+	ok := build(func(b *matrix.SparseBuilder) {})
+	if err := ValidateStochasticity(ok, sp, 0); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	for _, tt := range []struct {
+		name   string
+		m      *matrix.CSR
+		errHas string
+	}{
+		{
+			"leaky transient row",
+			build(func(b *matrix.SparseBuilder) { _ = b.Add(transient, 2, -1e-6) }),
+			"probability",
+		},
+		{
+			"row sum off",
+			build(func(b *matrix.SparseBuilder) { _ = b.Add(transient, 2, 1e-9) }),
+			"sums to",
+		},
+		{
+			"absorbing row not a self-loop",
+			build(func(b *matrix.SparseBuilder) { _ = b.Add(absorbing, absorbing+1, 1e-3) }),
+			"self-loop",
+		},
+	} {
+		err := ValidateStochasticity(tt.m, sp, 0)
+		if err == nil {
+			t.Errorf("%s: want error", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.errHas) {
+			t.Errorf("%s: err = %v, want mention of %q", tt.name, err, tt.errHas)
+		}
+	}
+	if err := ValidateStochasticity(nil, sp, 0); err == nil {
+		t.Error("nil matrix: want error")
+	}
+	wrong := matrix.NewSparseBuilder(2, 2).Build()
+	if err := ValidateStochasticity(wrong, sp, 0); err == nil {
+		t.Error("wrong shape: want error")
+	}
+}

@@ -6,9 +6,11 @@ import (
 
 // This file registers the built-in scenarios: every table and figure of
 // the paper's evaluation (E1-E7), this reproduction's ablations and
-// validations (A1-A5), and the engine-enabled sweeps (S1-S2). Randomized
+// validations (A1-A5), and the engine-enabled sweeps (S1-S3). Randomized
 // scenarios take their root seed from Env.Seed (the CLIs' -seed flag);
-// Env.Quick shrinks the slow grids for smoke runs.
+// Env.Quick shrinks the slow grids for smoke runs. The paper-exact
+// artifacts (E1-E7, A1-A5) always solve on the dense LU path; the
+// sweeps S1-S3 honor Env.Solver (the CLIs' -solver/-tol flags).
 
 func init() {
 	Register(Scenario{
@@ -139,6 +141,7 @@ func init() {
 		Desc: "Sweep S1: dense ν response surface",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultNuSweepConfig()
+			cfg.Solver = env.Solver
 			if env.Quick {
 				cfg.Nus = []float64{0.05, 0.20, 0.50}
 				cfg.Ks = []int{2, 7}
@@ -152,12 +155,26 @@ func init() {
 		Desc: "Sweep S2: large-cluster stress (C=∆=9)",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultStressConfig()
+			cfg.Solver = env.Solver
 			if env.Quick {
 				cfg.Mus = []float64{0.20}
 				cfg.Ds = []float64{0.50, 0.90}
 			}
 			t, err := Stress(ctx, env.Pool, cfg)
 			return tableArtifacts("sweep_stress", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "large",
+		Desc: "Sweep S3: large-cluster sparse analytics (C=∆ up to 25)",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultLargeClusterConfig()
+			cfg.Solver = env.Solver
+			if env.Quick {
+				cfg.Sizes = []int{16}
+			}
+			t, err := LargeCluster(ctx, env.Pool, cfg)
+			return tableArtifacts("sweep_large", t, err)
 		},
 	})
 }

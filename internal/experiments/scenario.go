@@ -8,16 +8,23 @@ import (
 	"sync"
 
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
 )
 
 // Env carries the execution context shared by every scenario: the worker
 // pool all sweeps and Monte-Carlo batches fan out on, the root seed for
-// randomized experiments, and the quick flag that shrinks slow grids for
-// smoke runs.
+// randomized experiments, the quick flag that shrinks slow grids for
+// smoke runs, and the linear-solver backend for the closed-form
+// analytics.
 type Env struct {
 	Pool  *engine.Pool
 	Seed  int64
 	Quick bool
+	// Solver overrides the analytic linear-solver backend of the sweep
+	// scenarios S1-S3 (the paper's printed figures and tables always use
+	// the exact dense path). The zero value keeps each scenario's own
+	// default.
+	Solver matrix.SolverConfig
 }
 
 // pool returns the env's pool, defaulting to a serial one.

@@ -13,6 +13,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "table1", "table2", "fig4", "fig5",
 		"ablk", "ablnu", "mc", "sys", "lookup", "nusweep", "stress9",
+		"large",
 	}
 	keys := Keys()
 	if len(keys) != len(want) {
@@ -175,5 +176,49 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("parallel Figure 3 differs from serial rendering")
+	}
+}
+
+// TestLargeClusterScenario runs the sparse scale sweep at the C=∆=16
+// acceptance size: 2295 transient states, far past anything the dense
+// path is asked to solve in tests, completing in seconds on the
+// iterative backend.
+func TestLargeClusterScenario(t *testing.T) {
+	cfg := LargeClusterConfig{Sizes: []int{16}, Ks: []int{1}, Mu: 0.2, D: 0.8}
+	tb, err := LargeCluster(context.Background(), engine.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	if row[2] != "2601" {
+		t.Errorf("|Ω| = %q, want 2601", row[2])
+	}
+	if row[3] != "2295" {
+		t.Errorf("transient = %q, want 2295 (the ≥2000 scale gate)", row[3])
+	}
+	if !strings.Contains(tb.Title, "bicgstab") {
+		t.Errorf("title %q: zero solver config must default to bicgstab", tb.Title)
+	}
+	if _, err := LargeCluster(context.Background(), nil, LargeClusterConfig{}); err == nil {
+		t.Error("empty grid: want error")
+	}
+}
+
+// TestLargeClusterScenarioRegistered runs the registered scenario end to
+// end in quick mode, as cmd/paperrepro would.
+func TestLargeClusterScenarioRegistered(t *testing.T) {
+	env := Env{Pool: engine.New(4), Quick: true}
+	results, err := RunScenarios(context.Background(), env, []string{"large"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if len(results[0].Artifacts) != 1 || results[0].Artifacts[0].Name != "sweep_large" {
+		t.Errorf("artifacts = %+v", results[0].Artifacts)
 	}
 }

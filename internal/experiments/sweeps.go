@@ -6,6 +6,7 @@ import (
 
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
 )
 
 // The sweeps in this file go beyond the paper's printed evaluation. They
@@ -21,6 +22,9 @@ type NuSweepConfig struct {
 	Ks []int
 	// Mu and D fix the attack point.
 	Mu, D float64
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the exact dense path.
+	Solver matrix.SolverConfig
 }
 
 // DefaultNuSweepConfig sweeps 11 thresholds × every randomizing protocol
@@ -62,7 +66,7 @@ func NuSweep(ctx context.Context, pool *engine.Pool, cfg NuSweepConfig) (*Table,
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, pt.k, pt.nu
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver)
 		if err != nil {
 			return nil, err
 		}
@@ -98,6 +102,9 @@ type StressConfig struct {
 	// Mus and Ds span the attack grid.
 	Mus []float64
 	Ds  []float64
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the exact dense path.
+	Solver matrix.SolverConfig
 }
 
 // DefaultStressConfig evaluates C = ∆ = 9 across the paper's attack axes.
@@ -146,7 +153,7 @@ func Stress(ctx context.Context, pool *engine.Pool, cfg StressConfig) (*Table, e
 	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
 		pt := points[i]
 		p := core.Params{C: cfg.C, Delta: cfg.Delta, Mu: pt.mu, D: pt.d, K: pt.k, Nu: 0.1}
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver)
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +165,90 @@ func Stress(ctx context.Context, pool *engine.Pool, cfg StressConfig) (*Table, e
 			fmt.Sprintf("protocol_%d", pt.k),
 			fmtPercent(pt.mu),
 			fmtPercent(pt.d),
+			fmtFloat(a.ExpectedSafeTime),
+			fmtFloat(a.ExpectedPollutedTime),
+			fmtFloat(a.PollutionProbability),
+			fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
+		}}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LargeClusterConfig parameterizes the sparse-solver scale sweep (S3).
+type LargeClusterConfig struct {
+	// Sizes are the cluster sizes evaluated with C = ∆ = size. C = ∆ = 16
+	// already has 2295 transient states; 25 has 8424 — an order of
+	// magnitude past what the dense path solves in reasonable time.
+	Sizes []int
+	// Ks are the protocols evaluated.
+	Ks []int
+	// Mu and D fix the attack point.
+	Mu, D float64
+	// Solver is the sparse backend; the zero value selects BiCGSTAB
+	// (running this sweep densely is the thing it exists to avoid).
+	Solver matrix.SolverConfig
+}
+
+// DefaultLargeClusterConfig scales C = ∆ to 25 (|Ω| = 9126) at the
+// paper's central attack point.
+func DefaultLargeClusterConfig() LargeClusterConfig {
+	return LargeClusterConfig{
+		Sizes: []int{16, 20, 25},
+		Ks:    []int{1},
+		Mu:    0.2,
+		D:     0.8,
+	}
+}
+
+// LargeCluster evaluates the closed forms on state spaces far beyond the
+// paper's printed figures — thousands of transient states — which only
+// the sparse solver path makes affordable: per cell it reports |Ω|, the
+// transient-state count, expected safe/polluted times, the pollution
+// probability and the polluted-merge absorption risk. Cells fan out
+// across the pool.
+func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig) (*Table, error) {
+	if len(cfg.Sizes) == 0 || len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: LargeCluster needs non-empty Sizes and Ks")
+	}
+	solver := cfg.Solver
+	if solver.Kind == "" {
+		solver.Kind = "bicgstab"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Sweep S3 — large-cluster sparse analytics (µ=%g%%, d=%g%%, α=δ, solver=%s)",
+			cfg.Mu*100, cfg.D*100, solver.Kind),
+		Columns: []string{"C=∆", "protocol", "|Ω|", "transient", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
+		Note:    "state spaces an order of magnitude past the printed figures; infeasible on the dense LU path, routine on CSR + iterative solves",
+	}
+	type point struct {
+		size, k int
+	}
+	var points []point
+	for _, size := range cfg.Sizes {
+		for _, k := range cfg.Ks {
+			points = append(points, point{size, k})
+		}
+	}
+	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
+		pt := points[i]
+		p := core.Params{C: pt.size, Delta: pt.size, Mu: cfg.Mu, D: cfg.D, K: pt.k, Nu: 0.1}
+		m, err := core.NewWithSolver(p, solver)
+		if err != nil {
+			return nil, err
+		}
+		sp := m.Space()
+		transient := len(sp.IndicesOf(core.ClassSafe)) + len(sp.IndicesOf(core.ClassPolluted))
+		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{
+			fmt.Sprintf("%d", pt.size),
+			fmt.Sprintf("protocol_%d", pt.k),
+			fmt.Sprintf("%d", sp.Size()),
+			fmt.Sprintf("%d", transient),
 			fmtFloat(a.ExpectedSafeTime),
 			fmtFloat(a.ExpectedPollutedTime),
 			fmtFloat(a.PollutionProbability),

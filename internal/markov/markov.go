@@ -12,6 +12,14 @@
 // The chain's transient states are partitioned into two subsets A and B
 // (the paper's safe set S and polluted set P); the remaining states form
 // named absorbing classes.
+//
+// The pipeline is sparse end-to-end: the blocks of the transition matrix
+// are carved directly out of the CSR, every relation is routed through the
+// pluggable matrix.Solver interface, and nothing is densified unless the
+// dense LU backend itself is selected. Factorizations and the shared
+// visits vector α_T(I−T)⁻¹ are cached on the Chain and reused across
+// relations, so e.g. E(T_S), E(T_P) and the absorption probabilities cost
+// one linear solve between them.
 package markov
 
 import (
@@ -21,19 +29,29 @@ import (
 )
 
 // Chain is an absorbing discrete-time Markov chain whose transient states
-// are split into two subsets. All matrices are extracted once at
-// construction; the analytic methods are then pure linear algebra.
+// are split into two subsets. All CSR blocks are extracted once at
+// construction; the analytic methods are then pure (sparse) linear
+// algebra. A Chain caches factorizations and shared solves, so it is not
+// safe for concurrent use.
 type Chain struct {
 	// Block decomposition of the transition matrix restricted to the
 	// transient states, in the (A, B) order.
-	ma, mab, mba, mb *matrix.Dense
+	ma, mab, mba, mb *matrix.CSR
+	// tt is the full transient block T = [[M_A, M_AB], [M_BA, M_B]].
+	tt *matrix.CSR
 	// absorbing[class] holds the |A|+|B| by |class| block of transitions
 	// from transient states into that absorbing class.
-	absorbing map[string]*matrix.Dense
+	absorbing map[string]*matrix.CSR
 	classes   []string // deterministic iteration order
 	alphaA    []float64
 	alphaB    []float64
 	nA, nB    int
+
+	solver matrix.Solver
+	// Cached factorizations of I−M_A, I−M_B, I−T and the shared visits
+	// vector y = α_T (I−T)⁻¹, filled on first use.
+	fa, fb, ft matrix.Factorization
+	visitsVec  []float64
 }
 
 // Spec describes how to carve a Chain out of a full transition matrix.
@@ -49,10 +67,13 @@ type Spec struct {
 	// ClassOrder fixes the iteration order of the absorbing classes; it
 	// must list every key of AbsorbingClasses exactly once.
 	ClassOrder []string
+	// Solver selects the linear-solver backend for every relation; nil
+	// selects the exact dense LU backend.
+	Solver matrix.Solver
 }
 
-// NewChain validates a Spec and extracts the dense blocks used by all
-// analytic computations.
+// NewChain validates a Spec and extracts the CSR blocks used by all
+// analytic computations. The full matrix is never densified.
 func NewChain(spec Spec) (*Chain, error) {
 	if spec.Full == nil {
 		return nil, fmt.Errorf("markov: Spec.Full is nil")
@@ -97,8 +118,7 @@ func NewChain(spec Spec) (*Chain, error) {
 		}
 	}
 
-	full := spec.Full.Dense()
-	sub := func(rows, cols []int) (*matrix.Dense, error) { return full.SubMatrix(rows, cols) }
+	sub := spec.Full.SubCSR
 	ma, err := sub(spec.SubsetA, spec.SubsetA)
 	if err != nil {
 		return nil, err
@@ -118,7 +138,11 @@ func NewChain(spec Spec) (*Chain, error) {
 	transient := make([]int, 0, len(spec.SubsetA)+len(spec.SubsetB))
 	transient = append(transient, spec.SubsetA...)
 	transient = append(transient, spec.SubsetB...)
-	abs := make(map[string]*matrix.Dense, len(spec.AbsorbingClasses))
+	tt, err := sub(transient, transient)
+	if err != nil {
+		return nil, err
+	}
+	abs := make(map[string]*matrix.CSR, len(spec.AbsorbingClasses))
 	for name, idx := range spec.AbsorbingClasses {
 		blk, err := sub(transient, idx)
 		if err != nil {
@@ -126,14 +150,19 @@ func NewChain(spec Spec) (*Chain, error) {
 		}
 		abs[name] = blk
 	}
+	solver := spec.Solver
+	if solver == nil {
+		solver = matrix.DenseSolver{}
+	}
 	c := &Chain{
-		ma: ma, mab: mab, mba: mba, mb: mb,
+		ma: ma, mab: mab, mba: mba, mb: mb, tt: tt,
 		absorbing: abs,
 		classes:   append([]string(nil), spec.ClassOrder...),
 		alphaA:    pick(spec.Alpha, spec.SubsetA),
 		alphaB:    pick(spec.Alpha, spec.SubsetB),
 		nA:        len(spec.SubsetA),
 		nB:        len(spec.SubsetB),
+		solver:    solver,
 	}
 	return c, nil
 }
@@ -146,23 +175,78 @@ func pick(v []float64, idx []int) []float64 {
 	return out
 }
 
-// iMinus returns I - m.
-func iMinus(m *matrix.Dense) (*matrix.Dense, error) {
-	return matrix.Identity(m.Rows()).Sub(m)
+// SolverName reports which linear-solver backend the chain routes its
+// relations through.
+func (c *Chain) SolverName() string { return c.solver.Name() }
+
+// factA returns the cached factorization of I − M_A.
+func (c *Chain) factA() (matrix.Factorization, error) {
+	if c.fa == nil {
+		f, err := c.solver.Factor(c.ma)
+		if err != nil {
+			return nil, fmt.Errorf("markov: factoring I−M_A: %w", err)
+		}
+		c.fa = f
+	}
+	return c.fa, nil
 }
 
-// entryVector computes the paper's v (relation (5)) for subset A:
-// v = αA + αB (I − M_B)⁻¹ M_{BA}, the distribution of the state in A at the
-// instant the chain first visits A (counting a start in A).
-func (c *Chain) entryVector(alphaA, alphaB []float64, mb, mba *matrix.Dense) ([]float64, error) {
-	if len(alphaB) == 0 {
-		return append([]float64(nil), alphaA...), nil
+// factB returns the cached factorization of I − M_B.
+func (c *Chain) factB() (matrix.Factorization, error) {
+	if c.fb == nil {
+		f, err := c.solver.Factor(c.mb)
+		if err != nil {
+			return nil, fmt.Errorf("markov: factoring I−M_B: %w", err)
+		}
+		c.fb = f
 	}
-	imb, err := iMinus(mb)
+	return c.fb, nil
+}
+
+// factT returns the cached factorization of I − T over all transient
+// states.
+func (c *Chain) factT() (matrix.Factorization, error) {
+	if c.ft == nil {
+		f, err := c.solver.Factor(c.tt)
+		if err != nil {
+			return nil, fmt.Errorf("markov: factoring I−T: %w", err)
+		}
+		c.ft = f
+	}
+	return c.ft, nil
+}
+
+// visits returns the cached visits vector y = α_T (I − T)⁻¹: y_j is the
+// expected number of visits to transient state j before absorption. One
+// left solve serves relations (5), (6) and (9).
+func (c *Chain) visits() ([]float64, error) {
+	if c.visitsVec != nil {
+		return c.visitsVec, nil
+	}
+	ft, err := c.factT()
 	if err != nil {
 		return nil, err
 	}
-	u, err := matrix.SolveVecLeft(imb, alphaB)
+	alphaT := make([]float64, 0, c.nA+c.nB)
+	alphaT = append(alphaT, c.alphaA...)
+	alphaT = append(alphaT, c.alphaB...)
+	y, err := ft.SolveVecLeft(alphaT)
+	if err != nil {
+		return nil, fmt.Errorf("markov: solving α_T(I−T)⁻¹: %w", err)
+	}
+	c.visitsVec = y
+	return y, nil
+}
+
+// entryVector computes the paper's v (relation (5)) for subset A:
+// v = αA + αB (I − M_B)⁻¹ M_{BA}, the distribution of the state in A at
+// the instant the chain first visits A (counting a start in A). fb must
+// factor I − M_B.
+func entryVector(alphaA, alphaB []float64, fb matrix.Factorization, mba *matrix.CSR) ([]float64, error) {
+	if len(alphaB) == 0 {
+		return append([]float64(nil), alphaA...), nil
+	}
+	u, err := fb.SolveVecLeft(alphaB)
 	if err != nil {
 		return nil, fmt.Errorf("markov: solving αB(I−M_B)⁻¹: %w", err)
 	}
@@ -173,120 +257,86 @@ func (c *Chain) entryVector(alphaA, alphaB []float64, mb, mba *matrix.Dense) ([]
 	return matrix.VecAdd(alphaA, um)
 }
 
-// returnKernel computes R = M_A + M_{AB} (I − M_B)⁻¹ M_{BA}: the transition
-// kernel of the chain censored on subset A (relation (5)).
-func (c *Chain) returnKernel(ma, mab, mb, mba *matrix.Dense) (*matrix.Dense, error) {
-	if mb.Rows() == 0 {
-		return ma.Clone(), nil
-	}
-	imb, err := iMinus(mb)
-	if err != nil {
-		return nil, err
-	}
-	z, err := matrix.Solve(imb, mba)
-	if err != nil {
-		return nil, fmt.Errorf("markov: solving (I−M_B)⁻¹M_BA: %w", err)
-	}
-	mz, err := mab.Mul(z)
-	if err != nil {
-		return nil, err
-	}
-	return ma.AddM(mz)
-}
-
 // ExpectedTotalTimeInA returns E(T_A), the expected number of transitions
-// spent in subset A before absorption (paper relation (5)).
+// spent in subset A before absorption (paper relation (5)). The censored
+// kernel identity v(I − R)⁻¹1 of the paper is evaluated through the
+// equivalent fundamental-matrix form Σ_{j∈A} [α_T(I−T)⁻¹]_j, which shares
+// its single sparse solve with relation (6) and the absorption
+// probabilities (9).
 func (c *Chain) ExpectedTotalTimeInA() (float64, error) {
-	return c.expectedTotalTime(c.alphaA, c.alphaB, c.ma, c.mab, c.mb, c.mba)
+	return c.expectedTotalTime(0, c.nA)
 }
 
 // ExpectedTotalTimeInB returns E(T_B), the expected number of transitions
 // spent in subset B before absorption (paper relation (6)).
 func (c *Chain) ExpectedTotalTimeInB() (float64, error) {
-	return c.expectedTotalTime(c.alphaB, c.alphaA, c.mb, c.mba, c.ma, c.mab)
+	return c.expectedTotalTime(c.nA, c.nA+c.nB)
 }
 
-func (c *Chain) expectedTotalTime(alphaA, alphaB []float64, ma, mab, mb, mba *matrix.Dense) (float64, error) {
-	if ma.Rows() == 0 {
+func (c *Chain) expectedTotalTime(lo, hi int) (float64, error) {
+	if lo == hi {
 		return 0, nil
 	}
-	v, err := c.entryVector(alphaA, alphaB, mb, mba)
+	y, err := c.visits()
 	if err != nil {
 		return 0, err
 	}
-	r, err := c.returnKernel(ma, mab, mb, mba)
-	if err != nil {
-		return 0, err
+	var s float64
+	for _, v := range y[lo:hi] {
+		s += v
 	}
-	ir, err := iMinus(r)
-	if err != nil {
-		return 0, err
-	}
-	w, err := matrix.SolveVec(ir, matrix.Ones(ma.Rows()))
-	if err != nil {
-		return 0, fmt.Errorf("markov: solving (I−R)⁻¹1: %w", err)
-	}
-	return matrix.Dot(v, w)
+	return s, nil
 }
 
 // SuccessiveSojournsInA returns E(T_{A,1}), …, E(T_{A,n}): the expected
 // durations of the first n sojourns of the chain in subset A (paper
 // relation (7), after Sericola & Rubino 1989).
 func (c *Chain) SuccessiveSojournsInA(n int) ([]float64, error) {
-	return c.successiveSojourns(n, c.alphaA, c.alphaB, c.ma, c.mab, c.mb, c.mba)
+	return c.successiveSojourns(n, false)
 }
 
 // SuccessiveSojournsInB is the subset-B counterpart (paper relation (8)).
 func (c *Chain) SuccessiveSojournsInB(n int) ([]float64, error) {
-	return c.successiveSojourns(n, c.alphaB, c.alphaA, c.mb, c.mba, c.ma, c.mab)
+	return c.successiveSojourns(n, true)
 }
 
-func (c *Chain) successiveSojourns(n int, alphaA, alphaB []float64, ma, mab, mb, mba *matrix.Dense) ([]float64, error) {
+// successiveSojourns evaluates relation (7) with every matrix power
+// applied as sparse solves and products: out[i] = v Gⁱ u with
+// G = (I−M_A)⁻¹ M_AB (I−M_B)⁻¹ M_BA and u = (I−M_A)⁻¹ 1. swapped selects
+// the subset-B orientation (A and B exchange roles).
+func (c *Chain) successiveSojourns(n int, swapped bool) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("markov: negative sojourn count %d", n)
 	}
+	alphaA, alphaB := c.alphaA, c.alphaB
+	mab, mba := c.mab, c.mba
+	factA, factB := c.factA, c.factB
+	if swapped {
+		alphaA, alphaB = alphaB, alphaA
+		mab, mba = mba, mab
+		factA, factB = factB, factA
+	}
 	out := make([]float64, n)
-	if n == 0 || ma.Rows() == 0 {
+	if n == 0 || len(alphaA) == 0 {
 		return out, nil
 	}
-	v, err := c.entryVector(alphaA, alphaB, mb, mba)
+	fa, err := factA()
 	if err != nil {
 		return nil, err
 	}
-	ima, err := iMinus(ma)
+	var fb matrix.Factorization
+	if len(alphaB) > 0 {
+		if fb, err = factB(); err != nil {
+			return nil, err
+		}
+	}
+	v, err := entryVector(alphaA, alphaB, fb, mba)
 	if err != nil {
 		return nil, err
 	}
-	fa, err := matrix.FactorLU(ima)
-	if err != nil {
-		return nil, fmt.Errorf("markov: factorizing I−M_A: %w", err)
-	}
-	u, err := fa.SolveVec(matrix.Ones(ma.Rows()))
+	u, err := fa.SolveVec(matrix.Ones(len(alphaA)))
 	if err != nil {
 		return nil, err
-	}
-	// G = (I−M_A)⁻¹ M_AB (I−M_B)⁻¹ M_BA; empty B makes G = 0 and only the
-	// first sojourn exists.
-	var g *matrix.Dense
-	if mb.Rows() > 0 {
-		imb, err := iMinus(mb)
-		if err != nil {
-			return nil, err
-		}
-		z, err := matrix.Solve(imb, mba)
-		if err != nil {
-			return nil, fmt.Errorf("markov: solving (I−M_B)⁻¹M_BA: %w", err)
-		}
-		mz, err := mab.Mul(z)
-		if err != nil {
-			return nil, err
-		}
-		g, err = fa.Solve(mz)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		g = matrix.NewDense(ma.Rows(), ma.Rows())
 	}
 	r := v
 	for i := 0; i < n; i++ {
@@ -295,11 +345,29 @@ func (c *Chain) successiveSojourns(n int, alphaA, alphaB []float64, ma, mab, mb,
 			return nil, err
 		}
 		out[i] = e
-		if i+1 < n {
-			r, err = g.VecMul(r)
-			if err != nil {
-				return nil, err
-			}
+		if i+1 == n {
+			break
+		}
+		// Empty B makes G = 0: only the first sojourn exists.
+		if len(alphaB) == 0 {
+			break
+		}
+		// r ← r G, one factor at a time: two sparse left-solves and two
+		// CSR row-vector products instead of a dense G.
+		t1, err := fa.SolveVecLeft(r)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := mab.VecMul(t1)
+		if err != nil {
+			return nil, err
+		}
+		t3, err := fb.SolveVecLeft(t2)
+		if err != nil {
+			return nil, err
+		}
+		if r, err = mba.VecMul(t3); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -307,59 +375,25 @@ func (c *Chain) successiveSojourns(n int, alphaA, alphaB []float64, ma, mab, mb,
 
 // AbsorptionProbabilities returns, for every absorbing class, the
 // probability that the chain is eventually absorbed there (relation (9)):
-// p(U) = α_T (I − T)⁻¹ R_U 1.
+// p(U) = α_T (I − T)⁻¹ R_U 1, reusing the shared visits vector.
 func (c *Chain) AbsorptionProbabilities() (map[string]float64, error) {
-	nT := c.nA + c.nB
-	if nT == 0 {
+	if c.nA+c.nB == 0 {
 		return nil, fmt.Errorf("markov: no transient states")
 	}
-	t, err := c.transientMatrix()
+	y, err := c.visits()
 	if err != nil {
 		return nil, err
-	}
-	it, err := iMinus(t)
-	if err != nil {
-		return nil, err
-	}
-	alphaT := make([]float64, 0, nT)
-	alphaT = append(alphaT, c.alphaA...)
-	alphaT = append(alphaT, c.alphaB...)
-	y, err := matrix.SolveVecLeft(it, alphaT)
-	if err != nil {
-		return nil, fmt.Errorf("markov: solving α_T(I−T)⁻¹: %w", err)
 	}
 	out := make(map[string]float64, len(c.absorbing))
 	for _, name := range c.classes {
-		blk := c.absorbing[name]
-		col, err := blk.MulVec(matrix.Ones(blk.Cols()))
-		if err != nil {
-			return nil, err
-		}
-		p, err := matrix.Dot(y, col)
+		// R_U 1 is the per-transient-row mass flowing into class U.
+		p, err := matrix.Dot(y, c.absorbing[name].RowSums())
 		if err != nil {
 			return nil, err
 		}
 		out[name] = p
 	}
 	return out, nil
-}
-
-// transientMatrix assembles T = [[M_A, M_AB], [M_BA, M_B]].
-func (c *Chain) transientMatrix() (*matrix.Dense, error) {
-	n := c.nA + c.nB
-	t := matrix.NewDense(n, n)
-	copyBlock := func(dst *matrix.Dense, src *matrix.Dense, r0, c0 int) {
-		for i := 0; i < src.Rows(); i++ {
-			for j := 0; j < src.Cols(); j++ {
-				dst.Set(r0+i, c0+j, src.At(i, j))
-			}
-		}
-	}
-	copyBlock(t, c.ma, 0, 0)
-	copyBlock(t, c.mab, 0, c.nA)
-	copyBlock(t, c.mba, c.nA, 0)
-	copyBlock(t, c.mb, c.nA, c.nA)
-	return t, nil
 }
 
 // HitProbabilityA returns the probability that the chain ever visits
@@ -369,7 +403,14 @@ func (c *Chain) HitProbabilityA() (float64, error) {
 	if c.nA == 0 {
 		return 0, nil
 	}
-	v, err := c.entryVector(c.alphaA, c.alphaB, c.mb, c.mba)
+	var fb matrix.Factorization
+	if c.nB > 0 {
+		var err error
+		if fb, err = c.factB(); err != nil {
+			return 0, err
+		}
+	}
+	v, err := entryVector(c.alphaA, c.alphaB, fb, c.mba)
 	if err != nil {
 		return 0, err
 	}
@@ -381,7 +422,14 @@ func (c *Chain) HitProbabilityB() (float64, error) {
 	if c.nB == 0 {
 		return 0, nil
 	}
-	w, err := c.entryVector(c.alphaB, c.alphaA, c.ma, c.mab)
+	var fa matrix.Factorization
+	if c.nA > 0 {
+		var err error
+		if fa, err = c.factA(); err != nil {
+			return 0, err
+		}
+	}
+	w, err := entryVector(c.alphaB, c.alphaA, fa, c.mab)
 	if err != nil {
 		return 0, err
 	}
@@ -404,17 +452,15 @@ func (c *Chain) AbsorbedWithinA(classes ...string) (float64, error) {
 		if !ok {
 			return 0, fmt.Errorf("markov: unknown absorbing class %q", name)
 		}
-		for i := 0; i < c.nA; i++ {
-			for j := 0; j < blk.Cols(); j++ {
-				rhs[i] += blk.At(i, j)
-			}
+		for i, s := range blk.RowSums()[:c.nA] {
+			rhs[i] += s
 		}
 	}
-	ima, err := iMinus(c.ma)
+	fa, err := c.factA()
 	if err != nil {
 		return 0, err
 	}
-	z, err := matrix.SolveVec(ima, rhs)
+	z, err := fa.SolveVec(rhs)
 	if err != nil {
 		return 0, fmt.Errorf("markov: solving (I−M_A)⁻¹: %w", err)
 	}

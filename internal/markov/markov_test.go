@@ -412,3 +412,92 @@ func TestClassesAndSizes(t *testing.T) {
 		t.Errorf("TransientSizes = %d,%d", a, b)
 	}
 }
+
+// TestChainAcrossSolverBackends re-runs the hand-solvable chains through
+// every solver backend: the sparse iterative paths must reproduce the
+// dense LU results on all relations.
+func TestChainAcrossSolverBackends(t *testing.T) {
+	solvers := []matrix.Solver{
+		matrix.DenseSolver{},
+		matrix.GaussSeidelSolver{},
+		matrix.BiCGSTABSolver{},
+		matrix.AutoSolver{},
+	}
+	for _, s := range solvers {
+		t.Run(s.Name(), func(t *testing.T) {
+			b := matrix.NewSparseBuilder(4, 4)
+			for _, e := range []struct {
+				i, j int
+				v    float64
+			}{
+				{0, 0, 0.2}, {0, 1, 0.3}, {0, 2, 0.5},
+				{1, 0, 0.4}, {1, 1, 0.1}, {1, 3, 0.5},
+				{2, 2, 1}, {3, 3, 1},
+			} {
+				if err := b.Add(e.i, e.j, e.v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c, err := NewChain(Spec{
+				Full:             b.Build(),
+				Alpha:            []float64{1, 0, 0, 0},
+				SubsetA:          []int{0},
+				SubsetB:          []int{1},
+				AbsorbingClasses: map[string][]int{"one": {2}, "two": {3}},
+				ClassOrder:       []string{"one", "two"},
+				Solver:           s,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.SolverName() != s.Name() {
+				t.Errorf("SolverName = %q, want %q", c.SolverName(), s.Name())
+			}
+			checks := []struct {
+				name string
+				got  func() (float64, error)
+				want float64
+			}{
+				{"E(T_A)", c.ExpectedTotalTimeInA, 1.5},
+				{"E(T_B)", c.ExpectedTotalTimeInB, 0.5},
+				{"P(hit A)", c.HitProbabilityA, 1},
+				{"P(hit B)", c.HitProbabilityB, 0.375},
+			}
+			for _, chk := range checks {
+				v, err := chk.got()
+				if err != nil {
+					t.Fatalf("%s: %v", chk.name, err)
+				}
+				if math.Abs(v-chk.want) > 1e-9 {
+					t.Errorf("%s = %v, want %v", chk.name, v, chk.want)
+				}
+			}
+			p, err := c.AbsorptionProbabilities()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(p["one"]-0.75) > 1e-9 || math.Abs(p["two"]-0.25) > 1e-9 {
+				t.Errorf("absorption = %v, want one=0.75 two=0.25", p)
+			}
+			sa, err := c.SuccessiveSojournsInA(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantA := []float64{1.25, 1.25 / 6, 1.25 / 36}
+			for i := range wantA {
+				if math.Abs(sa[i]-wantA[i]) > 1e-9 {
+					t.Errorf("E(T_A,%d) = %v, want %v", i+1, sa[i], wantA[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultSolverIsDense pins the compatibility contract: a Spec without
+// a Solver uses the exact dense LU backend.
+func TestDefaultSolverIsDense(t *testing.T) {
+	c := twoStateChain(t)
+	if c.SolverName() != "dense" {
+		t.Errorf("default solver = %q, want dense", c.SolverName())
+	}
+}

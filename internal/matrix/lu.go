@@ -113,6 +113,39 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 	return x, nil
 }
 
+// SolveVecTransposed solves Aᵀ x = b from the same factorization
+// P A = L U, without a second O(n³) factorization: Aᵀ = Uᵀ Lᵀ P, so a
+// forward substitution with Uᵀ, a backward substitution with Lᵀ, and the
+// inverse row permutation give x.
+func (f *LU) SolveVecTransposed(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("matrix: SolveVecTransposed rhs length %d does not match order %d", len(b), f.n)
+	}
+	y := append([]float64(nil), b...)
+	// Forward substitution with Uᵀ (lower triangular, diagonal of U).
+	for i := 0; i < f.n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(j, i) * y[j]
+		}
+		y[i] = s / f.lu.At(i, i)
+	}
+	// Backward substitution with Lᵀ (unit upper triangular).
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.lu.At(j, i) * y[j]
+		}
+		y[i] = s
+	}
+	// x = Pᵀ y.
+	x := make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		x[f.pivot[i]] = y[i]
+	}
+	return x, nil
+}
+
 // Solve solves A X = B with one column of X per column of B.
 func (f *LU) Solve(b *Dense) (*Dense, error) {
 	if b.Rows() != f.n {

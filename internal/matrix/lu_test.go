@@ -164,3 +164,42 @@ func TestDetPermutationSign(t *testing.T) {
 		t.Errorf("det(cyclic permutation) = %v, want 1", got)
 	}
 }
+
+func TestSolveVecTransposedMatchesExplicitTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(12)
+		// No diagonal boost: generic random entries make partial pivoting
+		// actually permute rows, exercising the inverse-permutation step.
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, 2*r.Float64()-1)
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		f, err := FactorLU(a)
+		if err != nil {
+			continue // exactly singular draw (vanishingly rare)
+		}
+		got, err := f.SolveVecTransposed(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveVec(a.Transpose(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := (&LU{n: 2}).SolveVecTransposed([]float64{1}); err == nil {
+		t.Error("bad rhs length: want error")
+	}
+}

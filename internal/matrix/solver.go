@@ -1,0 +1,629 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file is the pluggable linear-solver layer of the analytic pipeline.
+// Every closed-form relation of the absorbing-chain analytics reduces to
+// systems with the matrix A = I − M, where M is a substochastic CSR block
+// of the transition matrix (spectral radius < 1). A Solver prepares a
+// Factorization of I − M once; the Factorization then answers right
+// systems (I−M)x = b and left (row-vector) systems x(I−M) = b, so a
+// single prepared block serves several relations.
+//
+// Two families are provided:
+//
+//   - DenseSolver: the exact LU path. It densifies I − M and factors it
+//     with partial pivoting — O(n³) but backward stable; the fallback and
+//     cross-check reference.
+//   - Iterative solvers (GaussSeidelSolver, BiCGSTABSolver): sparse
+//     residual-controlled iterations that never materialize a dense
+//     matrix, making state spaces with thousands of transient states
+//     affordable.
+//
+// AutoSolver composes them: iterate sparsely, densify only if the
+// iteration fails to converge.
+
+// ErrNoConvergence is returned when an iterative solve fails to reach its
+// residual tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("matrix: iterative solve did not converge")
+
+// Default iterative-solver controls.
+const (
+	// DefaultTol is the default residual tolerance of the iterative
+	// solvers: a solve x is accepted when
+	// ‖b − Ax‖∞ ≤ tol · (‖b‖∞ + ‖x‖∞).
+	DefaultTol = 1e-12
+	// DefaultGSMaxIter bounds Gauss–Seidel sweeps.
+	DefaultGSMaxIter = 500_000
+	// DefaultBiCGSTABMaxIter bounds BiCGSTAB iterations.
+	DefaultBiCGSTABMaxIter = 100_000
+)
+
+// Factorization is a prepared solving context for A = I − M.
+// Implementations are not safe for concurrent use.
+type Factorization interface {
+	// Order returns the dimension of the system.
+	Order() int
+	// SolveVec solves (I − M) x = b.
+	SolveVec(b []float64) ([]float64, error)
+	// SolveVecLeft solves the row-vector system x (I − M) = b,
+	// i.e. (I − M)ᵀ xᵀ = bᵀ.
+	SolveVecLeft(b []float64) ([]float64, error)
+}
+
+// Solver prepares factorizations of I − M for square substochastic CSR
+// blocks M.
+type Solver interface {
+	// Name identifies the backend ("dense", "gauss-seidel", ...).
+	Name() string
+	// Factor prepares I − m for repeated solves.
+	Factor(m *CSR) (Factorization, error)
+}
+
+// ---------------------------------------------------------------------------
+// Dense LU backend.
+
+// DenseSolver densifies I − M and solves with LU partial pivoting: the
+// exact reference backend.
+type DenseSolver struct{}
+
+// Name implements Solver.
+func (DenseSolver) Name() string { return "dense" }
+
+// Factor implements Solver.
+func (DenseSolver) Factor(m *CSR) (Factorization, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	a := Identity(m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		m.RowNonZeros(i, func(j int, v float64) {
+			a.Add(i, j, -v)
+		})
+	}
+	return &denseFactorization{a: a}, nil
+}
+
+type denseFactorization struct {
+	a *Dense
+	// One lazy LU serves both orientations: left systems solve through
+	// SolveVecTransposed on the same P A = L U factors, so no block is
+	// ever factored twice and a relation that never solves an
+	// orientation never pays for it.
+	lu *LU
+}
+
+func (f *denseFactorization) Order() int { return f.a.Rows() }
+
+func (f *denseFactorization) factor() (*LU, error) {
+	if f.lu == nil {
+		lu, err := FactorLU(f.a)
+		if err != nil {
+			return nil, err
+		}
+		f.lu = lu
+	}
+	return f.lu, nil
+}
+
+func (f *denseFactorization) SolveVec(b []float64) ([]float64, error) {
+	lu, err := f.factor()
+	if err != nil {
+		return nil, err
+	}
+	return lu.SolveVec(b)
+}
+
+func (f *denseFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	lu, err := f.factor()
+	if err != nil {
+		return nil, err
+	}
+	return lu.SolveVecTransposed(b)
+}
+
+// ---------------------------------------------------------------------------
+// Gauss–Seidel backend.
+
+// GaussSeidelSolver solves (I−M)x = b by forward Gauss–Seidel sweeps over
+// the CSR rows, with residual-controlled convergence. It never builds a
+// dense matrix; left systems sweep over the (sparse) transpose, built
+// lazily once per factorization.
+type GaussSeidelSolver struct {
+	// Tol is the residual tolerance; 0 selects DefaultTol.
+	Tol float64
+	// MaxIter bounds the number of sweeps; 0 selects DefaultGSMaxIter.
+	MaxIter int
+}
+
+// Name implements Solver.
+func (GaussSeidelSolver) Name() string { return "gauss-seidel" }
+
+// Factor implements Solver.
+func (s GaussSeidelSolver) Factor(m *CSR) (Factorization, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	tol, maxIter := s.Tol, s.MaxIter
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultGSMaxIter
+	}
+	diag := m.Diagonal()
+	for i, d := range diag {
+		if 1-d <= 0 {
+			return nil, fmt.Errorf("%w: diagonal of I−M is %v at row %d", ErrSingular, 1-d, i)
+		}
+	}
+	return &gsFactorization{m: m, diag: diag, tol: tol, maxIter: maxIter}, nil
+}
+
+type gsFactorization struct {
+	m       *CSR
+	mT      *CSR // lazily built transpose for left systems
+	diag    []float64
+	tol     float64
+	maxIter int
+}
+
+func (f *gsFactorization) Order() int { return f.m.Rows() }
+
+func (f *gsFactorization) SolveVec(b []float64) ([]float64, error) {
+	return gaussSeidel(f.m, f.diag, b, f.tol, f.maxIter)
+}
+
+func (f *gsFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	if f.mT == nil {
+		f.mT = f.m.Transpose()
+	}
+	return gaussSeidel(f.mT, f.diag, b, f.tol, f.maxIter)
+}
+
+// gaussSeidel iterates x_i ← (b_i + Σ_{j≠i} M_ij x_j) / (1 − M_ii) until
+// the residual of (I−M)x = b satisfies ‖b − Ax‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞).
+// diag must be the diagonal of M (shared by M and Mᵀ).
+func gaussSeidel(m *CSR, diag []float64, b []float64, tol float64, maxIter int) ([]float64, error) {
+	n := m.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: SolveVec rhs length %d does not match order %d", len(b), n)
+	}
+	x := append([]float64(nil), b...)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDiff, maxX float64
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				if j := m.colIdx[k]; j != i {
+					s += m.vals[k] * x[j]
+				}
+			}
+			nx := s / (1 - diag[i])
+			if d := math.Abs(nx - x[i]); d > maxDiff {
+				maxDiff = d
+			}
+			if a := math.Abs(nx); a > maxX {
+				maxX = a
+			}
+			x[i] = nx
+		}
+		// The sweep has stagnated; confirm with the true residual (the
+		// update norm underestimates the error for slowly mixing chains).
+		if maxDiff <= tol*(1+maxX) {
+			if res, scale := iMinusResidual(m, x, b); res <= tol*scale {
+				return x, nil
+			}
+		}
+	}
+	if res, scale := iMinusResidual(m, x, b); res <= tol*scale {
+		return x, nil
+	}
+	return nil, fmt.Errorf("%w: gauss-seidel after %d sweeps (n=%d, tol=%g)", ErrNoConvergence, maxIter, n, tol)
+}
+
+// iMinusResidual returns ‖b − (I−M)x‖∞ and the convergence scale
+// ‖b‖∞ + ‖x‖∞ (a backward-error-style criterion that stays achievable
+// when the solution is large, as it is for long-lived chains).
+func iMinusResidual(m *CSR, x, b []float64) (res, scale float64) {
+	var maxB, maxX float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		if r := math.Abs(b[i] - (x[i] - s)); r > res {
+			res = r
+		}
+		if a := math.Abs(b[i]); a > maxB {
+			maxB = a
+		}
+		if a := math.Abs(x[i]); a > maxX {
+			maxX = a
+		}
+	}
+	return res, maxB + maxX + 1e-300
+}
+
+// ---------------------------------------------------------------------------
+// BiCGSTAB backend.
+
+// BiCGSTABSolver solves (I−M)x = b with the biconjugate gradient
+// stabilized method of van der Vorst: a Krylov iteration for
+// non-symmetric systems that typically converges in far fewer matrix
+// passes than stationary sweeps. The iteration is right-preconditioned
+// with a fixed number of forward Gauss–Seidel sweeps (a linear operator,
+// since every sweep starts from zero): solve (I−M)P⁻¹y = b, then
+// x = P⁻¹y. GS sweeps are a natural preconditioner for these M-matrix
+// systems and flatten the heavy self-loops that slow convergence as
+// d → 1, while right preconditioning leaves the true residual unchanged.
+// Left systems run on the (sparse, lazily built) transpose; nothing is
+// ever densified.
+type BiCGSTABSolver struct {
+	// Tol is the residual tolerance; 0 selects DefaultTol.
+	Tol float64
+	// MaxIter bounds iterations; 0 selects DefaultBiCGSTABMaxIter.
+	MaxIter int
+}
+
+// Name implements Solver.
+func (BiCGSTABSolver) Name() string { return "bicgstab" }
+
+// Factor implements Solver.
+func (s BiCGSTABSolver) Factor(m *CSR) (Factorization, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+	tol, maxIter := s.Tol, s.MaxIter
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultBiCGSTABMaxIter
+	}
+	diag := m.Diagonal()
+	invDiag := make([]float64, len(diag))
+	for i, d := range diag {
+		if 1-d <= 0 {
+			return nil, fmt.Errorf("%w: diagonal of I−M is %v at row %d", ErrSingular, 1-d, i)
+		}
+		invDiag[i] = 1 / (1 - d)
+	}
+	return &bicgstabFactorization{m: m, invDiag: invDiag, tol: tol, maxIter: maxIter}, nil
+}
+
+// bicgstabPrecondSweeps is the fixed number of forward Gauss–Seidel
+// sweeps per preconditioner application. Two sweeps roughly halve the
+// Krylov iteration count again relative to one at ~1 extra matvec of
+// cost each.
+const bicgstabPrecondSweeps = 2
+
+type bicgstabFactorization struct {
+	m       *CSR
+	mT      *CSR      // lazily built transpose, for left systems
+	invDiag []float64 // 1/(1−M_ii), shared by M and Mᵀ
+	tol     float64
+	maxIter int
+}
+
+func (f *bicgstabFactorization) Order() int { return f.m.Rows() }
+
+// gsSweepsInto writes into z the result of bicgstabPrecondSweeps forward
+// Gauss–Seidel sweeps for (I−M)z = r starting from z = 0: the
+// preconditioner application z = P⁻¹r. The first sweep skips the
+// all-zero z reads.
+func gsSweepsInto(m *CSR, invDiag, r, z []float64) {
+	rowPtr, colIdx, vals := m.rowPtr, m.colIdx, m.vals
+	for i := 0; i < m.rows; i++ {
+		s := r[i]
+		end := rowPtr[i+1]
+		for k := rowPtr[i]; k < end; k++ {
+			if j := colIdx[k]; j < i {
+				s += vals[k] * z[j]
+			}
+		}
+		z[i] = s * invDiag[i]
+	}
+	for sweep := 1; sweep < bicgstabPrecondSweeps; sweep++ {
+		for i := 0; i < m.rows; i++ {
+			s := r[i]
+			end := rowPtr[i+1]
+			for k := rowPtr[i]; k < end; k++ {
+				if j := colIdx[k]; j != i {
+					s += vals[k] * z[j]
+				}
+			}
+			z[i] = s * invDiag[i]
+		}
+	}
+}
+
+// solve runs the preconditioned iteration on a, which is M for right
+// systems and Mᵀ for left ones (so both orientations see a plain
+// (I−a)x = b system).
+func (f *bicgstabFactorization) solve(b []float64, a *CSR) ([]float64, error) {
+	n := a.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("matrix: solve rhs length %d does not match order %d", len(b), n)
+	}
+	z := make([]float64, n)
+	tmp := make([]float64, n)
+	// op(y) = (I−a) P⁻¹ y; the residual b − op(y) equals the residual of
+	// the unpreconditioned system at x = P⁻¹y.
+	op := func(y, dst []float64) {
+		gsSweepsInto(a, f.invDiag, y, z)
+		_ = a.MulVecInto(z, tmp)
+		for i := range dst {
+			dst[i] = z[i] - tmp[i]
+		}
+	}
+	y, err := bicgstab(op, b, f.tol, f.maxIter)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	gsSweepsInto(a, f.invDiag, y, x)
+	return x, nil
+}
+
+func (f *bicgstabFactorization) SolveVec(b []float64) ([]float64, error) {
+	return f.solve(b, f.m)
+}
+
+func (f *bicgstabFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	if f.mT == nil {
+		f.mT = f.m.Transpose()
+	}
+	return f.solve(b, f.mT)
+}
+
+// bicgstab runs the BiCGSTAB iteration for op(x) = b with a residual
+// stopping rule ‖b − op(x)‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞). Near-breakdowns
+// (vanishing ρ or ω) restart the iteration from the current iterate.
+func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) ([]float64, error) {
+	n := len(b)
+	x := append([]float64(nil), b...)
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+
+	restart := func() float64 {
+		op(x, r)
+		var norm float64
+		for i := range r {
+			r[i] = b[i] - r[i]
+			norm += r[i] * r[i]
+		}
+		copy(rhat, r)
+		copy(p, r)
+		for i := range v {
+			v[i] = 0
+		}
+		return norm
+	}
+	rho := restart()
+	if converged(op, x, b, t, tol) {
+		return x, nil
+	}
+	var maxB float64
+	for i := range b {
+		if a := math.Abs(b[i]); a > maxB {
+			maxB = a
+		}
+	}
+	const breakdown = 1e-280
+	for iter := 0; iter < maxIter; iter++ {
+		op(p, v)
+		var rhatV float64
+		for i := range v {
+			rhatV += rhat[i] * v[i]
+		}
+		if math.Abs(rhatV) < breakdown {
+			rho = restart()
+			continue
+		}
+		alpha := rho / rhatV
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		op(s, t)
+		var tt, ts float64
+		for i := range t {
+			tt += t[i] * t[i]
+			ts += t[i] * s[i]
+		}
+		var omega float64
+		if tt > breakdown {
+			omega = ts / tt
+		}
+		var maxX float64
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+			if a := math.Abs(x[i]); a > maxX {
+				maxX = a
+			}
+		}
+		if omega == 0 || math.Abs(omega) < breakdown {
+			if converged(op, x, b, t, tol) {
+				return x, nil
+			}
+			rho = restart()
+			continue
+		}
+		var rhoNext, rNorm float64
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+			rhoNext += rhat[i] * r[i]
+			rNorm += r[i] * r[i]
+		}
+		// Cheap scale-aware 2-norm gate (‖r‖∞ ≤ ‖r‖₂) before paying one
+		// extra op for the true-residual ∞-norm check; the %16 backstop
+		// catches recursive-residual drift.
+		if target := tol * (maxB + maxX); rNorm <= target*target || iter%16 == 15 {
+			if converged(op, x, b, t, tol) {
+				return x, nil
+			}
+		}
+		if math.Abs(rhoNext) < breakdown {
+			rho = restart()
+			continue
+		}
+		beta := (rhoNext / rho) * (alpha / omega)
+		rho = rhoNext
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+	}
+	if converged(op, x, b, t, tol) {
+		return x, nil
+	}
+	return nil, fmt.Errorf("%w: bicgstab after %d iterations (n=%d, tol=%g)", ErrNoConvergence, maxIter, n, tol)
+}
+
+// converged checks the true residual ‖b − op(x)‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞),
+// using scratch as workspace.
+func converged(op func(x, dst []float64), x, b, scratch []float64, tol float64) bool {
+	op(x, scratch)
+	var res, maxB, maxX float64
+	for i := range scratch {
+		if r := math.Abs(b[i] - scratch[i]); r > res {
+			res = r
+		}
+		if a := math.Abs(b[i]); a > maxB {
+			maxB = a
+		}
+		if a := math.Abs(x[i]); a > maxX {
+			maxX = a
+		}
+	}
+	return res <= tol*(maxB+maxX+1e-300)
+}
+
+// ---------------------------------------------------------------------------
+// Auto backend: sparse first, dense fallback.
+
+// AutoSolver iterates sparsely and falls back to the dense LU path only
+// when the iteration fails to converge — robustness of the dense path at
+// sparse cost on the common path.
+type AutoSolver struct {
+	// Sparse is the iterative backend; nil selects BiCGSTABSolver{}.
+	Sparse Solver
+}
+
+// Name implements Solver.
+func (AutoSolver) Name() string { return "auto" }
+
+// Factor implements Solver.
+func (s AutoSolver) Factor(m *CSR) (Factorization, error) {
+	sparse := s.Sparse
+	if sparse == nil {
+		sparse = BiCGSTABSolver{}
+	}
+	f, err := sparse.Factor(m)
+	if err != nil {
+		return nil, err
+	}
+	return &autoFactorization{m: m, sparse: f}, nil
+}
+
+type autoFactorization struct {
+	m      *CSR
+	sparse Factorization
+	dense  Factorization // built on first fallback
+	// fellBack remembers a non-convergence: once one solve on this block
+	// has failed to converge, later solves skip the doomed full-budget
+	// iteration and go straight to the dense factors.
+	fellBack bool
+}
+
+func (f *autoFactorization) Order() int { return f.sparse.Order() }
+
+func (f *autoFactorization) fallback() (Factorization, error) {
+	f.fellBack = true
+	if f.dense == nil {
+		d, err := DenseSolver{}.Factor(f.m)
+		if err != nil {
+			return nil, err
+		}
+		f.dense = d
+	}
+	return f.dense, nil
+}
+
+func (f *autoFactorization) solve(b []float64, left bool) ([]float64, error) {
+	if !f.fellBack {
+		var x []float64
+		var err error
+		if left {
+			x, err = f.sparse.SolveVecLeft(b)
+		} else {
+			x, err = f.sparse.SolveVec(b)
+		}
+		if !errors.Is(err, ErrNoConvergence) {
+			return x, err
+		}
+	}
+	d, err := f.fallback()
+	if err != nil {
+		return nil, err
+	}
+	if left {
+		return d.SolveVecLeft(b)
+	}
+	return d.SolveVec(b)
+}
+
+func (f *autoFactorization) SolveVec(b []float64) ([]float64, error) {
+	return f.solve(b, false)
+}
+
+func (f *autoFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	return f.solve(b, true)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+
+// SolverConfig selects and parameterizes a Solver from flag-friendly
+// values. The zero value selects the exact dense LU backend.
+type SolverConfig struct {
+	// Kind names the backend: "dense" (or ""), "sparse"/"bicgstab",
+	// "gs"/"gauss-seidel", or "auto".
+	Kind string
+	// Tol is the iterative residual tolerance; 0 selects DefaultTol.
+	// Ignored by the dense backend.
+	Tol float64
+	// MaxIter bounds iterative work; 0 selects the backend default.
+	// Ignored by the dense backend.
+	MaxIter int
+}
+
+// SolverKinds lists the accepted SolverConfig.Kind values.
+func SolverKinds() []string {
+	return []string{"dense", "sparse", "bicgstab", "gs", "gauss-seidel", "auto"}
+}
+
+// Build resolves the configuration into a Solver.
+func (c SolverConfig) Build() (Solver, error) {
+	switch c.Kind {
+	case "", "dense":
+		return DenseSolver{}, nil
+	case "sparse", "bicgstab":
+		return BiCGSTABSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
+	case "gs", "gauss-seidel":
+		return GaussSeidelSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
+	case "auto":
+		return AutoSolver{Sparse: BiCGSTABSolver{Tol: c.Tol, MaxIter: c.MaxIter}}, nil
+	default:
+		return nil, fmt.Errorf("matrix: unknown solver kind %q (want one of %s)",
+			c.Kind, strings.Join(SolverKinds(), ", "))
+	}
+}

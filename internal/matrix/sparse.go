@@ -170,6 +170,92 @@ func (m *CSR) RowSums() []float64 {
 	return out
 }
 
+// MulVecInto computes M * v into dst, which must have length Rows.
+// It avoids allocation in hot iteration loops.
+func (m *CSR) MulVecInto(v, dst []float64) error {
+	if len(v) != m.cols {
+		return fmt.Errorf("matrix: CSR MulVecInto length %d does not match %d cols", len(v), m.cols)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("matrix: CSR MulVecInto dst length %d does not match %d rows", len(dst), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * v[m.colIdx[k]]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// Transpose returns Mᵀ as a new CSR, preserving sparsity.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.vals)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for _, j := range m.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for r := 0; r < t.rows; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	next := append([]int(nil), t.rowPtr[:t.rows]...)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			p := next[j]
+			next[j]++
+			t.colIdx[p] = i
+			t.vals[p] = m.vals[k]
+		}
+	}
+	return t
+}
+
+// ScaleRows returns diag(s) * M: row i multiplied by s[i]. The sparsity
+// pattern is preserved (zero scales keep structurally-present entries).
+func (m *CSR) ScaleRows(s []float64) (*CSR, error) {
+	if len(s) != m.rows {
+		return nil, fmt.Errorf("matrix: ScaleRows scale length %d does not match %d rows", len(s), m.rows)
+	}
+	out := &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out.vals[k] = m.vals[k] * s[i]
+		}
+	}
+	return out, nil
+}
+
+// Diagonal returns the main diagonal as a vector of length min(rows, cols).
+func (m *CSR) Diagonal() []float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if m.colIdx[k] == i {
+				out[i] = m.vals[k]
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Dense expands the matrix to dense form.
 func (m *CSR) Dense() *Dense {
 	d := NewDense(m.rows, m.cols)
@@ -192,28 +278,61 @@ func (m *CSR) RowNonZeros(i int, fn func(j int, v float64)) {
 }
 
 // SubCSR extracts the sub-matrix with the given row and column index sets,
-// preserving sparsity. colPos maps original column index -> position, built
-// once per call.
+// preserving sparsity, without ever densifying: a direct CSR-to-CSR copy
+// using a slice-based column position table (no maps, no re-sorting when
+// the column selection is ascending — the common case for state-class
+// index sets).
 func (m *CSR) SubCSR(rowIdx, colIdx []int) (*CSR, error) {
-	colPos := make(map[int]int, len(colIdx))
+	colPos := make([]int, m.cols)
+	for i := range colPos {
+		colPos[i] = -1
+	}
+	ascending := true
 	for p, c := range colIdx {
 		if c < 0 || c >= m.cols {
 			return nil, fmt.Errorf("matrix: SubCSR col index %d out of bounds for %d cols", c, m.cols)
 		}
+		if p > 0 && colIdx[p-1] >= c {
+			ascending = false
+		}
 		colPos[c] = p
 	}
-	b := NewSparseBuilder(len(rowIdx), len(colIdx))
+	out := &CSR{
+		rows:   len(rowIdx),
+		cols:   len(colIdx),
+		rowPtr: make([]int, len(rowIdx)+1),
+	}
 	for p, r := range rowIdx {
 		if r < 0 || r >= m.rows {
 			return nil, fmt.Errorf("matrix: SubCSR row index %d out of bounds for %d rows", r, m.rows)
 		}
+		rowStart := len(out.vals)
 		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
-			if q, ok := colPos[m.colIdx[k]]; ok {
-				if err := b.Add(p, q, m.vals[k]); err != nil {
-					return nil, err
-				}
+			if q := colPos[m.colIdx[k]]; q >= 0 {
+				out.colIdx = append(out.colIdx, q)
+				out.vals = append(out.vals, m.vals[k])
 			}
 		}
+		if !ascending {
+			// A reordered column selection scrambles the in-row column
+			// order; restore the CSR invariant for this row.
+			sortRow(out.colIdx[rowStart:], out.vals[rowStart:])
+		}
+		out.rowPtr[p+1] = len(out.vals)
 	}
-	return b.Build(), nil
+	return out, nil
+}
+
+// sortRow co-sorts one row's column indices and values (rows are short, so
+// an insertion sort beats sort.Sort's interface overhead).
+func sortRow(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
 }

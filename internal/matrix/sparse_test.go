@@ -212,3 +212,101 @@ func TestCSRVecMulLengthMismatch(t *testing.T) {
 		t.Error("want error")
 	}
 }
+
+func TestSubCSRReorderedColumns(t *testing.T) {
+	// A descending column selection exercises the per-row re-sort path;
+	// the CSR column invariant must hold (At relies on binary search).
+	b := NewSparseBuilder(2, 4)
+	for j := 0; j < 4; j++ {
+		_ = b.Add(0, j, float64(j+1))
+		_ = b.Add(1, j, float64(10*(j+1)))
+	}
+	sub, err := b.Build().SubCSR([]int{0, 1}, []int{3, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{4, 2, 1}, {40, 20, 10}}
+	for i := range want {
+		for j, w := range want[i] {
+			if got := sub.At(i, j); got != w {
+				t.Errorf("sub(%d,%d) = %v, want %v", i, j, got, w)
+			}
+		}
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		b := NewSparseBuilder(rows, cols)
+		for e := 0; e < rows*cols/2; e++ {
+			_ = b.Add(r.Intn(rows), r.Intn(cols), 2*r.Float64()-1)
+		}
+		m := b.Build()
+		mt := m.Transpose()
+		if mt.Rows() != cols || mt.Cols() != rows || mt.NNZ() != m.NNZ() {
+			t.Fatalf("transpose shape %dx%d nnz %d, want %dx%d nnz %d",
+				mt.Rows(), mt.Cols(), mt.NNZ(), cols, rows, m.NNZ())
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if m.At(i, j) != mt.At(j, i) {
+					t.Fatalf("transpose(%d,%d) = %v, want %v", j, i, mt.At(j, i), m.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCSRScaleRows(t *testing.T) {
+	b := NewSparseBuilder(2, 2)
+	_ = b.Add(0, 0, 2)
+	_ = b.Add(0, 1, 3)
+	_ = b.Add(1, 1, 5)
+	m, err := b.Build().ScaleRows([]float64{10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 20 || m.At(0, 1) != 30 || m.At(1, 1) != 0 {
+		t.Errorf("ScaleRows wrong: %v", m.Dense())
+	}
+	if _, err := m.ScaleRows([]float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestCSRDiagonal(t *testing.T) {
+	b := NewSparseBuilder(3, 3)
+	_ = b.Add(0, 0, 1.5)
+	_ = b.Add(1, 0, 2)
+	_ = b.Add(2, 2, -4)
+	d := b.Build().Diagonal()
+	want := []float64{1.5, 0, -4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("diag[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestCSRMulVecInto(t *testing.T) {
+	b := NewSparseBuilder(2, 3)
+	_ = b.Add(0, 0, 1)
+	_ = b.Add(0, 2, 2)
+	_ = b.Add(1, 1, 3)
+	m := b.Build()
+	dst := make([]float64, 2)
+	if err := m.MulVecInto([]float64{1, 2, 3}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 7 || dst[1] != 6 {
+		t.Errorf("MulVecInto = %v, want [7 6]", dst)
+	}
+	if err := m.MulVecInto([]float64{1}, dst); err == nil {
+		t.Error("bad v length: want error")
+	}
+	if err := m.MulVecInto([]float64{1, 2, 3}, dst[:1]); err == nil {
+		t.Error("bad dst length: want error")
+	}
+}
