@@ -48,6 +48,9 @@ type (
 	// densifies the transition matrix and keeps state spaces with
 	// thousands of transient states affordable.
 	SolverConfig = matrix.SolverConfig
+	// BuildOption tunes the construction of the transition matrix in
+	// NewModel / NewModelWithSolver (see WithBuildPool).
+	BuildOption = core.BuildOption
 )
 
 // Initial distributions of the paper (Section VII-A).
@@ -83,14 +86,21 @@ func DefaultParams() Params { return core.DefaultParams() }
 // NewModel validates p and builds the cluster model: its state space Ω
 // and the exact transition matrix of the paper's Figure 2. Analyses use
 // the exact dense LU solver; use NewModelWithSolver for the sparse path.
-func NewModel(p Params) (*Model, error) { return core.New(p) }
+func NewModel(p Params, opts ...BuildOption) (*Model, error) { return core.New(p, opts...) }
 
 // NewModelWithSolver is NewModel with an explicit linear-solver backend,
 // e.g. SolverConfig{Kind: "sparse"} for the iterative CSR path that makes
 // large C/∆ state spaces affordable.
-func NewModelWithSolver(p Params, sc SolverConfig) (*Model, error) {
-	return core.NewWithSolver(p, sc)
+func NewModelWithSolver(p Params, sc SolverConfig, opts ...BuildOption) (*Model, error) {
+	return core.NewWithSolver(p, sc, opts...)
 }
+
+// WithBuildPool fans the per-row construction of the transition matrix
+// across pool. Rows are emitted into row-local builders and concatenated
+// deterministically, so the resulting matrix is bit-identical to a serial
+// build for any pool width; at C = ∆ ≥ 40 (tens of thousands of states)
+// construction parallelism is what keeps model creation interactive.
+func WithBuildPool(pool *Pool) BuildOption { return core.WithBuildPool(pool) }
 
 // SolverKinds lists the accepted SolverConfig.Kind values.
 func SolverKinds() []string { return matrix.SolverKinds() }

@@ -3,6 +3,7 @@ package targetedattacks
 import (
 	"context"
 	"math"
+	"slices"
 	"testing"
 )
 
@@ -191,5 +192,25 @@ func TestFacadeSparseSolver(t *testing.T) {
 	}
 	if _, err := NewModelWithSolver(params, SolverConfig{Kind: "qr"}); err == nil {
 		t.Error("unknown solver kind: want error")
+	}
+}
+
+func TestFacadeParallelBuild(t *testing.T) {
+	params := DefaultParams()
+	params.Mu = 0.2
+	params.D = 0.9
+	serial, err := NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewModelWithSolver(params, SolverConfig{Kind: "sparse"}, WithBuildPool(NewPool(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.TransitionMatrix().Equal(parallel.TransitionMatrix()) {
+		t.Error("WithBuildPool changed the transition matrix through the facade")
+	}
+	if !slices.Contains(ScenarioKeys(), "huge") {
+		t.Error("huge scenario missing from facade listing")
 	}
 }

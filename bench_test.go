@@ -190,6 +190,37 @@ func BenchmarkRunBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildTransitionMatrix tracks the serial→parallel construction
+// speedup at the S3/S4 scale points (C=∆=25: 9126 states; C=∆=40: 35301
+// states). The serial and parallel paths produce bit-identical CSRs (see
+// the core equivalence property test), so this measures pure construction
+// throughput: row-local emitters with no shared builder, deterministic
+// row-order assembly, and the memoized per-(C,∆,k) maintenance kernel. CI
+// gates on these timings via benchstat (>20% regression fails the build);
+// on a multi-core runner the parallel case at C=∆=40 should run ≥ 3×
+// faster than serial, while a single-core tie bounds the engine overhead.
+func BenchmarkBuildTransitionMatrix(b *testing.B) {
+	for _, size := range []int{25, 40} {
+		p := core.Params{C: size, Delta: size, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1}
+		b.Run(fmt.Sprintf("size=%d/serial", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BuildTransitionMatrix(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("size=%d/parallel", size), func(b *testing.B) {
+			pool := engine.New(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BuildTransitionMatrix(p, core.WithBuildPool(pool)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkModelConstruction measures building the 288-state transition
 // matrix alone (the kernel under every experiment).
 func BenchmarkModelConstruction(b *testing.B) {

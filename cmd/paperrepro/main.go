@@ -10,14 +10,18 @@
 //
 //	paperrepro [-outdir results] [-quick] [-only fig3,table1,...]
 //	           [-workers N] [-seed S] [-list] [-solver dense|sparse|gs|auto]
-//	           [-tol 1e-12] [-cpuprofile f] [-memprofile f]
+//	           [-tol 1e-12] [-buildworkers N] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks the slow grids for a fast smoke run. -workers 0 (the
 // default) uses one worker per CPU. -list prints the scenario catalog and
 // exits. -solver/-tol pick the analytic linear-solver backend for the
-// sweep scenarios S1-S3 (the paper-exact artifacts always use dense LU).
-// -cpuprofile/-memprofile write pprof profiles so solver hot spots are
-// inspectable without code edits.
+// sweep scenarios S1-S4 (the paper-exact artifacts always use dense LU).
+// -buildworkers sizes a dedicated pool for the row-parallel
+// transition-matrix construction of the large-state-space sweeps (S3,
+// S4): 0 (the default) shares the scenario pool, 1 forces a serial
+// build, N > 1 dedicates that many workers; construction output is
+// bit-identical for any setting. -cpuprofile/-memprofile write pprof
+// profiles so solver hot spots are inspectable without code edits.
 package main
 
 import (
@@ -52,8 +56,9 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker pool width (0 = one per CPU)")
 		seed       = fs.Int64("seed", 1, "root seed for randomized scenarios")
 		list       = fs.Bool("list", false, "list the scenario catalog and exit")
-		solver     = fs.String("solver", "", "linear-solver backend for the sweep scenarios (S1-S3): "+strings.Join(matrix.SolverKinds(), ", "))
+		solver     = fs.String("solver", "", "linear-solver backend for the sweep scenarios (S1-S4): "+strings.Join(matrix.SolverKinds(), ", "))
 		tol        = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
+		buildwkrs  = fs.Int("buildworkers", 0, "dedicated workers for transition-matrix construction in S3/S4 (0 = share -workers pool)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -117,6 +122,9 @@ func run(args []string, out io.Writer) error {
 		Seed:   *seed,
 		Quick:  *quick,
 		Solver: solverCfg,
+	}
+	if *buildwkrs > 0 {
+		env.BuildPool = engine.New(*buildwkrs)
 	}
 	results, err := experiments.RunScenarios(context.Background(), env, keys)
 	if err != nil {

@@ -122,6 +122,36 @@ func TestRunLargeSparseScenario(t *testing.T) {
 	}
 }
 
+// TestRunHugeScenario exercises the S4 frontier through the CLI exactly
+// as CI runs it: C=∆=40 (quick), sparse solves, a dedicated build pool.
+func TestRunHugeScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "huge", "-quick", "-solver", "sparse", "-buildworkers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sweep S4", "35301", "33579"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunBuildWorkersInvariance checks the -buildworkers contract: the
+// construction pool width cannot change any rendered number.
+func TestRunBuildWorkersInvariance(t *testing.T) {
+	render := func(buildworkers string) string {
+		var out bytes.Buffer
+		args := []string{"-only", "large", "-quick", "-solver", "sparse", "-buildworkers", buildworkers}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if one, eight := render("1"), render("8"); one != eight {
+		t.Error("-buildworkers 1 and 8 rendered different output")
+	}
+}
+
 func TestRunRejectsBadSolver(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-only", "fig1", "-solver", "cholesky"}, &out); err == nil {

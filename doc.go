@@ -32,8 +32,20 @@
 //     exact reference; the iterative backends (BiCGSTAB, Gauss–Seidel,
 //     residual-controlled) never materialize a dense matrix, which is
 //     what makes state spaces with thousands of transient states — C=∆
-//     up to 25 and beyond — affordable. Select a backend with
-//     NewModelWithSolver or the CLIs' -solver/-tol flags.
+//     up to 25 and beyond — affordable. Factorizations answer batched
+//     multi-RHS solves (SolveMat/SolveMatLeft), which the sojourn
+//     recursions exploit to issue one batched solve per block per
+//     iteration. Select a backend with NewModelWithSolver or the CLIs'
+//     -solver/-tol flags.
+//
+//   - The parallel build pipeline above it: transition-matrix rows are
+//     constructed in independent chunks through row-local emitters and
+//     concatenated deterministically in row order, so the CSR is
+//     bit-identical for any worker count; the hypergeometric maintenance
+//     kernel is memoized per (C, ∆, k) and shared across grid cells.
+//     Thread a pool in with WithBuildPool (or -buildworkers); the huge
+//     scenario evaluates C=∆ up to 50 (|Ω| ≈ 68k states) end-to-end in
+//     seconds on this path.
 //
 //   - A Monte-Carlo simulator of the same chain for cross-validation.
 //
@@ -63,8 +75,8 @@
 // concurrently with -workers and -seed flags. Sweeps over the parameter
 // axes (C, ∆, k, ν, d, µ) are data in the registry rather than bespoke
 // code, so new grids (like the ν response surface, the C=∆=9 stress
-// sweep or the C=∆≤25 large-cluster sparse sweep) are one registration
-// away.
+// sweep, the C=∆≤25 large-cluster sparse sweep or the C=∆≤50
+// huge-cluster parallel-build sweep) are one registration away.
 //
 // # Quick start
 //

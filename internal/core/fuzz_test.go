@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzUnit folds an arbitrary float64 (including NaN and ±Inf) into
+// [0, 1), deterministically.
+func fuzzUnit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(math.Mod(x, 1))
+	if x >= 1 { // Mod can return exactly 1 only through rounding; clamp.
+		x = 0
+	}
+	return x
+}
+
+// FuzzBuildTransitionMatrix drives the transition-tree builder over
+// arbitrary (C, ∆, k, µ, d, ν) folded into the model's validity bounds:
+// every build must succeed, the resulting matrix must be a well-formed
+// absorbing-chain transition matrix (transient rows sum to 1, absorbing
+// rows are exact self-loops, every entry a probability), and the state
+// space must round-trip through its index bijectively. CI runs a short
+// -fuzz smoke on top of the committed seeds.
+func FuzzBuildTransitionMatrix(f *testing.F) {
+	f.Add(uint8(7), uint8(7), uint8(0), 0.2, 0.9, 0.1)
+	f.Add(uint8(4), uint8(5), uint8(1), 0.1, 0.5, 0.2)
+	f.Add(uint8(9), uint8(3), uint8(8), 0.99, 0.0, 0.9)
+	f.Add(uint8(1), uint8(2), uint8(0), 0.0, 0.0, 0.5)
+	f.Add(uint8(10), uint8(9), uint8(3), 0.3, 0.999, 0.05)
+	f.Fuzz(func(t *testing.T, c, delta, k uint8, mu, d, nu float64) {
+		p := Params{
+			C:     1 + int(c%10),
+			Delta: 2 + int(delta%10),
+			Mu:    fuzzUnit(mu),
+			D:     fuzzUnit(d),
+			Nu:    0.001 + 0.998*fuzzUnit(nu),
+		}
+		p.K = 1 + int(k)%p.C
+		if err := p.Validate(); err != nil {
+			t.Fatalf("folded params %v invalid: %v", p, err)
+		}
+		m, sp, err := BuildTransitionMatrix(p)
+		if err != nil {
+			t.Fatalf("build %v: %v", p, err)
+		}
+		// 1e-9 matches the randomized stochasticity property test: long
+		// hypergeometric sums at extreme parameters accumulate a little
+		// more rounding than the paper-grid cases.
+		if err := ValidateStochasticity(m, sp, 1e-9); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for i, st := range sp.States() {
+			if got := sp.MustIndex(st); got != i {
+				t.Fatalf("%v: state %v indexes to %d, enumerated at %d", p, st, got, i)
+			}
+			if sp.At(i) != st {
+				t.Fatalf("%v: At(%d) = %v, want %v", p, i, sp.At(i), st)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-regression harness pins the complete Analysis output of the
+// dense (exact) pipeline on the paper's default grid and the stress9 grid.
+// Every solver or builder refactor must keep reproducing these values to
+// 1e-9 on all fields; regenerate deliberately with
+//
+//	go test ./internal/core -run TestGoldenPaperGrid -update
+//
+// after a change that is *supposed* to move the numbers, and review the
+// testdata/paper_grid.json diff like any other code change.
+var updateGolden = flag.Bool("update", false, "regenerate testdata/paper_grid.json from the current dense pipeline")
+
+const goldenPath = "testdata/paper_grid.json"
+
+// goldenEntry is one pinned (parameters, initial distribution) cell.
+type goldenEntry struct {
+	Name                 string             `json:"name"`
+	Params               Params             `json:"params"`
+	Dist                 string             `json:"dist"`
+	Sojourns             int                `json:"sojourns"`
+	ExpectedSafeTime     float64            `json:"expected_safe_time"`
+	ExpectedPollutedTime float64            `json:"expected_polluted_time"`
+	SafeSojourns         []float64          `json:"safe_sojourns"`
+	PollutedSojourns     []float64          `json:"polluted_sojourns"`
+	Absorption           map[string]float64 `json:"absorption"`
+	PollutionProbability float64            `json:"pollution_probability"`
+}
+
+// goldenCase identifies one grid cell to pin.
+type goldenCase struct {
+	params   Params
+	dist     InitialDistribution
+	sojourns int
+}
+
+func (c goldenCase) name() string {
+	return fmt.Sprintf("C%d_D%d_k%d_mu%g_d%g_nu%g_%s",
+		c.params.C, c.params.Delta, c.params.K, c.params.Mu, c.params.D, c.params.Nu, distKey(c.dist))
+}
+
+func distKey(d InitialDistribution) string {
+	if d == DistributionBeta {
+		return "beta"
+	}
+	return "delta"
+}
+
+func distFromKey(key string) (InitialDistribution, error) {
+	switch key {
+	case "delta":
+		return DistributionDelta, nil
+	case "beta":
+		return DistributionBeta, nil
+	default:
+		return 0, fmt.Errorf("unknown golden dist %q", key)
+	}
+}
+
+// goldenGrid enumerates the pinned cells: the paper's default C=∆=7 grid
+// (Figure 3 / Table I axes, both initial distributions) and the stress9
+// C=∆=9 grid (δ only), matching the solver-equivalence property tests.
+func goldenGrid() []goldenCase {
+	var cases []goldenCase
+	for _, k := range []int{1, 2, 7} {
+		for _, mu := range []float64{0.1, 0.2, 0.3} {
+			for _, d := range []float64{0.5, 0.8, 0.9} {
+				p := DefaultParams()
+				p.K, p.Mu, p.D = k, mu, d
+				for _, dist := range []InitialDistribution{DistributionDelta, DistributionBeta} {
+					cases = append(cases, goldenCase{params: p, dist: dist, sojourns: 2})
+				}
+			}
+		}
+	}
+	for _, k := range []int{1, 9} {
+		for _, mu := range []float64{0.1, 0.3} {
+			for _, d := range []float64{0.5, 0.9} {
+				p := Params{C: 9, Delta: 9, Mu: mu, D: d, K: k, Nu: 0.1}
+				cases = append(cases, goldenCase{params: p, dist: DistributionDelta, sojourns: 1})
+			}
+		}
+	}
+	return cases
+}
+
+// goldenAnalyze runs one cell on the dense (exact) pipeline.
+func goldenAnalyze(c goldenCase) (*Analysis, error) {
+	m, err := New(c.params)
+	if err != nil {
+		return nil, err
+	}
+	return m.AnalyzeNamed(c.dist, c.sojourns)
+}
+
+func writeGolden(t *testing.T) {
+	t.Helper()
+	cases := goldenGrid()
+	entries := make([]goldenEntry, 0, len(cases))
+	for _, c := range cases {
+		a, err := goldenAnalyze(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name(), err)
+		}
+		entries = append(entries, goldenEntry{
+			Name:                 c.name(),
+			Params:               c.params,
+			Dist:                 distKey(c.dist),
+			Sojourns:             c.sojourns,
+			ExpectedSafeTime:     a.ExpectedSafeTime,
+			ExpectedPollutedTime: a.ExpectedPollutedTime,
+			SafeSojourns:         a.SafeSojourns,
+			PollutedSojourns:     a.PollutedSojourns,
+			Absorption:           a.Absorption,
+			PollutionProbability: a.PollutionProbability,
+		})
+	}
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d golden entries to %s", len(entries), goldenPath)
+}
+
+// TestGoldenPaperGrid recomputes every pinned cell and compares all
+// Analysis fields against testdata/paper_grid.json at 1e-9.
+func TestGoldenPaperGrid(t *testing.T) {
+	if *updateGolden {
+		writeGolden(t)
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var entries []goldenEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(entries) != len(goldenGrid()) {
+		t.Fatalf("golden file has %d entries, grid has %d (regenerate with -update)",
+			len(entries), len(goldenGrid()))
+	}
+	const tol = 1e-9
+	for _, e := range entries {
+		dist, err := distFromKey(e.Dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := goldenAnalyze(goldenCase{params: e.Params, dist: dist, sojourns: e.Sojourns})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		want := &Analysis{
+			ExpectedSafeTime:     e.ExpectedSafeTime,
+			ExpectedPollutedTime: e.ExpectedPollutedTime,
+			SafeSojourns:         e.SafeSojourns,
+			PollutedSojourns:     e.PollutedSojourns,
+			Absorption:           e.Absorption,
+			PollutionProbability: e.PollutionProbability,
+		}
+		assertAnalysesAgree(t, e.Name, want, a, tol)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"targetedattacks/internal/combin"
+)
+
+// maintKernel memoizes the two hypergeometric factors of the protocol_k
+// maintenance kernel τ(m,a,b) = q(k−1, C−1, a, m) · q(k, s+k−1, b, y+a)
+// for one (C, ∆, k). The same tables serve the Rule 1 gain probability
+// (relation (2)), which is built from the identical q(k−1, C−1, ·, ·) and
+// q(k, s+k−1, ·, ·) terms. Tables are computed once per (C, ∆, k) and
+// shared — read-only — across grid cells and build workers, so a (µ, d, ν)
+// sweep at fixed cluster geometry never recomputes a log-gamma term.
+type maintKernel struct {
+	c, delta, k int
+	// pushed[m][a] = q(k−1, C−1, a, m): a malicious among the k−1 core
+	// members pushed to the spare set, given m malicious core survivors.
+	pushed [][]float64
+	// promoted[pool][v][b] = q(k, pool, b, v): b malicious among the k
+	// spares promoted from a pool of size pool holding v malicious.
+	// pool = s+k−1 ranges over [0, ∆+k−2] for transient s.
+	promoted [][][]float64
+}
+
+// kernelKey identifies a kernel by the parameters its tables depend on.
+type kernelKey struct{ c, delta, k int }
+
+// kernelCache maps kernelKey to *maintKernel. A sync.Map keeps the hit
+// path lock-free: Rule 1 probes run per simulated leave event across
+// pool workers, so a global mutex here would serialize them.
+var kernelCache sync.Map
+
+// kernelFor returns the shared maintenance kernel of p, building and
+// caching it on first use. p must have passed Validate. Concurrent first
+// uses may build the kernel twice; the tables are pure functions of the
+// key, so whichever build wins the LoadOrStore is indistinguishable.
+func kernelFor(p Params) (*maintKernel, error) {
+	key := kernelKey{c: p.C, delta: p.Delta, k: p.K}
+	if v, ok := kernelCache.Load(key); ok {
+		return v.(*maintKernel), nil
+	}
+	ker, err := buildKernel(p.C, p.Delta, p.K)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := kernelCache.LoadOrStore(key, ker)
+	return v.(*maintKernel), nil
+}
+
+// buildKernel tabulates every in-range hypergeometric factor.
+func buildKernel(c, delta, k int) (*maintKernel, error) {
+	ker := &maintKernel{c: c, delta: delta, k: k}
+	ker.pushed = make([][]float64, c)
+	for m := 0; m < c; m++ {
+		row := make([]float64, k)
+		for a := 0; a < k; a++ {
+			q, err := combin.Hypergeometric(k-1, c-1, a, m)
+			if err != nil {
+				return nil, fmt.Errorf("core: kernel push table (a=%d, m=%d): %w", a, m, err)
+			}
+			row[a] = q
+		}
+		ker.pushed[m] = row
+	}
+	poolMax := delta + k - 2
+	if poolMax < 0 {
+		poolMax = 0
+	}
+	ker.promoted = make([][][]float64, poolMax+1)
+	// Pools smaller than the k draws are left untabulated: q(k, pool, ·, ·)
+	// is undefined there, and no in-space maintenance reaches them
+	// (pool = s+k−1 ≥ k for every transient s ≥ 1).
+	for pool := k; pool <= poolMax; pool++ {
+		byV := make([][]float64, pool+1)
+		bMax := k
+		for v := 0; v <= pool; v++ {
+			row := make([]float64, bMax+1)
+			for b := 0; b <= bMax; b++ {
+				q, err := combin.Hypergeometric(k, pool, b, v)
+				if err != nil {
+					return nil, fmt.Errorf("core: kernel promote table (pool=%d, v=%d, b=%d): %w", pool, v, b, err)
+				}
+				row[b] = q
+			}
+			byV[v] = row
+		}
+		ker.promoted[pool] = byV
+	}
+	return ker, nil
+}
+
+// push returns q(k−1, C−1, a, m), from the table when in range and by
+// direct evaluation otherwise (callers outside the tabulated bounds, e.g.
+// Rule 1 probes at out-of-space states, stay correct).
+func (ker *maintKernel) push(a, m int) (float64, error) {
+	if m >= 0 && m < len(ker.pushed) && a >= 0 && a < len(ker.pushed[m]) {
+		return ker.pushed[m][a], nil
+	}
+	return combin.Hypergeometric(ker.k-1, ker.c-1, a, m)
+}
+
+// promote returns q(k, pool, b, v), falling back to direct evaluation
+// outside the tabulated bounds.
+func (ker *maintKernel) promote(pool, v, b int) (float64, error) {
+	if pool >= 0 && pool < len(ker.promoted) &&
+		v >= 0 && v < len(ker.promoted[pool]) &&
+		b >= 0 && b < len(ker.promoted[pool][v]) {
+		return ker.promoted[pool][v][b], nil
+	}
+	return combin.Hypergeometric(ker.k, pool, b, v)
+}

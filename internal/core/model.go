@@ -17,21 +17,24 @@ type Model struct {
 }
 
 // New validates p and builds the model (state space + transition matrix)
-// with the exact dense LU solver backend.
-func New(p Params) (*Model, error) {
-	return NewWithSolver(p, matrix.SolverConfig{})
+// with the exact dense LU solver backend. Build options (WithBuildPool)
+// tune the transition-matrix construction without changing its output.
+func New(p Params, opts ...BuildOption) (*Model, error) {
+	return NewWithSolver(p, matrix.SolverConfig{}, opts...)
 }
 
 // NewWithSolver is New with an explicit linear-solver backend for the
 // closed-form analyses. The sparse backends ("sparse"/"bicgstab", "gs",
 // "auto") keep the whole pipeline CSR-only, which is what makes
-// large-cluster state spaces (thousands of transient states) affordable.
-func NewWithSolver(p Params, sc matrix.SolverConfig) (*Model, error) {
+// large-cluster state spaces (thousands of transient states) affordable;
+// WithBuildPool parallelizes the construction of those state spaces'
+// transition matrices the same way.
+func NewWithSolver(p Params, sc matrix.SolverConfig, opts ...BuildOption) (*Model, error) {
 	solver, err := sc.Build()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	m, sp, err := BuildTransitionMatrix(p)
+	m, sp, err := BuildTransitionMatrix(p, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -113,13 +116,11 @@ func (m *Model) Analyze(alpha []float64, nSojourns int) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: E(T_P): %w", err)
 	}
-	ss, err := ch.SuccessiveSojournsInA(nSojourns)
+	// The safe and polluted recursions advance in lockstep, batching
+	// their left solves per block (relations (7) and (8) in one pass).
+	ss, ps, err := ch.SuccessiveSojournsBoth(nSojourns)
 	if err != nil {
-		return nil, fmt.Errorf("core: safe sojourns: %w", err)
-	}
-	ps, err := ch.SuccessiveSojournsInB(nSojourns)
-	if err != nil {
-		return nil, fmt.Errorf("core: polluted sojourns: %w", err)
+		return nil, fmt.Errorf("core: sojourns: %w", err)
 	}
 	abs, err := ch.AbsorptionProbabilities()
 	if err != nil {

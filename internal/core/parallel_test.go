@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"targetedattacks/internal/combin"
+	"targetedattacks/internal/engine"
+)
+
+// TestBuildTransitionMatrixParallelBitIdentical is the tentpole's
+// equivalence property: for any pool width the parallel per-row
+// construction must produce the same CSR as the serial build — same row
+// pointers, same column indices, bit-identical values — across a
+// randomized (C, ∆, k, µ, d, ν) grid.
+func TestBuildTransitionMatrixParallelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	params := make([]Params, 0, 14)
+	for trial := 0; trial < 12; trial++ {
+		p := Params{
+			C:     1 + r.Intn(10),
+			Delta: 2 + r.Intn(9),
+			Mu:    r.Float64(),
+			D:     r.Float64() * 0.999,
+			Nu:    0.01 + 0.98*r.Float64(),
+		}
+		p.K = 1 + r.Intn(p.C)
+		params = append(params, p)
+	}
+	// Two deterministic sizes whose state spaces span several build
+	// chunks (|Ω| > 512), so chunk-boundary assembly is exercised.
+	params = append(params,
+		Params{C: 15, Delta: 15, Mu: 0.25, D: 0.9, K: 3, Nu: 0.1},
+		Params{C: 9, Delta: 12, Mu: 0.3, D: 0.95, K: 9, Nu: 0.4},
+	)
+	for _, p := range params {
+		serial, _, err := BuildTransitionMatrix(p)
+		if err != nil {
+			t.Fatalf("serial build %v: %v", p, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			m, _, err := BuildTransitionMatrix(p, WithBuildPool(engine.New(workers)))
+			if err != nil {
+				t.Fatalf("parallel build %v on %d workers: %v", p, workers, err)
+			}
+			if !serial.Equal(m) {
+				t.Errorf("%v: %d-worker build differs from serial (nnz %d vs %d)",
+					p, workers, m.NNZ(), serial.NNZ())
+			}
+		}
+	}
+}
+
+// TestKernelMemoization checks the per-(C,∆,k) kernel cache: repeated
+// builds share one table set, and the tabulated values match direct
+// hypergeometric evaluation (in and out of the tabulated bounds).
+func TestKernelMemoization(t *testing.T) {
+	p := Params{C: 8, Delta: 6, Mu: 0.2, D: 0.9, K: 3, Nu: 0.1}
+	k1, err := kernelFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := kernelFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("kernelFor built two kernels for the same (C, ∆, k)")
+	}
+	// In-table lookups match the direct law.
+	for m := 0; m < p.C; m++ {
+		for a := 0; a < p.K; a++ {
+			want, err := combin.Hypergeometric(p.K-1, p.C-1, a, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := k1.push(a, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("push(%d,%d) = %v, want %v", a, m, got, want)
+			}
+		}
+	}
+	for s := 1; s < p.Delta; s++ {
+		pool := s + p.K - 1
+		for v := 0; v <= pool; v++ {
+			for b := 0; b <= p.K; b++ {
+				want, err := combin.Hypergeometric(p.K, pool, b, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := k1.promote(pool, v, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("promote(%d,%d,%d) = %v, want %v", pool, v, b, got, want)
+				}
+			}
+		}
+	}
+	// Out-of-table indices fall back to direct evaluation instead of
+	// panicking or returning zero.
+	pool := p.Delta + p.K + 5
+	want, err := combin.Hypergeometric(p.K, pool, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k1.promote(pool, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("out-of-table promote = %v, want %v", got, want)
+	}
+}
+
+// TestWithBuildPoolThroughModel checks that the option threads through
+// core.New / NewWithSolver and cannot change the model.
+func TestWithBuildPoolThroughModel(t *testing.T) {
+	p := Params{C: 7, Delta: 7, Mu: 0.2, D: 0.9, K: 2, Nu: 0.1}
+	serial, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(p, WithBuildPool(engine.New(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.TransitionMatrix().Equal(parallel.TransitionMatrix()) {
+		t.Error("WithBuildPool changed the transition matrix")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"targetedattacks/internal/combin"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
 )
 
@@ -14,6 +16,32 @@ const (
 	probJoin  = 0.5
 	probLeave = 0.5
 )
+
+// BuildConfig tunes how the transition matrix is constructed. The zero
+// value builds serially.
+type BuildConfig struct {
+	// Pool supplies the workers of the per-row parallel pass; nil builds
+	// serially. Output is bit-identical for any pool width.
+	Pool *engine.Pool
+}
+
+// BuildOption mutates a BuildConfig.
+type BuildOption func(*BuildConfig)
+
+// WithBuildPool fans the per-row construction pass across pool. Every
+// transient row of the transition matrix is independent given the state
+// space, so construction is embarrassingly parallel; the deterministic
+// row-order assembly keeps the resulting CSR bit-identical to a serial
+// build.
+func WithBuildPool(pool *engine.Pool) BuildOption {
+	return func(c *BuildConfig) { c.Pool = pool }
+}
+
+// buildChunkRows is the number of consecutive rows one pool task seals
+// into its own matrix.RowBuilder: large enough to amortize scheduling and
+// builder allocation, small enough to load-balance the ~|Ω|/chunk tasks
+// across workers.
+const buildChunkRows = 512
 
 // BuildTransitionMatrix constructs the exact transition probability matrix
 // M of the cluster Markov chain X over the space Ω(C, ∆), implementing the
@@ -37,7 +65,19 @@ const (
 //     replaces departures with valid malicious spares when available.
 //
 // Absorbing states (s = 0 and s = ∆) carry a self-loop.
-func BuildTransitionMatrix(p Params) (*matrix.CSR, *Space, error) {
+//
+// Construction is row-parallel when WithBuildPool supplies workers: rows
+// are built in independent chunks through row-local matrix.RowBuilder
+// emitters (no shared builder, no lock) and concatenated in row order, so
+// the CSR — row pointers, column indices and values — is bit-identical to
+// a serial build. The hypergeometric maintenance kernel τ is memoized per
+// (C, ∆, k) and shared across builds, so grid sweeps at fixed cluster
+// geometry pay for the log-gamma terms once.
+func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, error) {
+	var cfg BuildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -45,23 +85,44 @@ func BuildTransitionMatrix(p Params) (*matrix.CSR, *Space, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	b := matrix.NewSparseBuilder(sp.Size(), sp.Size())
-	for i, st := range sp.States() {
-		if !sp.Classify(st).Transient() {
-			if err := b.Add(i, i, 1); err != nil {
-				return nil, nil, err
-			}
-			continue
-		}
-		if err := addTransientRow(b, sp, p, i, st); err != nil {
-			return nil, nil, fmt.Errorf("core: building row for state %v: %w", st, err)
-		}
+	ker, err := kernelFor(p)
+	if err != nil {
+		return nil, nil, err
 	}
-	return b.Build(), sp, nil
+	n := sp.Size()
+	nChunks := (n + buildChunkRows - 1) / buildChunkRows
+	parts := make([]*matrix.RowBuilder, nChunks)
+	err = engine.Ensure(cfg.Pool).Run(context.Background(), nChunks, func(chunk int) error {
+		lo := chunk * buildChunkRows
+		hi := min(lo+buildChunkRows, n)
+		rb := matrix.NewRowBuilder(n)
+		for i := lo; i < hi; i++ {
+			st := sp.At(i)
+			if !sp.Classify(st).Transient() {
+				if err := rb.Add(i, 1); err != nil {
+					return err
+				}
+			} else if err := addTransientRow(rb, sp, p, ker, st); err != nil {
+				return fmt.Errorf("building row for state %v: %w", st, err)
+			}
+			rb.EndRow()
+		}
+		parts[chunk] = rb
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := matrix.ConcatRows(n, parts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: assembling transition matrix: %w", err)
+	}
+	return m, sp, nil
 }
 
-// addTransientRow emits the outgoing probabilities of one transient state.
-func addTransientRow(b *matrix.SparseBuilder, sp *Space, p Params, row int, st State) error {
+// addTransientRow emits the outgoing probabilities of one transient state
+// into the builder's current row.
+func addTransientRow(rb *matrix.RowBuilder, sp *Space, p Params, ker *maintKernel, st State) error {
 	add := func(target State, w float64) error {
 		if w == 0 {
 			return nil
@@ -69,12 +130,12 @@ func addTransientRow(b *matrix.SparseBuilder, sp *Space, p Params, row int, st S
 		if w < 0 {
 			return fmt.Errorf("negative probability %v to %v", w, target)
 		}
-		return b.Add(row, sp.MustIndex(target), w)
+		return rb.Add(sp.MustIndex(target), w)
 	}
 	if err := addJoinBranch(p, st, add); err != nil {
 		return err
 	}
-	return addLeaveBranch(p, st, add)
+	return addLeaveBranch(p, ker, st, add)
 }
 
 // addJoinBranch implements the join sub-tree (left half of Figure 2).
@@ -107,7 +168,7 @@ func addJoinBranch(p Params, st State, add func(State, float64) error) error {
 }
 
 // addLeaveBranch implements the leave sub-tree (right half of Figure 2).
-func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
+func addLeaveBranch(p Params, ker *maintKernel, st State, add func(State, float64) error) error {
 	s, x, y := st.S, st.X, st.Y
 	quorum := p.Quorum()
 	pCore := float64(p.C) / float64(p.C+s)
@@ -146,7 +207,7 @@ func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
 			} else if err := add(State{s - 1, x, y}, wh); err != nil {
 				return err
 			}
-		} else if err := addMaintenance(p, s, y, x, wh, add); err != nil {
+		} else if err := addMaintenance(p, ker, s, y, x, wh, add); err != nil {
 			return err
 		}
 	}
@@ -168,7 +229,7 @@ func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
 			} else if err := add(State{s - 1, x - 1, y}, we); err != nil {
 				return err
 			}
-		} else if err := addMaintenance(p, s, y, x-1, we, add); err != nil {
+		} else if err := addMaintenance(p, ker, s, y, x-1, we, add); err != nil {
 			return err
 		}
 	}
@@ -180,12 +241,12 @@ func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
 		return nil
 	}
 	if x <= quorum && s > 1 {
-		fires, err := Rule1Holds(p, s, x, y)
+		fires, err := rule1Holds(p, ker, s, x, y)
 		if err != nil {
 			return err
 		}
 		if fires {
-			return addMaintenance(p, s, y, x-1, wv, add)
+			return addMaintenance(p, ker, s, y, x-1, wv, add)
 		}
 	}
 	return add(st, wv)
@@ -197,10 +258,10 @@ func addLeaveBranch(p Params, st State, add func(State, float64) error) error {
 // are pushed to the spare set (a malicious among them) and k members of
 // the resulting spare pool of size s+k−1 (with y+a malicious) are promoted
 // (b malicious among them). Target state: (s−1, malRemaining−a+b, y+a−b).
-func addMaintenance(p Params, s, y, malRemaining int, w float64, add func(State, float64) error) error {
+func addMaintenance(p Params, ker *maintKernel, s, y, malRemaining int, w float64, add func(State, float64) error) error {
 	loA, hiA := combin.HypergeometricSupport(p.K-1, p.C-1, malRemaining)
 	for a := loA; a <= hiA; a++ {
-		pa, err := combin.Hypergeometric(p.K-1, p.C-1, a, malRemaining)
+		pa, err := ker.push(a, malRemaining)
 		if err != nil {
 			return err
 		}
@@ -210,7 +271,7 @@ func addMaintenance(p Params, s, y, malRemaining int, w float64, add func(State,
 		pool := s + p.K - 1
 		loB, hiB := combin.HypergeometricSupport(p.K, pool, y+a)
 		for bCount := loB; bCount <= hiB; bCount++ {
-			pb, err := combin.Hypergeometric(p.K, pool, bCount, y+a)
+			pb, err := ker.promote(pool, y+a, bCount)
 			if err != nil {
 				return err
 			}
@@ -242,9 +303,21 @@ func addMaintenance(p Params, s, y, malRemaining int, w float64, add func(State,
 // Section V-A).
 func Rule1Holds(p Params, s, x, y int) (bool, error) {
 	if x < 1 {
+		// Early out before any kernel lookup: the hot simulation paths
+		// probe Rule 1 with x = 0 constantly.
 		return false, nil
 	}
-	prob, err := Rule1GainProbability(p, s, x, y)
+	return rule1Holds(p, rule1Kernel(p), s, x, y)
+}
+
+// rule1Holds is the kernel-aware firing predicate shared by the public
+// Rule1Holds and the transition builder, so relation (2)'s threshold has
+// a single source of truth.
+func rule1Holds(p Params, ker *maintKernel, s, x, y int) (bool, error) {
+	if x < 1 {
+		return false, nil
+	}
+	prob, err := rule1Gain(p, ker, s, x, y)
 	if err != nil {
 		return false, err
 	}
@@ -254,8 +327,31 @@ func Rule1Holds(p Params, s, x, y int) (bool, error) {
 // Rule1GainProbability returns the left-hand side of relation (2): the
 // probability that, after a voluntary departure of one malicious core
 // member followed by the protocol_k maintenance, the core holds strictly
-// more malicious members than before.
+// more malicious members than before. Both factors are served from the
+// memoized maintenance kernel when (C, ∆, k) admit one.
 func Rule1GainProbability(p Params, s, x, y int) (float64, error) {
+	if x < 1 {
+		return 0, nil
+	}
+	return rule1Gain(p, rule1Kernel(p), s, x, y)
+}
+
+// rule1Kernel returns the shared memoized kernel when the cluster
+// geometry is tabulatable, and an empty kernel (every lookup falls back
+// to direct evaluation, reproducing the unmemoized behavior and errors)
+// otherwise — Rule1GainProbability accepts parameters Validate would
+// reject.
+func rule1Kernel(p Params) *maintKernel {
+	if p.C >= 1 && p.Delta >= 1 && p.K >= 1 && p.K <= p.C {
+		if ker, err := kernelFor(p); err == nil {
+			return ker
+		}
+	}
+	return &maintKernel{c: p.C, delta: p.Delta, k: p.K}
+}
+
+// rule1Gain evaluates relation (2) through the kernel tables.
+func rule1Gain(p Params, ker *maintKernel, s, x, y int) (float64, error) {
 	if x < 1 {
 		return 0, nil
 	}
@@ -269,7 +365,7 @@ func Rule1GainProbability(p Params, s, x, y int) (float64, error) {
 	}
 	var sum float64
 	for i := i0; i <= imax; i++ {
-		qi, err := combin.Hypergeometric(p.K-1, p.C-1, i, x-1)
+		qi, err := ker.push(i, x-1)
 		if err != nil {
 			return 0, err
 		}
@@ -281,7 +377,7 @@ func Rule1GainProbability(p Params, s, x, y int) (float64, error) {
 			jmax = y + i
 		}
 		for j := i + 2; j <= jmax; j++ {
-			qj, err := combin.Hypergeometric(p.K, s+p.K-1, j, y+i)
+			qj, err := ker.promote(s+p.K-1, y+i, j)
 			if err != nil {
 				return 0, err
 			}

@@ -6,11 +6,13 @@ import (
 
 // This file registers the built-in scenarios: every table and figure of
 // the paper's evaluation (E1-E7), this reproduction's ablations and
-// validations (A1-A5), and the engine-enabled sweeps (S1-S3). Randomized
+// validations (A1-A5), and the engine-enabled sweeps (S1-S4). Randomized
 // scenarios take their root seed from Env.Seed (the CLIs' -seed flag);
 // Env.Quick shrinks the slow grids for smoke runs. The paper-exact
 // artifacts (E1-E7, A1-A5) always solve on the dense LU path; the
-// sweeps S1-S3 honor Env.Solver (the CLIs' -solver/-tol flags).
+// sweeps S1-S4 honor Env.Solver (the CLIs' -solver/-tol flags), and the
+// large-state-space sweeps S3/S4 additionally honor Env.BuildPool
+// (-buildworkers) for the row-parallel matrix construction.
 
 func init() {
 	Register(Scenario{
@@ -170,11 +172,26 @@ func init() {
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultLargeClusterConfig()
 			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
 			if env.Quick {
 				cfg.Sizes = []int{16}
 			}
 			t, err := LargeCluster(ctx, env.Pool, cfg)
 			return tableArtifacts("sweep_large", t, err)
+		},
+	})
+	Register(Scenario{
+		Key:  "huge",
+		Desc: "Sweep S4: huge-cluster parallel-build analytics (C=∆ up to 50)",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultHugeClusterConfig()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			if env.Quick {
+				cfg.Sizes = []int{40}
+			}
+			t, err := LargeCluster(ctx, env.Pool, cfg)
+			return tableArtifacts("sweep_huge", t, err)
 		},
 	})
 }

@@ -21,14 +21,29 @@ type Env struct {
 	Seed  int64
 	Quick bool
 	// Solver overrides the analytic linear-solver backend of the sweep
-	// scenarios S1-S3 (the paper's printed figures and tables always use
+	// scenarios S1-S4 (the paper's printed figures and tables always use
 	// the exact dense path). The zero value keeps each scenario's own
 	// default.
 	Solver matrix.SolverConfig
+	// BuildPool supplies the workers of the row-parallel
+	// transition-matrix construction in the large-state-space sweeps (S3,
+	// S4); nil shares Pool (the CLIs' -buildworkers flag overrides it).
+	// Construction output is bit-identical for any width.
+	BuildPool *engine.Pool
 }
 
 // pool returns the env's pool, defaulting to a serial one.
 func (e Env) pool() *engine.Pool { return engine.Ensure(e.Pool) }
+
+// buildPool returns the pool used for transition-matrix construction,
+// sharing the scenario pool when no dedicated one is configured (nested
+// engine.Pool.Run calls split the width instead of stacking).
+func (e Env) buildPool() *engine.Pool {
+	if e.BuildPool != nil {
+		return e.BuildPool
+	}
+	return e.pool()
+}
 
 // Artifact is one named output of a scenario: a Table or a Figure.
 type Artifact struct {

@@ -13,7 +13,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "table1", "table2", "fig4", "fig5",
 		"ablk", "ablnu", "mc", "sys", "lookup", "nusweep", "stress9",
-		"large",
+		"large", "huge",
 	}
 	keys := Keys()
 	if len(keys) != len(want) {
@@ -204,6 +204,32 @@ func TestLargeClusterScenario(t *testing.T) {
 	}
 	if _, err := LargeCluster(context.Background(), nil, LargeClusterConfig{}); err == nil {
 		t.Error("empty grid: want error")
+	}
+}
+
+// TestHugeClusterScenario runs the S4 frontier size C=∆=40 (33579
+// transient states) with a parallel build pool, checking both the scale
+// gate and the dedicated S4 title.
+func TestHugeClusterScenario(t *testing.T) {
+	cfg := DefaultHugeClusterConfig()
+	cfg.Sizes = []int{40}
+	cfg.BuildPool = engine.New(4)
+	tb, err := LargeCluster(context.Background(), engine.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	if row[2] != "35301" {
+		t.Errorf("|Ω| = %q, want 35301", row[2])
+	}
+	if row[3] != "33579" {
+		t.Errorf("transient = %q, want 33579", row[3])
+	}
+	if !strings.Contains(tb.Title, "S4") {
+		t.Errorf("title %q missing the S4 label", tb.Title)
 	}
 }
 

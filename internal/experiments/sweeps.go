@@ -189,6 +189,13 @@ type LargeClusterConfig struct {
 	// Solver is the sparse backend; the zero value selects BiCGSTAB
 	// (running this sweep densely is the thing it exists to avoid).
 	Solver matrix.SolverConfig
+	// BuildPool fans the per-row transition-matrix construction of each
+	// cell across workers (bit-identical output for any width); nil
+	// builds serially. At C = ∆ ≥ 40 construction is the dominant cost
+	// of a cell, so the huge sweep always threads one through.
+	BuildPool *engine.Pool
+	// Label names the sweep in the table title; "" selects the S3 label.
+	Label string
 }
 
 // DefaultLargeClusterConfig scales C = ∆ to 25 (|Ω| = 9126) at the
@@ -199,6 +206,20 @@ func DefaultLargeClusterConfig() LargeClusterConfig {
 		Ks:    []int{1},
 		Mu:    0.2,
 		D:     0.8,
+	}
+}
+
+// DefaultHugeClusterConfig is the S4 frontier: C = ∆ ∈ {40, 50}, up to
+// |Ω| = 67626 states (64974 transient) per cell — the scale the
+// row-parallel construction pass and the memoized maintenance kernel
+// exist for. Attack point and protocol follow S3.
+func DefaultHugeClusterConfig() LargeClusterConfig {
+	return LargeClusterConfig{
+		Sizes: []int{40, 50},
+		Ks:    []int{1},
+		Mu:    0.2,
+		D:     0.8,
+		Label: "S4 — huge-cluster parallel-build analytics",
 	}
 }
 
@@ -216,9 +237,13 @@ func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig
 	if solver.Kind == "" {
 		solver.Kind = "bicgstab"
 	}
+	label := cfg.Label
+	if label == "" {
+		label = "S3 — large-cluster sparse analytics"
+	}
 	t := &Table{
-		Title: fmt.Sprintf("Sweep S3 — large-cluster sparse analytics (µ=%g%%, d=%g%%, α=δ, solver=%s)",
-			cfg.Mu*100, cfg.D*100, solver.Kind),
+		Title: fmt.Sprintf("Sweep %s (µ=%g%%, d=%g%%, α=δ, solver=%s)",
+			label, cfg.Mu*100, cfg.D*100, solver.Kind),
 		Columns: []string{"C=∆", "protocol", "|Ω|", "transient", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
 		Note:    "state spaces an order of magnitude past the printed figures; infeasible on the dense LU path, routine on CSR + iterative solves",
 	}
@@ -234,7 +259,7 @@ func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig
 	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
 		pt := points[i]
 		p := core.Params{C: pt.size, Delta: pt.size, Mu: cfg.Mu, D: cfg.D, K: pt.k, Nu: 0.1}
-		m, err := core.NewWithSolver(p, solver)
+		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}

@@ -373,6 +373,121 @@ func (c *Chain) successiveSojourns(n int, swapped bool) ([]float64, error) {
 	return out, nil
 }
 
+// SuccessiveSojournsBoth returns the first n expected sojourn durations
+// in A and in B together (relations (7) and (8)). The two recursions are
+// advanced in lockstep: at every step the pending left systems against
+// I−M_A are batched into one SolveMatLeft call, and likewise for I−M_B —
+// one batched solve per block per iteration instead of four vector
+// solves, with each block's setup (LU factors, sparse transpose) paid
+// once per batch. The per-vector arithmetic is unchanged, so the result
+// is bit-identical to the two single-subset recursions.
+func (c *Chain) SuccessiveSojournsBoth(n int) ([]float64, []float64, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("markov: negative sojourn count %d", n)
+	}
+	if n == 0 || c.nA == 0 || c.nB == 0 {
+		// One subset is empty (its sojourns are all zero and the other
+		// recursion terminates after one term): the single-subset paths
+		// already special-case this without any cross-block work.
+		a, err := c.successiveSojourns(n, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := c.successiveSojourns(n, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, b, nil
+	}
+	fa, err := c.factA()
+	if err != nil {
+		return nil, nil, err
+	}
+	fb, err := c.factB()
+	if err != nil {
+		return nil, nil, err
+	}
+	vA, err := entryVector(c.alphaA, c.alphaB, fb, c.mba)
+	if err != nil {
+		return nil, nil, err
+	}
+	vB, err := entryVector(c.alphaB, c.alphaA, fa, c.mab)
+	if err != nil {
+		return nil, nil, err
+	}
+	uA, err := fa.SolveVec(matrix.Ones(c.nA))
+	if err != nil {
+		return nil, nil, err
+	}
+	uB, err := fb.SolveVec(matrix.Ones(c.nB))
+	if err != nil {
+		return nil, nil, err
+	}
+	outA := make([]float64, n)
+	outB := make([]float64, n)
+	rA, rB := vA, vB
+	if outA[0], err = matrix.Dot(rA, uA); err != nil {
+		return nil, nil, err
+	}
+	if outB[0], err = matrix.Dot(rB, uB); err != nil {
+		return nil, nil, err
+	}
+	if n == 1 {
+		return outA, outB, nil
+	}
+	// Pipeline prologue: the B recursion's first half-step (its fb solve)
+	// runs once on its own; from then on every fb solve of the B
+	// recursion rides in the same batch as the A recursion's.
+	sB, err := fb.SolveVecLeft(rB)
+	if err != nil {
+		return nil, nil, err
+	}
+	pB, err := c.mba.VecMul(sB)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 1; i < n; i++ {
+		// One batched solve against I−M_A: rA's step and the B
+		// recursion's second half-step.
+		xs, err := fa.SolveMatLeft([][]float64{rA, pB})
+		if err != nil {
+			return nil, nil, err
+		}
+		qA, err := c.mab.VecMul(xs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if rB, err = c.mab.VecMul(xs[1]); err != nil {
+			return nil, nil, err
+		}
+		if outB[i], err = matrix.Dot(rB, uB); err != nil {
+			return nil, nil, err
+		}
+		// One batched solve against I−M_B: the A step's second half,
+		// prefetching the B recursion's next first half alongside.
+		rhs := [][]float64{qA}
+		if i+1 < n {
+			rhs = append(rhs, rB)
+		}
+		ys, err := fb.SolveMatLeft(rhs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rA, err = c.mba.VecMul(ys[0]); err != nil {
+			return nil, nil, err
+		}
+		if outA[i], err = matrix.Dot(rA, uA); err != nil {
+			return nil, nil, err
+		}
+		if i+1 < n {
+			if pB, err = c.mba.VecMul(ys[1]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return outA, outB, nil
+}
+
 // AbsorptionProbabilities returns, for every absorbing class, the
 // probability that the chain is eventually absorbed there (relation (9)):
 // p(U) = α_T (I − T)⁻¹ R_U 1, reusing the shared visits vector.

@@ -501,3 +501,99 @@ func TestDefaultSolverIsDense(t *testing.T) {
 		t.Errorf("default solver = %q, want dense", c.SolverName())
 	}
 }
+
+// TestSuccessiveSojournsBothMatchesSingle pins the lockstep batching of
+// the A and B sojourn recursions: SuccessiveSojournsBoth runs the exact
+// per-vector arithmetic of the two single-subset recursions through
+// batched SolveMatLeft calls, so its outputs must be bit-identical to
+// SuccessiveSojournsInA / SuccessiveSojournsInB — on the analytic
+// two-state chain, on random chains, and across solver backends.
+func TestSuccessiveSojournsBothMatchesSingle(t *testing.T) {
+	solvers := []matrix.Solver{nil, matrix.GaussSeidelSolver{}, matrix.BiCGSTABSolver{}}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		nA := 1 + r.Intn(4)
+		nB := 1 + r.Intn(4)
+		nT := nA + nB
+		n := nT + 1
+		b := matrix.NewSparseBuilder(n, n)
+		for i := 0; i < nT; i++ {
+			weights := make([]float64, nT)
+			var sum float64
+			for j := range weights {
+				weights[j] = r.Float64()
+				sum += weights[j]
+			}
+			leak := 0.05 + 0.2*r.Float64()
+			for j := 0; j < nT; j++ {
+				if err := b.Add(i, j, (1-leak)*weights[j]/sum); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := b.Add(i, nT, leak); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Add(nT, nT, 1); err != nil {
+			t.Fatal(err)
+		}
+		alpha := make([]float64, n)
+		alpha[r.Intn(nT)] = 1
+		subsetA := make([]int, nA)
+		for i := range subsetA {
+			subsetA[i] = i
+		}
+		subsetB := make([]int, nB)
+		for i := range subsetB {
+			subsetB[i] = nA + i
+		}
+		full := b.Build()
+		for _, solver := range solvers {
+			spec := Spec{
+				Full:             full,
+				Alpha:            alpha,
+				SubsetA:          subsetA,
+				SubsetB:          subsetB,
+				AbsorbingClasses: map[string][]int{"end": {nT}},
+				ClassOrder:       []string{"end"},
+				Solver:           solver,
+			}
+			c, err := NewChain(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const terms = 7
+			bothA, bothB, err := c.SuccessiveSojournsBoth(terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, err := c.SuccessiveSojournsInA(terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := c.SuccessiveSojournsInB(terms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := "dense"
+			if solver != nil {
+				name = solver.Name()
+			}
+			for i := 0; i < terms; i++ {
+				if bothA[i] != sa[i] || bothB[i] != sb[i] {
+					t.Errorf("trial %d %s term %d: Both = (%v, %v), single = (%v, %v)",
+						trial, name, i, bothA[i], bothB[i], sa[i], sb[i])
+				}
+			}
+		}
+	}
+	// Degenerate inputs mirror the single-subset semantics.
+	c := twoStateChain(t)
+	if _, _, err := c.SuccessiveSojournsBoth(-1); err == nil {
+		t.Error("negative count: want error")
+	}
+	za, zb, err := c.SuccessiveSojournsBoth(0)
+	if err != nil || len(za) != 0 || len(zb) != 0 {
+		t.Errorf("zero count: got (%v, %v, %v)", za, zb, err)
+	}
+}

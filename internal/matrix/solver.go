@@ -54,6 +54,17 @@ type Factorization interface {
 	// SolveVecLeft solves the row-vector system x (I − M) = b,
 	// i.e. (I − M)ᵀ xᵀ = bᵀ.
 	SolveVecLeft(b []float64) ([]float64, error)
+	// SolveMat solves (I − M) X = B for a batch of right-hand sides
+	// (bs[i] is one RHS vector): one prepared-block pass answers every
+	// column, so callers with several systems against the same block
+	// issue a single batched call. Column i of the result solves bs[i];
+	// columns are solved with the same arithmetic as SolveVec, so a
+	// batched solve is bit-identical to the vector-at-a-time loop.
+	SolveMat(bs [][]float64) ([][]float64, error)
+	// SolveMatLeft is the batched counterpart of SolveVecLeft: it solves
+	// x_i (I − M) = bs[i] for every i, sharing the per-block setup (LU
+	// factors, lazily built sparse transpose) across the batch.
+	SolveMatLeft(bs [][]float64) ([][]float64, error)
 }
 
 // Solver prepares factorizations of I − M for square substochastic CSR
@@ -63,6 +74,23 @@ type Solver interface {
 	Name() string
 	// Factor prepares I − m for repeated solves.
 	Factor(m *CSR) (Factorization, error)
+}
+
+// solveBatch answers a batch of systems through one per-vector solve
+// function, after the caller has paid any shared setup (LU factors,
+// transpose) once. Each column gets exactly the arithmetic of the
+// corresponding vector call, so batched and looped solves agree
+// bit-for-bit.
+func solveBatch(bs [][]float64, solve func(b []float64) ([]float64, error)) ([][]float64, error) {
+	out := make([][]float64, len(bs))
+	for i, b := range bs {
+		x, err := solve(b)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: batched solve, rhs %d of %d: %w", i, len(bs), err)
+		}
+		out[i] = x
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -127,6 +155,22 @@ func (f *denseFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 	return lu.SolveVecTransposed(b)
 }
 
+func (f *denseFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
+	lu, err := f.factor()
+	if err != nil {
+		return nil, err
+	}
+	return solveBatch(bs, lu.SolveVec)
+}
+
+func (f *denseFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
+	lu, err := f.factor()
+	if err != nil {
+		return nil, err
+	}
+	return solveBatch(bs, lu.SolveVecTransposed)
+}
+
 // ---------------------------------------------------------------------------
 // Gauss–Seidel backend.
 
@@ -184,6 +228,16 @@ func (f *gsFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 		f.mT = f.m.Transpose()
 	}
 	return gaussSeidel(f.mT, f.diag, b, f.tol, f.maxIter)
+}
+
+func (f *gsFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVec)
+}
+
+// SolveMatLeft shares the lazily built transpose of SolveVecLeft across
+// the batch: the first column pays it, the rest reuse it.
+func (f *gsFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVecLeft)
 }
 
 // gaussSeidel iterates x_i ← (b_i + Σ_{j≠i} M_ij x_j) / (1 − M_ii) until
@@ -380,6 +434,16 @@ func (f *bicgstabFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 		f.mT = f.m.Transpose()
 	}
 	return f.solve(b, f.mT)
+}
+
+func (f *bicgstabFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVec)
+}
+
+// SolveMatLeft shares the lazily built transpose of SolveVecLeft across
+// the batch: the first column pays it, the rest reuse it.
+func (f *bicgstabFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVecLeft)
 }
 
 // bicgstab runs the BiCGSTAB iteration for op(x) = b with a residual
@@ -587,6 +651,16 @@ func (f *autoFactorization) SolveVec(b []float64) ([]float64, error) {
 
 func (f *autoFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 	return f.solve(b, true)
+}
+
+// SolveMat batches through the per-vector path so the sparse→dense
+// fallback stays a per-system decision, exactly as in a vector loop.
+func (f *autoFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVec)
+}
+
+func (f *autoFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVecLeft)
 }
 
 // ---------------------------------------------------------------------------

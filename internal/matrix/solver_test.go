@@ -308,3 +308,11 @@ func (f *countingFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 	f.calls++
 	return f.inner.SolveVecLeft(b)
 }
+
+func (f *countingFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVec)
+}
+
+func (f *countingFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
+	return solveBatch(bs, f.SolveVecLeft)
+}

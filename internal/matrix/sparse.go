@@ -37,6 +37,14 @@ func (b *SparseBuilder) Add(i, j int, v float64) error {
 }
 
 // Build finalizes the builder into a CSR matrix.
+//
+// Contract: duplicate (i, j) entries are summed, in the order they were
+// Added (the sort is stable, so equal coordinates keep insertion order and
+// the floating-point sum is deterministic). Build may be called again —
+// also after further Adds — and behaves as if every entry so far had been
+// Added to a fresh builder: the merge compacts the entry log in place and
+// b.entries is re-sliced to the compacted prefix, so no stale tail can
+// leak into a later Build.
 func (b *SparseBuilder) Build() *CSR {
 	sort.SliceStable(b.entries, func(p, q int) bool {
 		if b.entries[p].row != b.entries[q].row {
@@ -53,6 +61,7 @@ func (b *SparseBuilder) Build() *CSR {
 		}
 		merged = append(merged, e)
 	}
+	b.entries = merged
 	m := &CSR{
 		rows:   b.rows,
 		cols:   b.cols,
@@ -99,6 +108,35 @@ func (m *CSR) At(i, j int) float64 {
 		return m.vals[k]
 	}
 	return 0
+}
+
+// Equal reports whether m and o are identical as stored CSR matrices:
+// same shape, same row pointers, same column indices and bit-identical
+// values (compared with ==, so a NaN entry never compares equal). It is
+// stricter than numerical equality — two matrices representing the same
+// operator with different structural zeros compare unequal — which is
+// exactly what the serial/parallel construction equivalence guarantees
+// need.
+func (m *CSR) Equal(o *CSR) bool {
+	if m.rows != o.rows || m.cols != o.cols || len(m.vals) != len(o.vals) {
+		return false
+	}
+	for i := range m.rowPtr {
+		if m.rowPtr[i] != o.rowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.colIdx {
+		if m.colIdx[i] != o.colIdx[i] {
+			return false
+		}
+	}
+	for i := range m.vals {
+		if m.vals[i] != o.vals[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // VecMul returns the row vector v * M.

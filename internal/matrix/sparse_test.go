@@ -44,6 +44,42 @@ func TestSparseBuilderDuplicatesSummed(t *testing.T) {
 	}
 }
 
+func TestSparseBuilderDuplicateOrderAndReuse(t *testing.T) {
+	// The Build contract: duplicates are summed in insertion order, and
+	// Build may be called repeatedly — also after further Adds — without
+	// the in-place merge of a previous call corrupting the entry log.
+	b := NewSparseBuilder(2, 3)
+	var want float64 // left-to-right insertion-order sum, at runtime
+	for _, v := range []float64{0.1, 0.2, 0.3} {
+		if err := b.Add(0, 1, v); err != nil {
+			t.Fatal(err)
+		}
+		want += v
+	}
+	if err := b.Add(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	first := b.Build()
+	if first.At(0, 1) != want || first.NNZ() != 2 {
+		t.Fatalf("first Build: At(0,1)=%v nnz=%d, want %v and 2", first.At(0, 1), first.NNZ(), want)
+	}
+	second := b.Build()
+	if !first.Equal(second) {
+		t.Error("second Build differs from the first on an untouched builder")
+	}
+	if err := b.Add(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	third := b.Build()
+	if third.NNZ() != 2 || third.At(0, 1) != want+1 {
+		t.Errorf("Build after merge+Add: At(0,1)=%v nnz=%d, want %v and 2",
+			third.At(0, 1), third.NNZ(), want+1)
+	}
+	if third.At(1, 2) != 5 {
+		t.Errorf("untouched entry lost: At(1,2)=%v, want 5", third.At(1, 2))
+	}
+}
+
 func TestSparseBuilderZeroIgnored(t *testing.T) {
 	b := NewSparseBuilder(1, 1)
 	_ = b.Add(0, 0, 0)
