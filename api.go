@@ -1,6 +1,8 @@
 package targetedattacks
 
 import (
+	"context"
+
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
@@ -8,6 +10,7 @@ import (
 	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/montecarlo"
 	"targetedattacks/internal/overlay"
+	"targetedattacks/internal/sweep"
 )
 
 // Re-exported model types. The analytical engine lives in internal
@@ -49,8 +52,27 @@ type (
 	// thousands of transient states affordable.
 	SolverConfig = matrix.SolverConfig
 	// BuildOption tunes the construction of the transition matrix in
-	// NewModel / NewModelWithSolver (see WithBuildPool).
+	// NewModel / NewModelWithSolver (see WithBuildPool, WithSharedSpace,
+	// WithRule1Gains).
 	BuildOption = core.BuildOption
+	// SweepPlan is a parameter grid: one axis per model parameter
+	// (C, ∆, k, µ, d, ν), evaluated with shared structure by
+	// EvaluateSweep.
+	SweepPlan = sweep.Plan
+	// SweepOptions tunes a grid evaluation (pool, build pool, solver,
+	// streaming callback).
+	SweepOptions = sweep.Options
+	// SweepResult is the deterministic outcome of a grid evaluation.
+	SweepResult = sweep.ResultSet
+	// SweepCell is one cell's outcome inside a SweepResult.
+	SweepCell = sweep.CellResult
+	// Rule1Gains is the precomputed relation (2) gain table of one
+	// (C, ∆, k): the reusable half of a row structure that parameter
+	// sweeps share across cells (see ComputeRule1Gains).
+	Rule1Gains = core.Rule1Gains
+	// Space is the enumerated state space Ω(C, ∆); immutable, so one
+	// enumeration can back many model builds (see WithSharedSpace).
+	Space = core.Space
 )
 
 // Initial distributions of the paper (Section VII-A).
@@ -101,6 +123,44 @@ func NewModelWithSolver(p Params, sc SolverConfig, opts ...BuildOption) (*Model,
 // build for any pool width; at C = ∆ ≥ 40 (tens of thousands of states)
 // construction parallelism is what keeps model creation interactive.
 func WithBuildPool(pool *Pool) BuildOption { return core.WithBuildPool(pool) }
+
+// WithSharedSpace reuses a pre-enumerated state space across model
+// builds at fixed (C, ∆) — a Space is immutable, so one enumeration can
+// back every cell of a parameter sweep.
+func WithSharedSpace(sp *Space) BuildOption { return core.WithSpace(sp) }
+
+// WithRule1Gains consults a precomputed relation (2) gain table during
+// construction instead of re-deriving each state's gain; the matrix is
+// bit-identical either way. Gains depend only on (C, ∆, k), so sweeps
+// over (µ, d, ν) share one table.
+func WithRule1Gains(g *Rule1Gains) BuildOption { return core.WithRule1Gains(g) }
+
+// NewSpace enumerates the state space Ω(C, ∆) for sharing across model
+// builds via WithSharedSpace.
+func NewSpace(c, delta int) (*Space, error) { return core.NewSpace(c, delta) }
+
+// ComputeRule1Gains tabulates the adversary's relation (2) gain for
+// every Rule 1-eligible state of Ω(C, ∆) under protocol_k.
+func ComputeRule1Gains(p Params) (*Rule1Gains, error) { return core.ComputeRule1Gains(p) }
+
+// EvaluateSweep runs a parameter grid through the amortized evaluator:
+// one shared state space, maintenance kernel and Rule 1 gain table per
+// (C, ∆) group, provably identical cells solved once (the ν axis
+// collapses wherever the Rule 1 firing set does not change), distinct
+// chains fanned across the options' Pool. Every cell's Analysis is
+// bit-identical to an independent per-cell NewModelWithSolver + Analyze
+// of the same parameters. cmd/attackd serves this evaluator over HTTP.
+func EvaluateSweep(ctx context.Context, plan SweepPlan, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Evaluate(ctx, plan, opts)
+}
+
+// ParseIntAxis parses a sweep axis over integers: a comma list ("7,9")
+// or an inclusive lo:hi[:step] range ("10:50:10").
+func ParseIntAxis(s string) ([]int, error) { return sweep.ParseInts(s) }
+
+// ParseFloatAxis parses a sweep axis over floats: a comma list
+// ("0.1,0.2") or an inclusive lo:hi:step range ("0.5:0.9:0.1").
+func ParseFloatAxis(s string) ([]float64, error) { return sweep.ParseFloats(s) }
 
 // SolverKinds lists the accepted SolverConfig.Kind values.
 func SolverKinds() []string { return matrix.SolverKinds() }

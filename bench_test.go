@@ -33,8 +33,10 @@ func BenchmarkFigure1StateSpace(b *testing.B) {
 // BenchmarkFigure2TransitionMatrix regenerates the transition-matrix
 // construction for protocol_1 … protocol_C (E2).
 func BenchmarkFigure2TransitionMatrix(b *testing.B) {
+	cfg := experiments.DefaultFigure2Config()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2([]int{1, 2, 3, 4, 5, 6, 7}); err != nil {
+		if _, err := experiments.Figure2(context.Background(), benchPool, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

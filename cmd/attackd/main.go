@@ -1,0 +1,110 @@
+// Command attackd serves the targeted-attack analytics over HTTP: a
+// long-lived process that answers single-cell analyses and whole
+// parameter-grid sweeps from one warm state, with an LRU result cache
+// and singleflight deduplication in front of the evaluator.
+//
+// Usage:
+//
+//	attackd [-addr :8080] [-workers 0] [-solver bicgstab|gs|dense|auto]
+//	        [-tol 1e-12] [-cache 4096] [-maxcells 4096] [-maxstates 200000]
+//	        [-maxsojourns 1024] [-shutdown-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /v1/analyze  one cell: {"c":7,"delta":7,"k":1,"mu":0.2,"d":0.9,"nu":0.1}
+//	POST /v1/sweep    a grid:   {"c":"7","delta":"7","k":"1","mu":"0.2",
+//	                             "d":"0.5:0.9:0.1","nu":"0.05,0.1"}
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text: requests, cache hit rate, in-flight
+//
+// Axis expressions accept comma lists ("0.1,0.2") and inclusive
+// lo:hi:step ranges ("0.5:0.9:0.1"). SIGINT/SIGTERM drain in-flight
+// requests for up to -shutdown-timeout before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"targetedattacks/internal/attackd"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "attackd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until ctx is cancelled, then drains
+// gracefully. When ready is non-nil the bound address is sent to it
+// once the listener accepts connections (the smoke tests use this with
+// -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("attackd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "evaluation pool width (0 = one per CPU)")
+		solver      = fs.String("solver", "", "linear-solver backend: "+strings.Join(matrix.SolverKinds(), ", ")+" (default bicgstab)")
+		tol         = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
+		cacheSize   = fs.Int("cache", attackd.DefaultCacheSize, "LRU result-cache entries (negative disables)")
+		maxCells    = fs.Int("maxcells", attackd.DefaultMaxCells, "maximum grid cells per sweep request")
+		maxStates   = fs.Int("maxstates", attackd.DefaultMaxStates, "maximum |Ω| per cell")
+		maxSojourns = fs.Int("maxsojourns", attackd.DefaultMaxSojourns, "maximum sojourn expectations per request")
+		drain       = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := attackd.New(attackd.Config{
+		Pool:        engine.New(*workers),
+		Solver:      matrix.SolverConfig{Kind: *solver, Tol: *tol},
+		CacheSize:   *cacheSize,
+		MaxCells:    *maxCells,
+		MaxStates:   *maxStates,
+		MaxSojourns: *maxSojourns,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "attackd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "attackd: draining for up to %s\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/matrix"
+)
+
+// startServer boots the full binary path (flag parsing, listener, HTTP
+// stack) on an ephemeral port and returns its base URL plus a stopper
+// that triggers and awaits graceful shutdown.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("graceful shutdown timed out")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("server failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	panic("unreachable")
+}
+
+// TestSmokeAnalyzeAgainstPaperCell is the end-to-end smoke: start the
+// server, query one cell of the paper's Table I grid, and compare
+// against the in-process closed form the paperrepro tables print.
+func TestSmokeAnalyzeAgainstPaperCell(t *testing.T) {
+	url, stop := startServer(t)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("graceful shutdown: %v", err)
+		}
+	}()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Table I cell: µ = 20%, d = 0.95 (k=1, C=∆=7, α=δ).
+	body := `{"c":7,"delta":7,"k":1,"mu":0.2,"d":0.95,"nu":0.1}`
+	resp, err = http.Post(url+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d", resp.StatusCode)
+	}
+	var got struct {
+		Analysis struct {
+			ExpectedSafeTime     float64 `json:"expected_safe_time"`
+			ExpectedPollutedTime float64 `json:"expected_polluted_time"`
+		} `json:"analysis"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{C: 7, Delta: 7, K: 1, Mu: 0.2, D: 0.95, Nu: 0.1}
+	m, err := core.NewWithSolver(p, matrix.SolverConfig{Kind: "bicgstab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Analysis.ExpectedSafeTime-want.ExpectedSafeTime) > 1e-12*want.ExpectedSafeTime {
+		t.Errorf("E(T_S) over HTTP = %v, closed form = %v", got.Analysis.ExpectedSafeTime, want.ExpectedSafeTime)
+	}
+	if math.Abs(got.Analysis.ExpectedPollutedTime-want.ExpectedPollutedTime) > 1e-9 {
+		t.Errorf("E(T_P) over HTTP = %v, closed form = %v", got.Analysis.ExpectedPollutedTime, want.ExpectedPollutedTime)
+	}
+}
+
+func TestSmokeSweepEndpoint(t *testing.T) {
+	url, stop := startServer(t, "-workers", "2", "-solver", "bicgstab")
+	defer stop()
+	body := `{"c":"7","delta":"7","k":"1","mu":"0.2","d":"0.5,0.9","nu":"0.05,0.5"}`
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	var got struct {
+		Cells     []json.RawMessage `json:"cells"`
+		Evaluated int               `json:"evaluated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 4 || got.Evaluated != 2 {
+		t.Errorf("cells=%d evaluated=%d, want 4 cells / 2 evaluations (ν dedups at k=1)", len(got.Cells), got.Evaluated)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-solver", "bogus"}, &bytes.Buffer{}, nil); err == nil {
+		t.Error("bogus solver: want error")
+	}
+	if err := run(ctx, []string{"-addr", "256.256.256.256:99999"}, &bytes.Buffer{}, nil); err == nil {
+		t.Error("bad addr: want error")
+	}
+}

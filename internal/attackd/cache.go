@@ -1,0 +1,135 @@
+package attackd
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// lru is a least-recently-used result cache bounded both in entries and
+// in total weight — a sweep response can hold cells × sojourns × 2
+// floats, so an entry count alone would not bound memory. Entries are
+// immutable once stored (handlers serialize results before caching), so
+// a hit can be returned to any number of readers without copying.
+type lru struct {
+	mu        sync.Mutex
+	cap       int
+	maxWeight int64
+	weight    int64
+	order     *list.List // front = most recent; values are *lruEntry
+	byKey     map[string]*list.Element
+}
+
+type lruEntry struct {
+	key    string
+	val    any
+	weight int64
+}
+
+// newLRU builds a cache bounded to capacity entries and maxWeight total
+// weight (the handlers measure weight in result floats); capacity < 1
+// disables caching (every Get misses, Put is a no-op).
+func newLRU(capacity int, maxWeight int64) *lru {
+	return &lru{cap: capacity, maxWeight: maxWeight, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *lru) Get(key string) (any, bool) {
+	if c.cap < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key with the given weight, evicting least
+// recently used entries until both bounds hold. Values heavier than the
+// whole weight budget are not cached at all.
+func (c *lru) Put(key string, val any, weight int64) {
+	if c.cap < 1 || weight > c.maxWeight {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.weight += weight - ent.weight
+		ent.val, ent.weight = val, weight
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val, weight: weight})
+		c.weight += weight
+	}
+	for c.order.Len() > c.cap || c.weight > c.maxWeight {
+		oldest := c.order.Back()
+		ent := oldest.Value.(*lruEntry)
+		c.order.Remove(oldest)
+		delete(c.byKey, ent.key)
+		c.weight -= ent.weight
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup deduplicates concurrent evaluations of the same key: the
+// first caller becomes the leader and computes; followers block until
+// the leader finishes and share its result. (A minimal in-repo
+// singleflight — the container deliberately carries no external
+// dependencies.)
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[string]*flightCall)}
+}
+
+// Do invokes fn once per key among concurrent callers. It returns fn's
+// value and error, plus shared=true for followers that received the
+// leader's result instead of computing their own. A panic in fn is
+// converted to an error for the leader and every follower — the flight
+// entry is always removed and its done channel always closed, so a
+// panicking evaluation can never wedge a key forever.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.val, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.flight[key] = call
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				call.val, call.err = nil, fmt.Errorf("attackd: evaluation panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.flight, key)
+			g.mu.Unlock()
+			close(call.done)
+		}()
+		call.val, call.err = fn()
+	}()
+	return call.val, call.err, false
+}

@@ -1,0 +1,84 @@
+package attackd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the server's instrumentation: monotonically increasing
+// counters plus an in-flight gauge, rendered in the Prometheus text
+// exposition format by /metrics. Everything is lock-free on the hot
+// path; the requests map takes a mutex only on a new (endpoint, code)
+// pair.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // key: endpoint + "\x00" + status code
+
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	evaluations        atomic.Int64
+	singleflightShared atomic.Int64
+	inflight           atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]*atomic.Int64)}
+}
+
+// request counts one served request.
+func (m *metrics) request(endpoint string, code int) {
+	key := fmt.Sprintf("%s\x00%d", endpoint, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = new(atomic.Int64)
+		m.requests[key] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// write renders the metrics in Prometheus text format.
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintln(w, "# HELP attackd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE attackd_requests_total counter")
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counters := make([]*atomic.Int64, len(keys))
+	for i, k := range keys {
+		counters[i] = m.requests[k]
+	}
+	m.mu.Unlock()
+	for i, k := range keys {
+		var endpoint, code string
+		for j := 0; j < len(k); j++ {
+			if k[j] == '\x00' {
+				endpoint, code = k[:j], k[j+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "attackd_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, counters[i].Load())
+	}
+	fmt.Fprintln(w, "# HELP attackd_cache_hits_total Result-cache hits.")
+	fmt.Fprintln(w, "# TYPE attackd_cache_hits_total counter")
+	fmt.Fprintf(w, "attackd_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintln(w, "# HELP attackd_cache_misses_total Result-cache misses.")
+	fmt.Fprintln(w, "# TYPE attackd_cache_misses_total counter")
+	fmt.Fprintf(w, "attackd_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintln(w, "# HELP attackd_evaluations_total Model evaluations actually computed (cache and singleflight filter the rest).")
+	fmt.Fprintln(w, "# TYPE attackd_evaluations_total counter")
+	fmt.Fprintf(w, "attackd_evaluations_total %d\n", m.evaluations.Load())
+	fmt.Fprintln(w, "# HELP attackd_singleflight_shared_total Requests that piggybacked on an identical in-flight evaluation.")
+	fmt.Fprintln(w, "# TYPE attackd_singleflight_shared_total counter")
+	fmt.Fprintf(w, "attackd_singleflight_shared_total %d\n", m.singleflightShared.Load())
+	fmt.Fprintln(w, "# HELP attackd_inflight_evaluations Evaluations currently running.")
+	fmt.Fprintln(w, "# TYPE attackd_inflight_evaluations gauge")
+	fmt.Fprintf(w, "attackd_inflight_evaluations %d\n", m.inflight.Load())
+}

@@ -1,0 +1,567 @@
+// Package attackd is the HTTP serving layer over the targeted-attack
+// analytics: a JSON API that answers single-cell analyses (/v1/analyze)
+// and whole parameter grids (/v1/sweep) from one warm process.
+//
+// Three layers keep repeated traffic cheap: a size-bounded LRU cache
+// keyed by canonical request parameters, singleflight deduplication so
+// concurrent identical requests share one evaluation, and the sweep
+// evaluator's own structural amortization underneath. /healthz and
+// /metrics (Prometheus text format) expose liveness, request counts,
+// cache hit rates and in-flight evaluations.
+package attackd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool fans sweep cells (and the row-parallel matrix construction)
+	// across workers; nil uses a per-CPU pool.
+	Pool *engine.Pool
+	// Solver is the analytic backend of every evaluation; the zero value
+	// picks the sparse BiCGSTAB path, which keeps large C/∆ requests
+	// affordable in a serving context.
+	Solver matrix.SolverConfig
+	// CacheSize bounds the LRU result cache in entries; 0 picks
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// MaxCells bounds the grid size a single /v1/sweep request may ask
+	// for; 0 picks DefaultMaxCells.
+	MaxCells int
+	// MaxStates bounds |Ω| per cell, rejecting accidental C=∆=500
+	// requests that would pin the process; 0 picks DefaultMaxStates.
+	MaxStates int
+	// MaxSojourns bounds the per-request sojourn count (each sojourn
+	// costs one batched block solve and two result slots); 0 picks
+	// DefaultMaxSojourns.
+	MaxSojourns int
+}
+
+// Serving defaults.
+const (
+	DefaultCacheSize   = 4096
+	DefaultMaxCells    = 4096
+	DefaultMaxStates   = 200_000
+	DefaultMaxSojourns = 1024
+	// maxBodyBytes bounds a request body before JSON decoding — the
+	// first allocation gate an untrusted request hits; axis and grid
+	// limits apply after parsing. 1 MiB fits any legal request with
+	// room to spare.
+	maxBodyBytes = 1 << 20
+	// maxCacheWeight bounds the cache's total retained result size,
+	// measured in result floats (a sweep entry holds roughly
+	// cells × (2·sojourns + const) of them): 4M floats ≈ 32 MiB of
+	// payload however the entry count divides it.
+	maxCacheWeight = 4 << 20
+)
+
+// analysisWeight approximates the retained size of one cell's analysis
+// in floats.
+func analysisWeight(sojourns int) int64 {
+	return int64(sojourns)*2 + 16
+}
+
+// Server answers the attackd HTTP API. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	pool        *engine.Pool
+	solver      matrix.SolverConfig
+	maxCells    int
+	maxStates   int
+	maxSojourns int
+	cache       *lru
+	flights     *flightGroup
+	metrics     *metrics
+	mux         *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	solver := cfg.Solver
+	if solver.Kind == "" {
+		solver.Kind = "bicgstab"
+	}
+	if _, err := solver.Build(); err != nil {
+		return nil, fmt.Errorf("attackd: %w", err)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	maxCells := cfg.MaxCells
+	if maxCells == 0 {
+		maxCells = DefaultMaxCells
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	maxSojourns := cfg.MaxSojourns
+	if maxSojourns == 0 {
+		maxSojourns = DefaultMaxSojourns
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = engine.New(0) // per-CPU, as the Config doc promises
+	}
+	s := &Server{
+		pool:        pool,
+		solver:      solver,
+		maxCells:    maxCells,
+		maxStates:   maxStates,
+		maxSojourns: maxSojourns,
+		cache:       newLRU(cacheSize, maxCacheWeight),
+		flights:     newFlightGroup(),
+		metrics:     newMetrics(),
+		mux:         http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CellRequest is the /v1/analyze request body: one model cell.
+type CellRequest struct {
+	C            int     `json:"c"`
+	Delta        int     `json:"delta"`
+	K            int     `json:"k"`
+	Mu           float64 `json:"mu"`
+	D            float64 `json:"d"`
+	Nu           float64 `json:"nu"`
+	Distribution string  `json:"distribution,omitempty"` // "delta" (default) or "beta"
+	Sojourns     int     `json:"sojourns,omitempty"`     // default 1
+}
+
+// SweepRequest is the /v1/sweep request body: one axis expression per
+// parameter (list "0.1,0.2" or range "0.5:0.9:0.1" syntax).
+type SweepRequest struct {
+	C            string `json:"c"`
+	Delta        string `json:"delta"`
+	K            string `json:"k"`
+	Mu           string `json:"mu"`
+	D            string `json:"d"`
+	Nu           string `json:"nu"`
+	Distribution string `json:"distribution,omitempty"`
+	Sojourns     int    `json:"sojourns,omitempty"`
+}
+
+// AnalysisDTO is the wire form of a core.Analysis.
+type AnalysisDTO struct {
+	ExpectedSafeTime     float64            `json:"expected_safe_time"`
+	ExpectedPollutedTime float64            `json:"expected_polluted_time"`
+	SafeSojourns         []float64          `json:"safe_sojourns"`
+	PollutedSojourns     []float64          `json:"polluted_sojourns"`
+	Absorption           map[string]float64 `json:"absorption"`
+	PollutionProbability float64            `json:"pollution_probability"`
+}
+
+// AnalyzeResponse is the /v1/analyze response body.
+type AnalyzeResponse struct {
+	Params   ParamsDTO   `json:"params"`
+	States   int         `json:"states"`
+	Solver   string      `json:"solver"`
+	Analysis AnalysisDTO `json:"analysis"`
+	// Cached reports the response was served from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+// ParamsDTO is the wire form of core.Params plus the analysis options.
+type ParamsDTO struct {
+	C            int     `json:"c"`
+	Delta        int     `json:"delta"`
+	K            int     `json:"k"`
+	Mu           float64 `json:"mu"`
+	D            float64 `json:"d"`
+	Nu           float64 `json:"nu"`
+	Distribution string  `json:"distribution"`
+	Sojourns     int     `json:"sojourns"`
+}
+
+// SweepCellDTO is one cell of a /v1/sweep response.
+type SweepCellDTO struct {
+	Index      int         `json:"index"`
+	Params     ParamsDTO   `json:"params"`
+	States     int         `json:"states"`
+	Transient  int         `json:"transient"`
+	Rule1Fires int         `json:"rule1_fires"`
+	Shared     bool        `json:"shared"`
+	Analysis   AnalysisDTO `json:"analysis"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Cells     []SweepCellDTO `json:"cells"`
+	Groups    int            `json:"groups"`
+	Evaluated int            `json:"evaluated"`
+	Solver    string         `json:"solver"`
+	Cached    bool           `json:"cached"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, "/healthz", http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.write(w)
+	s.metrics.request("/metrics", http.StatusOK)
+}
+
+// parseDistribution maps the wire name to the model's enum.
+func parseDistribution(name string) (core.InitialDistribution, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "delta", "δ":
+		return core.DistributionDelta, nil
+	case "beta", "β":
+		return core.DistributionBeta, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q (want \"delta\" or \"beta\")", name)
+	}
+}
+
+// canonicalCellKey is the canonical cache/singleflight key of one cell
+// request: strconv formats are exact for float64, so two requests with
+// byte-different but value-equal JSON (e.g. 0.50 vs 0.5) share a key.
+func canonicalCellKey(p core.Params, dist core.InitialDistribution, sojourns int, solver matrix.SolverConfig) string {
+	return fmt.Sprintf("cell|C=%d|D=%d|K=%d|mu=%s|d=%s|nu=%s|a=%d|n=%d|s=%s|tol=%s|it=%d",
+		p.C, p.Delta, p.K,
+		strconv.FormatFloat(p.Mu, 'x', -1, 64),
+		strconv.FormatFloat(p.D, 'x', -1, 64),
+		strconv.FormatFloat(p.Nu, 'x', -1, 64),
+		int(dist), sojourns, solver.Kind,
+		strconv.FormatFloat(solver.Tol, 'x', -1, 64), solver.MaxIter)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/analyze"
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req CellRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	p := core.Params{C: req.C, Delta: req.Delta, K: req.K, Mu: req.Mu, D: req.D, Nu: req.Nu}
+	if err := p.Validate(); err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkGeometry(p.C, p.Delta); err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	dist, err := parseDistribution(req.Distribution)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	sojourns := req.Sojourns
+	if sojourns < 1 {
+		sojourns = 1
+	}
+	if sojourns > s.maxSojourns {
+		s.writeError(w, r, endpoint, http.StatusBadRequest,
+			fmt.Errorf("sojourns %d exceeds the server limit %d", sojourns, s.maxSojourns))
+		return
+	}
+	key := canonicalCellKey(p, dist, sojourns, s.solver)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := cached.(AnalyzeResponse)
+		resp.Cached = true
+		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		s.metrics.evaluations.Add(1)
+		m, err := core.NewWithSolver(p, s.solver, core.WithBuildPool(s.pool))
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.AnalyzeNamed(dist, sojourns)
+		if err != nil {
+			return nil, err
+		}
+		resp := AnalyzeResponse{
+			Params:   paramsDTO(p, dist, sojourns),
+			States:   m.Space().Size(),
+			Solver:   s.solver.Kind,
+			Analysis: analysisDTO(a),
+		}
+		s.cache.Put(key, resp, analysisWeight(sojourns))
+		return resp, nil
+	})
+	if shared {
+		s.metrics.singleflightShared.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, endpoint, http.StatusOK, val.(AnalyzeResponse))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/sweep"
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	plan, err := s.planFromRequest(req)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	key := canonicalPlanKey(plan, s.solver)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := cached.(SweepResponse)
+		resp.Cached = true
+		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		s.metrics.evaluations.Add(1)
+		// The evaluation is shared: singleflight followers and the LRU
+		// cache consume its result, so it must not die with the leader
+		// request's connection — run it on a background context.
+		rs, err := sweep.Evaluate(context.Background(), plan, sweep.Options{
+			Pool:      s.pool,
+			BuildPool: s.pool,
+			Solver:    s.solver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := SweepResponse{
+			Cells:     make([]SweepCellDTO, len(rs.Cells)),
+			Groups:    rs.Groups,
+			Evaluated: rs.Evaluated,
+			Solver:    s.solver.Kind,
+		}
+		for i, cell := range rs.Cells {
+			resp.Cells[i] = SweepCellDTO{
+				Index:      cell.Index,
+				Params:     paramsDTO(cell.Params, plan.Dist, plan.Sojourns),
+				States:     cell.States,
+				Transient:  cell.Transient,
+				Rule1Fires: cell.Rule1Fires,
+				Shared:     cell.Shared,
+				Analysis:   analysisDTO(cell.Analysis),
+			}
+		}
+		s.cache.Put(key, resp, int64(len(rs.Cells))*analysisWeight(plan.Sojourns))
+		return resp, nil
+	})
+	if shared {
+		s.metrics.singleflightShared.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, endpoint, http.StatusOK, val.(SweepResponse))
+}
+
+// planFromRequest parses and bounds a sweep request.
+func (s *Server) planFromRequest(req SweepRequest) (sweep.Plan, error) {
+	var plan sweep.Plan
+	var err error
+	if plan.C, err = ParseIntsOrDefault(req.C, nil); err != nil {
+		return plan, fmt.Errorf("axis c: %w", err)
+	}
+	if plan.Delta, err = ParseIntsOrDefault(req.Delta, nil); err != nil {
+		return plan, fmt.Errorf("axis delta: %w", err)
+	}
+	if plan.K, err = ParseIntsOrDefault(req.K, nil); err != nil {
+		return plan, fmt.Errorf("axis k: %w", err)
+	}
+	if plan.Mu, err = ParseFloatsOrDefault(req.Mu, nil); err != nil {
+		return plan, fmt.Errorf("axis mu: %w", err)
+	}
+	if plan.D, err = ParseFloatsOrDefault(req.D, nil); err != nil {
+		return plan, fmt.Errorf("axis d: %w", err)
+	}
+	if plan.Nu, err = ParseFloatsOrDefault(req.Nu, []float64{0.1}); err != nil {
+		return plan, fmt.Errorf("axis nu: %w", err)
+	}
+	if plan.Dist, err = parseDistribution(req.Distribution); err != nil {
+		return plan, err
+	}
+	plan.Sojourns = req.Sojourns
+	if plan.Sojourns < 1 {
+		plan.Sojourns = 1
+	}
+	if plan.Sojourns > s.maxSojourns {
+		return plan, fmt.Errorf("sojourns %d exceeds the server limit %d", plan.Sojourns, s.maxSojourns)
+	}
+	if n := plan.Size(); n > s.maxCells {
+		return plan, fmt.Errorf("grid has %d cells, server limit is %d", n, s.maxCells)
+	}
+	for _, c := range plan.C {
+		for _, delta := range plan.Delta {
+			if err := s.checkGeometry(c, delta); err != nil {
+				return plan, err
+			}
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}
+
+// checkGeometry bounds |Ω| without computing it in overflow-prone
+// arithmetic: C and ∆ are each capped by the state limit first (|Ω| is
+// at least C+1 and at least (∆+1)(∆+2)/2), so the closed-form count is
+// evaluated only on values where it cannot overflow.
+func (s *Server) checkGeometry(c, delta int) error {
+	if c > s.maxStates || delta > s.maxStates {
+		return fmt.Errorf("C=%d ∆=%d exceeds the server's %d-state limit", c, delta, s.maxStates)
+	}
+	if states := stateCount(core.Params{C: c, Delta: delta}); states > s.maxStates {
+		return fmt.Errorf("C=%d ∆=%d has %d states, server limit is %d", c, delta, states, s.maxStates)
+	}
+	return nil
+}
+
+// ParseIntsOrDefault parses an integer axis, with a default for empty
+// expressions (nil default makes the axis required).
+func ParseIntsOrDefault(expr string, def []int) ([]int, error) {
+	if strings.TrimSpace(expr) == "" {
+		if def != nil {
+			return def, nil
+		}
+		return nil, fmt.Errorf("axis is required")
+	}
+	return sweep.ParseInts(expr)
+}
+
+// ParseFloatsOrDefault is the float counterpart of ParseIntsOrDefault.
+func ParseFloatsOrDefault(expr string, def []float64) ([]float64, error) {
+	if strings.TrimSpace(expr) == "" {
+		if def != nil {
+			return def, nil
+		}
+		return nil, fmt.Errorf("axis is required")
+	}
+	return sweep.ParseFloats(expr)
+}
+
+// canonicalPlanKey canonicalizes a sweep plan for caching.
+func canonicalPlanKey(plan sweep.Plan, solver matrix.SolverConfig) string {
+	var b strings.Builder
+	b.WriteString("sweep")
+	writeInts := func(tag string, vs []int) {
+		b.WriteString("|" + tag + "=")
+		for i, v := range vs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+	}
+	writeFloats := func(tag string, vs []float64) {
+		b.WriteString("|" + tag + "=")
+		for i, v := range vs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+		}
+	}
+	writeInts("C", plan.C)
+	writeInts("D", plan.Delta)
+	writeInts("K", plan.K)
+	writeFloats("mu", plan.Mu)
+	writeFloats("d", plan.D)
+	writeFloats("nu", plan.Nu)
+	fmt.Fprintf(&b, "|a=%d|n=%d|s=%s|tol=%s|it=%d",
+		int(plan.Dist), plan.Sojourns, solver.Kind,
+		strconv.FormatFloat(solver.Tol, 'x', -1, 64), solver.MaxIter)
+	return b.String()
+}
+
+// stateCount is |Ω| = (C+1)(∆+1)(∆+2)/2 without enumerating the space.
+func stateCount(p core.Params) int {
+	return (p.C + 1) * (p.Delta + 1) * (p.Delta + 2) / 2
+}
+
+func paramsDTO(p core.Params, dist core.InitialDistribution, sojourns int) ParamsDTO {
+	name := "delta"
+	if dist == core.DistributionBeta {
+		name = "beta"
+	}
+	if sojourns < 1 {
+		sojourns = 1
+	}
+	return ParamsDTO{
+		C: p.C, Delta: p.Delta, K: p.K, Mu: p.Mu, D: p.D, Nu: p.Nu,
+		Distribution: name, Sojourns: sojourns,
+	}
+}
+
+func analysisDTO(a *core.Analysis) AnalysisDTO {
+	return AnalysisDTO{
+		ExpectedSafeTime:     a.ExpectedSafeTime,
+		ExpectedPollutedTime: a.ExpectedPollutedTime,
+		SafeSojourns:         a.SafeSojourns,
+		PollutedSojourns:     a.PollutedSojourns,
+		Absorption:           a.Absorption,
+		PollutionProbability: a.PollutionProbability,
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, _ *http.Request, endpoint string, code int, v any) {
+	// Encode before committing the status: an encoding failure (e.g. a
+	// non-encodable float) must surface as a 500, not a 200 with a
+	// truncated body.
+	body, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		body, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("encoding response: %v", err)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+	s.metrics.request(endpoint, code)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, endpoint string, code int, err error) {
+	s.writeJSON(w, r, endpoint, code, errorResponse{Error: err.Error()})
+}

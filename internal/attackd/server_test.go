@@ -1,0 +1,391 @@
+package attackd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/matrix"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON[T any](t *testing.T, url string, body any) (int, T) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func paperCell() CellRequest {
+	return CellRequest{C: 7, Delta: 7, K: 1, Mu: 0.2, D: 0.9, Nu: 0.1}
+}
+
+func TestAnalyzeMatchesCore(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := paperCell()
+	code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	p := core.Params{C: req.C, Delta: req.Delta, K: req.K, Mu: req.Mu, D: req.D, Nu: req.Nu}
+	m, err := core.NewWithSolver(p, matrix.SolverConfig{Kind: "bicgstab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.AnalyzeNamed(core.DistributionDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Analysis.ExpectedSafeTime != want.ExpectedSafeTime {
+		t.Errorf("E(T_S) = %v over HTTP, %v direct", got.Analysis.ExpectedSafeTime, want.ExpectedSafeTime)
+	}
+	if got.Analysis.ExpectedPollutedTime != want.ExpectedPollutedTime {
+		t.Errorf("E(T_P) = %v over HTTP, %v direct", got.Analysis.ExpectedPollutedTime, want.ExpectedPollutedTime)
+	}
+	if got.States != 288 || got.Solver != "bicgstab" || got.Cached {
+		t.Errorf("metadata = %+v", got)
+	}
+	// Second identical request must come from the cache.
+	code, again := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req)
+	if code != http.StatusOK || !again.Cached {
+		t.Errorf("repeat request: status=%d cached=%v, want 200/true", code, again.Cached)
+	}
+	if again.Analysis.ExpectedSafeTime != got.Analysis.ExpectedSafeTime {
+		t.Error("cached analysis differs")
+	}
+}
+
+func TestAnalyzeRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for name, body := range map[string]any{
+		"invalid params":    CellRequest{C: 7, Delta: 1, K: 1, Mu: 0.2, D: 0.9, Nu: 0.1},
+		"bad distribution":  map[string]any{"c": 7, "delta": 7, "k": 1, "nu": 0.1, "distribution": "zeta"},
+		"huge state space":  CellRequest{C: 500, Delta: 500, K: 1, Nu: 0.1},
+		"overflow geometry": CellRequest{C: 1, Delta: 5_000_000_000, K: 1, Nu: 0.1},
+		"huge sojourns":     CellRequest{C: 7, Delta: 7, K: 1, Mu: 0.2, D: 0.9, Nu: 0.1, Sojourns: 2_000_000_000},
+	} {
+		code, resp := postJSON[errorResponse](t, ts.URL+"/v1/analyze", body)
+		if code != http.StatusBadRequest || resp.Error == "" {
+			t.Errorf("%s: status=%d error=%q, want 400 with message", name, code, resp.Error)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SweepRequest{
+		C: "7", Delta: "7", K: "1",
+		Mu: "0.1,0.3", D: "0.5:0.9:0.2", Nu: "0.05,0.5",
+	}
+	code, got := postJSON[SweepResponse](t, ts.URL+"/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(got.Cells) != 2*3*2 {
+		t.Fatalf("cells = %d, want 12", len(got.Cells))
+	}
+	// protocol_1: the ν axis dedupes, so half the cells are shared.
+	if got.Evaluated != 6 {
+		t.Errorf("evaluated = %d, want 6", got.Evaluated)
+	}
+	// One cell must agree with the single-cell endpoint.
+	cell := got.Cells[0]
+	code, single := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", CellRequest{
+		C: cell.Params.C, Delta: cell.Params.Delta, K: cell.Params.K,
+		Mu: cell.Params.Mu, D: cell.Params.D, Nu: cell.Params.Nu,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("analyze status = %d", code)
+	}
+	if math.Abs(cell.Analysis.ExpectedSafeTime-single.Analysis.ExpectedSafeTime) > 1e-12 {
+		t.Errorf("sweep cell E(T_S)=%v, analyze=%v", cell.Analysis.ExpectedSafeTime, single.Analysis.ExpectedSafeTime)
+	}
+	// Repeat: whole-grid cache hit.
+	code, again := postJSON[SweepResponse](t, ts.URL+"/v1/sweep", req)
+	if code != http.StatusOK || !again.Cached {
+		t.Errorf("repeat sweep: status=%d cached=%v", code, again.Cached)
+	}
+	// Bad axis and oversized grids are rejected.
+	for name, bad := range map[string]SweepRequest{
+		"bad axis":       {C: "7", Delta: "7", K: "x", Mu: "0.1", D: "0.5", Nu: "0.1"},
+		"no axis":        {C: "7", Delta: "7", Mu: "0.1", D: "0.5", Nu: "0.1"},
+		"too large":      {C: "7", Delta: "7", K: "1:7", Mu: "0:1:0.01", D: "0:0.99:0.01", Nu: "0.1"},
+		"bomb range":     {C: "1:4000000000", Delta: "7", K: "1", Mu: "0.1", D: "0.5", Nu: "0.1"},
+		"nan axis":       {C: "7", Delta: "7", K: "1", Mu: "nan", D: "0.5", Nu: "0.1"},
+		"denormal step":  {C: "7", Delta: "7", K: "1", Mu: "0:1:1e-300", D: "0.5", Nu: "0.1"},
+		"huge geometry":  {C: "1", Delta: "5000000000", K: "1", Mu: "0.1", D: "0.5", Nu: "0.1"},
+		"huge sojourns2": {C: "7", Delta: "7", K: "1", Mu: "0.1", D: "0.5", Nu: "0.1", Sojourns: 1 << 30},
+	} {
+		code, resp := postJSON[errorResponse](t, ts.URL+"/v1/sweep", bad)
+		if code != http.StatusBadRequest || resp.Error == "" {
+			t.Errorf("%s: status=%d error=%q, want 400 with message", name, code, resp.Error)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+	postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", paperCell())
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`attackd_requests_total{endpoint="/v1/analyze",code="200"} 1`,
+		"attackd_cache_misses_total 1",
+		"attackd_evaluations_total 1",
+		"attackd_inflight_evaluations 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentAnalyzeSingleflight is the attackd concurrency
+// contract under -race: hammer /v1/analyze with identical and distinct
+// parameters from many goroutines and assert that singleflight +
+// cache admit exactly one evaluation per distinct parameter set, with
+// every shared request accounted as a cache hit or a piggyback.
+func TestConcurrentAnalyzeSingleflight(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	distinct := []CellRequest{
+		{C: 7, Delta: 7, K: 1, Mu: 0.1, D: 0.5, Nu: 0.1},
+		{C: 7, Delta: 7, K: 2, Mu: 0.2, D: 0.8, Nu: 0.1},
+		{C: 7, Delta: 7, K: 7, Mu: 0.3, D: 0.9, Nu: 0.2},
+		{C: 9, Delta: 9, K: 1, Mu: 0.2, D: 0.8, Nu: 0.1},
+	}
+	const perKey = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, len(distinct)*perKey)
+	for ki := range distinct {
+		for j := 0; j < perKey; j++ {
+			wg.Add(1)
+			go func(ki int) {
+				defer wg.Done()
+				raw, _ := json.Marshal(distinct[ki])
+				resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				var out AnalyzeResponse
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				if out.States == 0 {
+					errs <- fmt.Errorf("empty response body")
+					return
+				}
+				errs <- nil
+			}(ki)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The invariant: however requests interleaved, each distinct
+	// parameter set was evaluated exactly once — the rest were cache
+	// hits or singleflight followers.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if want := fmt.Sprintf("attackd_evaluations_total %d", len(distinct)); !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q (every duplicate request must dedup):\n%s", want, text)
+	}
+	var hits, sharedCount, misses int64
+	for _, line := range strings.Split(text, "\n") {
+		fmt.Sscanf(line, "attackd_cache_hits_total %d", &hits)
+		fmt.Sscanf(line, "attackd_singleflight_shared_total %d", &sharedCount)
+		fmt.Sscanf(line, "attackd_cache_misses_total %d", &misses)
+	}
+	total := int64(len(distinct) * perKey)
+	if hits+sharedCount != total-int64(len(distinct)) {
+		t.Errorf("hits (%d) + shared (%d) = %d, want %d", hits, sharedCount, hits+sharedCount, total-int64(len(distinct)))
+	}
+	if misses != total-hits {
+		t.Errorf("misses = %d, want %d (every non-hit request misses before flying)", misses, total-hits)
+	}
+}
+
+// TestConcurrentSingleflightRace: the same hammering, mixing analyze
+// and sweep traffic, for the race detector's benefit.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, _ := json.Marshal(paperCell())
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			sraw, _ := json.Marshal(SweepRequest{C: "7", Delta: "7", K: "1", Mu: "0.2", D: "0.5,0.9", Nu: "0.1"})
+			resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(sraw))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			resp, err = http.Get(ts.URL + "/metrics")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLRUBoundsAndEviction(t *testing.T) {
+	c := newLRU(2, 1000)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a must be cached")
+	}
+	c.Put("c", 3, 1) // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b must have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a must survive (recently used)")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	disabled := newLRU(-1, 1000)
+	disabled.Put("x", 1, 1)
+	if _, ok := disabled.Get("x"); ok {
+		t.Error("negative capacity must disable the cache")
+	}
+}
+
+// TestLRUWeightBound: the cache must bound retained result size, not
+// just entry count — heavy entries evict earlier ones, and an entry
+// heavier than the whole budget is never stored.
+func TestLRUWeightBound(t *testing.T) {
+	c := newLRU(1000, 100)
+	c.Put("a", 1, 60)
+	c.Put("b", 2, 60) // 120 > 100: a must go
+	if _, ok := c.Get("a"); ok {
+		t.Error("a must have been evicted by weight")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b must be cached")
+	}
+	c.Put("huge", 3, 1000) // over the whole budget: not cached
+	if _, ok := c.Get("huge"); ok {
+		t.Error("over-budget entry must not be cached")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b must survive the rejected over-budget Put")
+	}
+	// Replacing an entry adjusts the total weight instead of leaking it.
+	c.Put("b", 4, 10)
+	c.Put("c", 5, 80)
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b (reweighted to 10) must coexist with c (80)")
+	}
+}
+
+// TestFlightGroupSurvivesPanic: a panicking evaluation must surface as
+// an error to leader and followers alike and must not wedge the key.
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	g := newFlightGroup()
+	_, err, _ := g.Do("k", func() (any, error) { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking fn: err = %v, want panic-converted error", err)
+	}
+	// The key must be reusable immediately.
+	v, err, shared := g.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || shared || v != 42 {
+		t.Errorf("after panic: v=%v err=%v shared=%v, want 42/nil/false", v, err, shared)
+	}
+}
+
+func TestCanonicalKeysNormalize(t *testing.T) {
+	p := core.Params{C: 7, Delta: 7, K: 1, Mu: 0.5, D: 0.9, Nu: 0.1}
+	sc := matrix.SolverConfig{Kind: "bicgstab"}
+	k1 := canonicalCellKey(p, core.DistributionDelta, 1, sc)
+	p2 := p
+	p2.Mu = 0.25 * 2 // same float64 value
+	if canonicalCellKey(p2, core.DistributionDelta, 1, sc) != k1 {
+		t.Error("value-equal params must share a cache key")
+	}
+	p2.Mu = 0.3
+	if canonicalCellKey(p2, core.DistributionDelta, 1, sc) == k1 {
+		t.Error("different params must not share a cache key")
+	}
+	if canonicalCellKey(p, core.DistributionBeta, 1, sc) == k1 {
+		t.Error("distribution must be part of the key")
+	}
+	if canonicalCellKey(p, core.DistributionDelta, 2, sc) == k1 {
+		t.Error("sojourn count must be part of the key")
+	}
+}

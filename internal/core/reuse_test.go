@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestWithSpaceBitIdentical: a matrix built against a shared,
+// pre-enumerated space must be bit-identical to one that enumerates its
+// own.
+func TestWithSpaceBitIdentical(t *testing.T) {
+	p := Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 3, Nu: 0.1}
+	sp, err := NewSpace(p.C, p.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := BuildTransitionMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSp, err := BuildTransitionMatrix(p, WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSp != sp {
+		t.Error("BuildTransitionMatrix must return the supplied space")
+	}
+	if !got.Equal(want) {
+		t.Error("matrix built with a shared space differs from the direct build")
+	}
+}
+
+func TestWithSpaceGeometryMismatch(t *testing.T) {
+	sp, err := NewSpace(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{C: 7, Delta: 7, Mu: 0.2, D: 0.8, K: 1, Nu: 0.1}
+	if _, _, err := BuildTransitionMatrix(p, WithSpace(sp)); err == nil {
+		t.Error("mismatched space geometry must be rejected")
+	}
+}
+
+// TestWithRule1GainsBitIdentical: consulting the precomputed relation (2)
+// table must not change a single matrix entry, for any threshold.
+func TestWithRule1GainsBitIdentical(t *testing.T) {
+	for _, k := range []int{1, 3, 7} {
+		for _, nu := range []float64{0.05, 0.1, 0.5, 0.9} {
+			p := Params{C: 7, Delta: 7, Mu: 0.3, D: 0.9, K: k, Nu: nu}
+			g, err := ComputeRule1Gains(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := BuildTransitionMatrix(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := BuildTransitionMatrix(p, WithRule1Gains(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("k=%d ν=%g: matrix built with gain table differs from direct build", k, nu)
+			}
+		}
+	}
+}
+
+func TestWithRule1GainsMismatch(t *testing.T) {
+	g, err := ComputeRule1Gains(Params{C: 7, Delta: 7, Mu: 0, D: 0, K: 3, Nu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{C: 7, Delta: 7, Mu: 0, D: 0, K: 4, Nu: 0.1}
+	if _, _, err := BuildTransitionMatrix(p, WithRule1Gains(g)); err == nil {
+		t.Error("gain table for a different protocol must be rejected")
+	}
+}
+
+// TestRule1GainsMatchRule1Holds: the table's threshold decision and fire
+// count must agree with the public per-state predicate on the whole
+// eligible region.
+func TestRule1GainsMatchRule1Holds(t *testing.T) {
+	for _, k := range []int{2, 4, 7} {
+		for _, nu := range []float64{0.05, 0.2, 0.5} {
+			p := Params{C: 7, Delta: 7, Mu: 0.3, D: 0.9, K: k, Nu: nu}
+			g, err := ComputeRule1Gains(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int
+			for s := 2; s < p.Delta; s++ {
+				for x := 1; x <= p.Quorum(); x++ {
+					for y := 0; y <= s; y++ {
+						holds, err := Rule1Holds(p, s, x, y)
+						if err != nil {
+							t.Fatal(err)
+						}
+						fires, ok := g.Fires(nu, s, x, y)
+						if !ok {
+							t.Fatalf("k=%d: state (%d,%d,%d) outside table", k, s, x, y)
+						}
+						if fires != holds {
+							t.Errorf("k=%d ν=%g state (%d,%d,%d): table says %v, Rule1Holds says %v",
+								k, nu, s, x, y, fires, holds)
+						}
+						if holds {
+							want++
+						}
+					}
+				}
+			}
+			if got := g.CountFires(nu); got != want {
+				t.Errorf("k=%d ν=%g: CountFires = %d, want %d", k, nu, got, want)
+			}
+		}
+	}
+}
+
+// TestCutIndexPartitionsNu: equal cut indices must select equal firing
+// sets (the sweep dedup invariant), and the cut index must be monotone
+// in ν.
+func TestCutIndexPartitionsNu(t *testing.T) {
+	p := Params{C: 7, Delta: 7, Mu: 0.3, D: 0.9, K: 4, Nu: 0.1}
+	g, err := ComputeRule1Gains(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nus := []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99}
+	prevCut := -1
+	for _, nu := range nus {
+		cut := g.CutIndex(nu)
+		if cut < prevCut {
+			t.Errorf("CutIndex not monotone: ν=%g gives %d after %d", nu, cut, prevCut)
+		}
+		prevCut = cut
+	}
+	for _, nu1 := range nus {
+		for _, nu2 := range nus {
+			if g.CutIndex(nu1) != g.CutIndex(nu2) {
+				continue
+			}
+			if g.CountFires(nu1) != g.CountFires(nu2) {
+				t.Errorf("ν=%g and ν=%g share a cut index but differ in firing count", nu1, nu2)
+			}
+			// The full dedup claim: identical matrices at equal cuts.
+			p1, p2 := p, p
+			p1.Nu, p2.Nu = nu1, nu2
+			m1, _, err := BuildTransitionMatrix(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, _, err := BuildTransitionMatrix(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m1.Equal(m2) {
+				t.Errorf("ν=%g and ν=%g share a cut index but build different matrices", nu1, nu2)
+			}
+		}
+	}
+}

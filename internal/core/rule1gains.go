@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule1Gains tabulates the left-hand side of relation (2) — the
+// probability that a voluntary malicious core departure strictly
+// increases the adversary's core representation — for every transient
+// state in which the transition builder can consult Rule 1: 1 < s < ∆,
+// 1 ≤ x ≤ c, 0 ≤ y ≤ s. The gain is a pure function of (C, ∆, k, s, x, y);
+// neither µ, d nor ν enters it, ν only thresholds it (Rule 1 fires iff
+// gain > 1 − ν). That makes the table the reusable half of a row
+// structure: a sweep over churn/attack rates builds it once per
+// (C, ∆, k) group and every cell's matrix construction reads it instead
+// of re-summing the hypergeometric kernel per state.
+//
+// The table also powers cell deduplication: two ν values produce
+// identical transition matrices whenever no distinct gain value lies
+// between their thresholds, which CutIndex makes a single integer
+// comparison.
+type Rule1Gains struct {
+	c, delta, k int
+	quorum      int
+	// gains[s-2] is the x-major table for spare size s: entry
+	// (x-1)*(s+1) + y holds the gain of state (s, x, y).
+	gains [][]float64
+	// distinct is the ascending list of distinct gain values across the
+	// whole table.
+	distinct []float64
+}
+
+// ComputeRule1Gains evaluates relation (2) over every Rule 1-eligible
+// state of Ω(C, ∆) under protocol_k. The per-state values are produced by
+// the same kernel-table summation the transition builder uses, so a
+// matrix built against the table is bit-identical to one that re-derives
+// each gain in place.
+func ComputeRule1Gains(p Params) (*Rule1Gains, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ker, err := kernelFor(p)
+	if err != nil {
+		return nil, err
+	}
+	g := &Rule1Gains{c: p.C, delta: p.Delta, k: p.K, quorum: p.Quorum()}
+	if p.Delta > 2 {
+		g.gains = make([][]float64, p.Delta-2)
+	}
+	seen := make(map[float64]struct{})
+	for s := 2; s < p.Delta; s++ {
+		tab := make([]float64, g.quorum*(s+1))
+		for x := 1; x <= g.quorum; x++ {
+			for y := 0; y <= s; y++ {
+				v, err := rule1Gain(p, ker, s, x, y)
+				if err != nil {
+					return nil, fmt.Errorf("core: rule 1 gain at (%d,%d,%d): %w", s, x, y, err)
+				}
+				tab[(x-1)*(s+1)+y] = v
+				seen[v] = struct{}{}
+			}
+		}
+		g.gains[s-2] = tab
+	}
+	g.distinct = make([]float64, 0, len(seen))
+	for v := range seen {
+		g.distinct = append(g.distinct, v)
+	}
+	sort.Float64s(g.distinct)
+	return g, nil
+}
+
+// matches reports whether the table was computed for the given geometry.
+func (g *Rule1Gains) matches(p Params) bool {
+	return g != nil && g.c == p.C && g.delta == p.Delta && g.k == p.K
+}
+
+// gain returns the tabulated gain of state (s, x, y); ok is false outside
+// the eligible region (the builder then falls back to the direct path).
+func (g *Rule1Gains) gain(s, x, y int) (float64, bool) {
+	if s < 2 || s >= g.delta || x < 1 || x > g.quorum || y < 0 || y > s {
+		return 0, false
+	}
+	return g.gains[s-2][(x-1)*(s+1)+y], true
+}
+
+// Fires reports whether Rule 1 fires in state (s, x, y) at threshold ν:
+// gain > 1 − ν, the same comparison the transition builder applies.
+func (g *Rule1Gains) Fires(nu float64, s, x, y int) (bool, bool) {
+	v, ok := g.gain(s, x, y)
+	return v > 1-nu, ok
+}
+
+// CountFires counts the eligible states in which Rule 1 fires at
+// threshold ν.
+func (g *Rule1Gains) CountFires(nu float64) int {
+	var n int
+	for s := 2; s < g.delta; s++ {
+		for _, v := range g.gains[s-2] {
+			if v > 1-nu {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CutIndex returns the number of distinct gain values strictly above
+// 1 − ν. Because Rule 1 fires iff gain > 1 − ν, two thresholds with equal
+// cut indices select the same firing set — and therefore, at equal
+// (µ, d), identical transition matrices. The sweep planner uses this to
+// evaluate one representative per firing set instead of one per ν.
+func (g *Rule1Gains) CutIndex(nu float64) int {
+	// distinct is ascending; binary search for the first value > 1-ν.
+	lo, hi := 0, len(g.distinct)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.distinct[mid] > 1-nu {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return len(g.distinct) - lo
+}

@@ -90,13 +90,19 @@ func (c Class) AbsorbingName() string {
 }
 
 // Space enumerates Ω = {(s,x,y) : 0 ≤ s ≤ ∆, 0 ≤ x ≤ C, 0 ≤ y ≤ s} in a
-// fixed deterministic order and classifies its states.
+// fixed deterministic order and classifies its states. A Space is
+// immutable after construction and safe to share across goroutines (the
+// sweep evaluator builds one per (C, ∆) group and reuses it for every
+// grid cell).
 type Space struct {
 	c      int // core size
 	delta  int
 	quorum int
 	states []State
-	index  map[State]int
+	// byClass caches the index partition of Ω, computed once at
+	// construction so every Chain assembly (six IndicesOf calls per
+	// analysis) is a slice handoff instead of an O(|Ω|) classify pass.
+	byClass [6][]int
 }
 
 // NewSpace enumerates the state space for core size c and spare bound
@@ -109,13 +115,14 @@ func NewSpace(c, delta int) (*Space, error) {
 		c:      c,
 		delta:  delta,
 		quorum: (c - 1) / 3,
-		index:  make(map[State]int),
 	}
+	sp.states = make([]State, 0, (c+1)*(delta+1)*(delta+2)/2)
 	for s := 0; s <= delta; s++ {
 		for x := 0; x <= c; x++ {
 			for y := 0; y <= s; y++ {
 				st := State{S: s, X: x, Y: y}
-				sp.index[st] = len(sp.states)
+				cl := sp.Classify(st)
+				sp.byClass[cl] = append(sp.byClass[cl], len(sp.states))
 				sp.states = append(sp.states, st)
 			}
 		}
@@ -126,25 +133,48 @@ func NewSpace(c, delta int) (*Space, error) {
 // Size returns |Ω|.
 func (sp *Space) Size() int { return len(sp.states) }
 
+// C returns the core size the space was enumerated for.
+func (sp *Space) C() int { return sp.c }
+
+// Delta returns the spare bound ∆ the space was enumerated for.
+func (sp *Space) Delta() int { return sp.delta }
+
 // States returns the states in index order. The slice must not be
 // modified.
 func (sp *Space) States() []State { return sp.states }
 
+// indexOf is the closed-form enumeration index of an in-space state: the
+// s-block starts after Σ_{t<s} (C+1)(t+1) = (C+1)·s(s+1)/2 states, and
+// within the block states are laid out x-major with rows of length s+1.
+// It replaces the former hash-map index — hash lookups dominated row
+// emission at large C, ∆ (ROADMAP bound (ii)).
+func (sp *Space) indexOf(st State) int {
+	return (sp.c+1)*st.S*(st.S+1)/2 + st.X*(st.S+1) + st.Y
+}
+
+// contains reports st ∈ Ω.
+func (sp *Space) contains(st State) bool {
+	return st.S >= 0 && st.S <= sp.delta &&
+		st.X >= 0 && st.X <= sp.c &&
+		st.Y >= 0 && st.Y <= st.S
+}
+
 // Index returns the index of st, or false if st ∉ Ω.
 func (sp *Space) Index(st State) (int, bool) {
-	i, ok := sp.index[st]
-	return i, ok
+	if !sp.contains(st) {
+		return 0, false
+	}
+	return sp.indexOf(st), true
 }
 
 // MustIndex returns the index of st and panics if st ∉ Ω; it is intended
 // for states produced by the transition builder, which are valid by
 // construction.
 func (sp *Space) MustIndex(st State) int {
-	i, ok := sp.index[st]
-	if !ok {
+	if !sp.contains(st) {
 		panic(fmt.Sprintf("core: state %v outside Ω(C=%d, ∆=%d)", st, sp.c, sp.delta))
 	}
-	return i
+	return sp.indexOf(st)
 }
 
 // At returns the state with the given index.
@@ -171,15 +201,19 @@ func (sp *Space) Classify(st State) Class {
 	}
 }
 
-// IndicesOf returns the indices of all states in class cl, in index order.
+// IndicesOf returns the indices of all states in class cl, in index
+// order. The slice is the space's cached partition and must not be
+// modified.
 func (sp *Space) IndicesOf(cl Class) []int {
-	var out []int
-	for i, st := range sp.states {
-		if sp.Classify(st) == cl {
-			out = append(out, i)
-		}
+	if cl < 0 || int(cl) >= len(sp.byClass) {
+		return nil
 	}
-	return out
+	return sp.byClass[cl]
+}
+
+// TransientCount returns |S| + |P|, the number of transient states.
+func (sp *Space) TransientCount() int {
+	return len(sp.byClass[ClassSafe]) + len(sp.byClass[ClassPolluted])
 }
 
 // Quorum returns the pollution quorum c = ⌊(C−1)/3⌋.
@@ -188,8 +222,10 @@ func (sp *Space) Quorum() int { return sp.quorum }
 // Census counts the states per class.
 func (sp *Space) Census() map[Class]int {
 	out := make(map[Class]int)
-	for _, st := range sp.states {
-		out[sp.Classify(st)]++
+	for cl, idx := range sp.byClass {
+		if len(idx) > 0 {
+			out[Class(cl)] = len(idx)
+		}
 	}
 	return out
 }

@@ -83,6 +83,56 @@ func TestSpaceIndexRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSpaceIndexClosedForm(t *testing.T) {
+	// The closed-form index must reproduce the enumeration order exactly
+	// for every geometry, and reject every state outside Ω — including
+	// the in-bounds-looking y > s corner that a pure range check on the
+	// three coordinates separately would accept.
+	for _, geo := range []struct{ c, delta int }{
+		{1, 1}, {1, 7}, {7, 1}, {7, 7}, {3, 9}, {9, 3}, {12, 10},
+	} {
+		sp, err := NewSpace(geo.c, geo.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, st := range sp.States() {
+			if j := sp.MustIndex(st); j != i {
+				t.Fatalf("C=%d ∆=%d: MustIndex(%v) = %d, want %d", geo.c, geo.delta, st, j, i)
+			}
+		}
+		for _, bad := range []State{
+			{S: -1, X: 0, Y: 0},
+			{S: geo.delta + 1, X: 0, Y: 0},
+			{S: 0, X: -1, Y: 0},
+			{S: 0, X: geo.c + 1, Y: 0},
+			{S: 0, X: 0, Y: -1},
+			{S: 1, X: 0, Y: 2}, // y > s
+			{S: geo.delta, X: 0, Y: geo.delta + 1},
+		} {
+			if _, ok := sp.Index(bad); ok {
+				t.Errorf("C=%d ∆=%d: Index(%v) accepted an out-of-space state", geo.c, geo.delta, bad)
+			}
+		}
+	}
+}
+
+func BenchmarkSpaceIndex(b *testing.B) {
+	// Row emission probes the index once per transition; this measures the
+	// closed-form lookup that replaced the former hash map (ROADMAP bound
+	// (ii): hash lookups dominated row emission at large C, ∆).
+	sp, err := NewSpace(40, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := sp.States()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += sp.MustIndex(states[i%len(states)])
+	}
+	_ = sink
+}
+
 func TestMustIndexPanics(t *testing.T) {
 	sp, err := NewSpace(3, 3)
 	if err != nil {

@@ -18,11 +18,19 @@ const (
 )
 
 // BuildConfig tunes how the transition matrix is constructed. The zero
-// value builds serially.
+// value builds serially with no shared structure.
 type BuildConfig struct {
 	// Pool supplies the workers of the per-row parallel pass; nil builds
 	// serially. Output is bit-identical for any pool width.
 	Pool *engine.Pool
+	// Space is a pre-enumerated state space to reuse; nil enumerates a
+	// fresh one. It must match the parameters' (C, ∆).
+	Space *Space
+	// Gains is a precomputed Rule 1 gain table to consult instead of
+	// re-summing relation (2) per state; nil derives gains in place. It
+	// must match the parameters' (C, ∆, k). Matrices built against a
+	// table are bit-identical to the direct path.
+	Gains *Rule1Gains
 }
 
 // BuildOption mutates a BuildConfig.
@@ -35,6 +43,24 @@ type BuildOption func(*BuildConfig)
 // build.
 func WithBuildPool(pool *engine.Pool) BuildOption {
 	return func(c *BuildConfig) { c.Pool = pool }
+}
+
+// WithSpace reuses a pre-enumerated state space instead of building a
+// fresh one. A Space is immutable, so one enumeration can back every
+// cell of a parameter sweep at fixed (C, ∆); BuildTransitionMatrix
+// rejects a space whose geometry does not match the parameters.
+func WithSpace(sp *Space) BuildOption {
+	return func(c *BuildConfig) { c.Space = sp }
+}
+
+// WithRule1Gains consults a precomputed relation (2) table (see
+// ComputeRule1Gains) during construction instead of re-deriving each
+// eligible state's gain from the hypergeometric kernel. Gains depend
+// only on (C, ∆, k), so a sweep over (µ, d, ν) shares one table; the
+// resulting matrix is bit-identical either way. A table for different
+// parameters is rejected.
+func WithRule1Gains(g *Rule1Gains) BuildOption {
+	return func(c *BuildConfig) { c.Gains = g }
 }
 
 // buildChunkRows is the number of consecutive rows one pool task seals
@@ -81,9 +107,21 @@ func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, 
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
-	sp, err := NewSpace(p.C, p.Delta)
-	if err != nil {
-		return nil, nil, err
+	sp := cfg.Space
+	if sp != nil {
+		if sp.c != p.C || sp.delta != p.Delta {
+			return nil, nil, fmt.Errorf("core: WithSpace geometry Ω(C=%d, ∆=%d) does not match params (C=%d, ∆=%d)",
+				sp.c, sp.delta, p.C, p.Delta)
+		}
+	} else {
+		var err error
+		if sp, err = NewSpace(p.C, p.Delta); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.Gains != nil && !cfg.Gains.matches(p) {
+		return nil, nil, fmt.Errorf("core: WithRule1Gains table (C=%d, ∆=%d, k=%d) does not match params (C=%d, ∆=%d, k=%d)",
+			cfg.Gains.c, cfg.Gains.delta, cfg.Gains.k, p.C, p.Delta, p.K)
 	}
 	ker, err := kernelFor(p)
 	if err != nil {
@@ -102,7 +140,7 @@ func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, 
 				if err := rb.Add(i, 1); err != nil {
 					return err
 				}
-			} else if err := addTransientRow(rb, sp, p, ker, st); err != nil {
+			} else if err := addTransientRow(rb, sp, p, ker, cfg.Gains, st); err != nil {
 				return fmt.Errorf("building row for state %v: %w", st, err)
 			}
 			rb.EndRow()
@@ -122,7 +160,7 @@ func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, 
 
 // addTransientRow emits the outgoing probabilities of one transient state
 // into the builder's current row.
-func addTransientRow(rb *matrix.RowBuilder, sp *Space, p Params, ker *maintKernel, st State) error {
+func addTransientRow(rb *matrix.RowBuilder, sp *Space, p Params, ker *maintKernel, gains *Rule1Gains, st State) error {
 	add := func(target State, w float64) error {
 		if w == 0 {
 			return nil
@@ -135,7 +173,7 @@ func addTransientRow(rb *matrix.RowBuilder, sp *Space, p Params, ker *maintKerne
 	if err := addJoinBranch(p, st, add); err != nil {
 		return err
 	}
-	return addLeaveBranch(p, ker, st, add)
+	return addLeaveBranch(p, ker, gains, st, add)
 }
 
 // addJoinBranch implements the join sub-tree (left half of Figure 2).
@@ -168,7 +206,7 @@ func addJoinBranch(p Params, st State, add func(State, float64) error) error {
 }
 
 // addLeaveBranch implements the leave sub-tree (right half of Figure 2).
-func addLeaveBranch(p Params, ker *maintKernel, st State, add func(State, float64) error) error {
+func addLeaveBranch(p Params, ker *maintKernel, gains *Rule1Gains, st State, add func(State, float64) error) error {
 	s, x, y := st.S, st.X, st.Y
 	quorum := p.Quorum()
 	pCore := float64(p.C) / float64(p.C+s)
@@ -241,9 +279,21 @@ func addLeaveBranch(p Params, ker *maintKernel, st State, add func(State, float6
 		return nil
 	}
 	if x <= quorum && s > 1 {
-		fires, err := rule1Holds(p, ker, s, x, y)
-		if err != nil {
-			return err
+		// A precomputed gain table answers relation (2) with one lookup;
+		// the direct kernel summation is the fallback outside its range.
+		var fires bool
+		var hit bool
+		if gains != nil {
+			var v float64
+			if v, hit = gains.gain(s, x, y); hit {
+				fires = v > 1-p.Nu
+			}
+		}
+		if !hit {
+			var err error
+			if fires, err = rule1Holds(p, ker, s, x, y); err != nil {
+				return err
+			}
 		}
 		if fires {
 			return addMaintenance(p, ker, s, y, x-1, wv, add)

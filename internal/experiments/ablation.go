@@ -6,6 +6,7 @@ import (
 
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/montecarlo"
 )
 
@@ -14,6 +15,12 @@ type AblationKConfig struct {
 	Mus []float64
 	D   float64
 	Nu  float64
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultAblationKConfig sweeps every protocol_k at d = 90%.
@@ -49,7 +56,7 @@ func AblationK(ctx context.Context, pool *engine.Pool, cfg AblationKConfig) (*Ta
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D, p.K, p.Nu = pt.mu, cfg.D, pt.k, cfg.Nu
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +82,12 @@ type AblationNuConfig struct {
 	Mu  float64
 	D   float64
 	Ks  []int
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultAblationNuConfig sweeps ν across two orders of magnitude.
@@ -111,7 +124,7 @@ func AblationNu(ctx context.Context, pool *engine.Pool, cfg AblationNuConfig) (*
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, pt.k, pt.nu
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -136,23 +149,16 @@ func AblationNu(ctx context.Context, pool *engine.Pool, cfg AblationNuConfig) (*
 	return t, nil
 }
 
-// countRule1States counts the transient safe states in which Rule 1 fires.
+// countRule1States counts the transient safe states in which Rule 1
+// fires, via the tabulated relation (2) gains (the gain is ν-independent,
+// so the table answers any threshold with one comparison per state; the
+// kernel cache makes repeat calls per k cheap).
 func countRule1States(p Params) (int, error) {
-	var n int
-	for s := 2; s < p.Delta; s++ {
-		for x := 1; x <= p.Quorum(); x++ {
-			for y := 0; y <= s; y++ {
-				fires, err := core.Rule1Holds(p, s, x, y)
-				if err != nil {
-					return 0, err
-				}
-				if fires {
-					n++
-				}
-			}
-		}
+	g, err := core.ComputeRule1Gains(p)
+	if err != nil {
+		return 0, err
 	}
-	return n, nil
+	return g.CountFires(p.Nu), nil
 }
 
 // Params is re-exported for the ablation helpers.
@@ -164,6 +170,12 @@ type ValidationConfig struct {
 	Runs     int
 	MaxSteps int
 	Seed     int64
+	// Solver selects the analytic linear-solver backend of the closed
+	// forms being validated; the zero value is the exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each point's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultValidationConfig validates three representative points.
@@ -191,7 +203,7 @@ func Validation(ctx context.Context, pool *engine.Pool, cfg ValidationConfig) (*
 		},
 	}
 	for _, p := range cfg.Points {
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}

@@ -122,12 +122,15 @@ func TestFigure1Census(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
-	tb, err := Figure2([]int{1, 7})
+	tb, err := Figure2(context.Background(), nil, Figure2Config{Ks: []int{1, 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tb.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	if _, err := Figure2(context.Background(), nil, Figure2Config{}); err == nil {
+		t.Error("empty Ks: want error")
 	}
 	// Row-sum deviations must be tiny.
 	for _, row := range tb.Rows {

@@ -7,6 +7,7 @@ import (
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/overlay"
 )
 
@@ -48,19 +49,39 @@ func Figure1(c, delta int) (*Table, error) {
 	return t, nil
 }
 
+// Figure2Config parameterizes Figure 2.
+type Figure2Config struct {
+	// Ks are the protocols whose matrices are constructed.
+	Ks []int
+	// BuildPool fans each matrix's row construction across workers; nil
+	// builds rows serially. Output is bit-identical for any width.
+	BuildPool *engine.Pool
+}
+
+// DefaultFigure2Config constructs every protocol_k matrix of the paper's
+// configuration.
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{Ks: []int{1, 2, 3, 4, 5, 6, 7}}
+}
+
 // Figure2 regenerates the object depicted by the paper's Figure 2: the
 // transition matrix M itself. It reports, per protocol_k, the matrix
 // dimensions, the number of non-zero transitions and the worst row-sum
-// deviation from stochasticity.
-func Figure2(ks []int) (*Table, error) {
+// deviation from stochasticity; the per-k constructions fan out across
+// the pool.
+func Figure2(ctx context.Context, pool *engine.Pool, cfg Figure2Config) (*Table, error) {
+	if len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: Figure2 needs non-empty Ks")
+	}
 	t := &Table{
 		Title:   "Figure 2 — transition matrix construction (C=7, ∆=7, µ=20%, d=90%)",
 		Columns: []string{"protocol", "states", "transitions", "max |row sum − 1|"},
 	}
-	for _, k := range ks {
+	if err := gridRows(ctx, pool, t, len(cfg.Ks), func(i int) ([][]string, error) {
+		k := cfg.Ks[i]
 		p := baseParams()
 		p.Mu, p.D, p.K = 0.20, 0.90, k
-		m, sp, err := core.BuildTransitionMatrix(p)
+		m, sp, err := core.BuildTransitionMatrix(p, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -70,15 +91,14 @@ func Figure2(ks []int) (*Table, error) {
 				worst = dev
 			}
 		}
-		err = t.AddRow(
+		return [][]string{{
 			fmt.Sprintf("protocol_%d", k),
 			fmt.Sprintf("%d", sp.Size()),
 			fmt.Sprintf("%d", m.NNZ()),
 			fmt.Sprintf("%.2e", worst),
-		)
-		if err != nil {
-			return nil, err
-		}
+		}}, nil
+	}); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -100,6 +120,12 @@ type Figure3Config struct {
 	Ks []int
 	// Distributions are the initial distributions (paper: δ and β).
 	Distributions []core.InitialDistribution
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultFigure3Config reproduces the paper's four panels.
@@ -146,7 +172,7 @@ func Figure3(ctx context.Context, pool *engine.Pool, cfg Figure3Config) (*Table,
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D, p.K = pt.mu, pt.d, pt.k
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +199,12 @@ type Figure4Config struct {
 	Mus           []float64
 	Ds            []float64
 	Distributions []core.InitialDistribution
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultFigure4Config reproduces the paper's two panels (k = 1).
@@ -212,7 +244,7 @@ func Figure4(ctx context.Context, pool *engine.Pool, cfg Figure4Config) (*Table,
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D = pt.mu, pt.d
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -249,6 +281,12 @@ type Figure5Config struct {
 	MaxEvents int
 	// Samples is the number of plotted points per curve.
 	Samples int
+	// Solver selects the analytic linear-solver backend of the
+	// underlying models; the zero value is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each model's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultFigure5Config reproduces the paper's two panels.
@@ -303,7 +341,7 @@ func Figure5(ctx context.Context, pool *engine.Pool, cfg Figure5Config) (safe, p
 		cb := combos[i]
 		p := baseParams()
 		p.Mu, p.D = cfg.Mu, cb.d
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return err
 		}

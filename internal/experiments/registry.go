@@ -8,11 +8,15 @@ import (
 // the paper's evaluation (E1-E7), this reproduction's ablations and
 // validations (A1-A5), and the engine-enabled sweeps (S1-S4). Randomized
 // scenarios take their root seed from Env.Seed (the CLIs' -seed flag);
-// Env.Quick shrinks the slow grids for smoke runs. The paper-exact
-// artifacts (E1-E7, A1-A5) always solve on the dense LU path; the
-// sweeps S1-S4 honor Env.Solver (the CLIs' -solver/-tol flags), and the
-// large-state-space sweeps S3/S4 additionally honor Env.BuildPool
-// (-buildworkers) for the row-parallel matrix construction.
+// Env.Quick shrinks the slow grids for smoke runs.
+//
+// Env plumbing is uniform: every scenario that solves the closed forms
+// honors Env.Solver (the CLIs' -solver/-tol flags; the zero value keeps
+// each scenario's own default, which is the paper-exact dense path for
+// E1-E7/A1-A5 and the sparse path for S3/S4), every scenario that builds
+// transition matrices honors Env.BuildPool (-buildworkers, sharing
+// Env.Pool when unset), and every grid fans its cells across Env.Pool.
+// The registry test asserts these properties scenario by scenario.
 
 func init() {
 	Register(Scenario{
@@ -27,7 +31,9 @@ func init() {
 		Key:  "fig2",
 		Desc: "Figure 2: transition matrix construction",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := Figure2([]int{1, 2, 3, 4, 5, 6, 7})
+			cfg := DefaultFigure2Config()
+			cfg.BuildPool = env.buildPool()
+			t, err := Figure2(ctx, env.Pool, cfg)
 			return tableArtifacts("figure2", t, err)
 		},
 	})
@@ -35,7 +41,10 @@ func init() {
 		Key:  "fig3",
 		Desc: "Figure 3: E(T_S^k), E(T_P^k) panels",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := Figure3(ctx, env.Pool, DefaultFigure3Config())
+			cfg := DefaultFigure3Config()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := Figure3(ctx, env.Pool, cfg)
 			return tableArtifacts("figure3", t, err)
 		},
 	})
@@ -43,7 +52,10 @@ func init() {
 		Key:  "table1",
 		Desc: "Table I: E(T_S), E(T_P) at high survival",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := Table1(ctx, env.Pool, DefaultTable1Config())
+			cfg := DefaultTable1Config()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := Table1(ctx, env.Pool, cfg)
 			return tableArtifacts("table1", t, err)
 		},
 	})
@@ -51,7 +63,10 @@ func init() {
 		Key:  "table2",
 		Desc: "Table II: successive sojourn times",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := Table2(ctx, env.Pool, DefaultTable2Config())
+			cfg := DefaultTable2Config()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := Table2(ctx, env.Pool, cfg)
 			return tableArtifacts("table2", t, err)
 		},
 	})
@@ -59,7 +74,10 @@ func init() {
 		Key:  "fig4",
 		Desc: "Figure 4: absorption probabilities",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := Figure4(ctx, env.Pool, DefaultFigure4Config())
+			cfg := DefaultFigure4Config()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := Figure4(ctx, env.Pool, cfg)
 			return tableArtifacts("figure4", t, err)
 		},
 	})
@@ -68,6 +86,8 @@ func init() {
 		Desc: "Figure 5: overlay safe/polluted proportions",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultFigure5Config()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
 			if env.Quick {
 				cfg.MaxEvents = 10000
 				cfg.Samples = 20
@@ -86,7 +106,10 @@ func init() {
 		Key:  "ablk",
 		Desc: "Ablation A2: all protocol_k",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := AblationK(ctx, env.Pool, DefaultAblationKConfig())
+			cfg := DefaultAblationKConfig()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := AblationK(ctx, env.Pool, cfg)
 			return tableArtifacts("ablation_k", t, err)
 		},
 	})
@@ -94,7 +117,10 @@ func init() {
 		Key:  "ablnu",
 		Desc: "Ablation A1: Rule 1 ν sensitivity",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
-			t, err := AblationNu(ctx, env.Pool, DefaultAblationNuConfig())
+			cfg := DefaultAblationNuConfig()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			t, err := AblationNu(ctx, env.Pool, cfg)
 			return tableArtifacts("ablation_nu", t, err)
 		},
 	})
@@ -104,6 +130,8 @@ func init() {
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultValidationConfig()
 			cfg.Seed = env.Seed
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
 			if env.Quick {
 				cfg.Runs = 2000
 			}
@@ -144,6 +172,7 @@ func init() {
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultNuSweepConfig()
 			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
 			if env.Quick {
 				cfg.Nus = []float64{0.05, 0.20, 0.50}
 				cfg.Ks = []int{2, 7}
@@ -158,6 +187,7 @@ func init() {
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
 			cfg := DefaultStressConfig()
 			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
 			if env.Quick {
 				cfg.Mus = []float64{0.20}
 				cfg.Ds = []float64{0.50, 0.90}

@@ -7,12 +7,15 @@ import (
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/sweep"
 )
 
 // The sweeps in this file go beyond the paper's printed evaluation. They
-// exist because the engine makes them affordable: each is a dense
-// parameter grid of independent model solves that the former serial
-// design made too slow to run routinely.
+// are expressed as sweep.Plan grids and run through the amortized
+// evaluator: one shared state space, maintenance kernel and Rule 1 gain
+// table per (C, ∆) group, provably identical cells solved once (the ν
+// axis collapses wherever the firing set does not change), and the
+// remaining distinct chains fanned across the pool.
 
 // NuSweepConfig parameterizes the fine-grained ν sweep (S1).
 type NuSweepConfig struct {
@@ -25,6 +28,9 @@ type NuSweepConfig struct {
 	// Solver selects the analytic linear-solver backend; the zero value
 	// is the exact dense path.
 	Solver matrix.SolverConfig
+	// BuildPool fans the row-parallel transition-matrix construction of
+	// each distinct cell; nil builds rows serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultNuSweepConfig sweeps 11 thresholds × every randomizing protocol
@@ -41,53 +47,40 @@ func DefaultNuSweepConfig() NuSweepConfig {
 // NuSweep densely maps the response surface of the unspecified Rule 1
 // threshold ν: for every (k, ν) it reports the expected safe/polluted
 // times, the probability of ever being polluted and the number of states
-// in which Rule 1 fires. It extends ablation A1 from 15 to 66 model
-// solves, fanned across the pool.
+// in which Rule 1 fires. The 66-cell grid runs through the amortized
+// evaluator; thresholds that select the same firing set share one solve.
 func NuSweep(ctx context.Context, pool *engine.Pool, cfg NuSweepConfig) (*Table, error) {
 	if len(cfg.Nus) == 0 || len(cfg.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: NuSweep needs non-empty Nus and Ks")
 	}
+	base := baseParams()
+	plan := sweep.Plan{
+		C: []int{base.C}, Delta: []int{base.Delta}, K: cfg.Ks,
+		Mu: []float64{cfg.Mu}, D: []float64{cfg.D}, Nu: cfg.Nus,
+	}
+	rs, err := sweep.Evaluate(ctx, plan, sweep.Options{Pool: pool, BuildPool: cfg.BuildPool, Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Sweep S1 — dense ν response surface (µ=%g%%, d=%g%%, α=δ)", cfg.Mu*100, cfg.D*100),
 		Columns: []string{"k", "nu", "E(T_S)", "E(T_P)", "P(ever polluted)", "rule1 states"},
-		Note:    "extends ablation A1: the paper never fixes ν; the surface shows how the adversary's voluntary-leave trigger shapes pollution",
+		Note: fmt.Sprintf("extends ablation A1: the paper never fixes ν; the surface shows how the adversary's "+
+			"voluntary-leave trigger shapes pollution (%d cells, %d distinct chains solved)",
+			plan.Size(), rs.Evaluated),
 	}
-	type point struct {
-		k  int
-		nu float64
-	}
-	var points []point
-	for _, k := range cfg.Ks {
-		for _, nu := range cfg.Nus {
-			points = append(points, point{k, nu})
-		}
-	}
-	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
-		pt := points[i]
-		p := baseParams()
-		p.Mu, p.D, p.K, p.Nu = cfg.Mu, cfg.D, pt.k, pt.nu
-		m, err := core.NewWithSolver(p, cfg.Solver)
-		if err != nil {
+	// Plan order is k-major, ν-minor — the table's row order.
+	for _, cell := range rs.Cells {
+		if err := t.AddRow(
+			fmt.Sprintf("%d", cell.Params.K),
+			fmt.Sprintf("%g", cell.Params.Nu),
+			fmtFloat(cell.Analysis.ExpectedSafeTime),
+			fmtFloat(cell.Analysis.ExpectedPollutedTime),
+			fmtFloat(cell.Analysis.PollutionProbability),
+			fmt.Sprintf("%d", cell.Rule1Fires),
+		); err != nil {
 			return nil, err
 		}
-		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-		if err != nil {
-			return nil, err
-		}
-		fires, err := countRule1States(p)
-		if err != nil {
-			return nil, err
-		}
-		return [][]string{{
-			fmt.Sprintf("%d", pt.k),
-			fmt.Sprintf("%g", pt.nu),
-			fmtFloat(a.ExpectedSafeTime),
-			fmtFloat(a.ExpectedPollutedTime),
-			fmtFloat(a.PollutionProbability),
-			fmt.Sprintf("%d", fires),
-		}}, nil
-	}); err != nil {
-		return nil, err
 	}
 	return t, nil
 }
@@ -105,6 +98,9 @@ type StressConfig struct {
 	// Solver selects the analytic linear-solver backend; the zero value
 	// is the exact dense path.
 	Solver matrix.SolverConfig
+	// BuildPool fans the row-parallel transition-matrix construction of
+	// each distinct cell; nil builds rows serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultStressConfig evaluates C = ∆ = 9 across the paper's attack axes.
@@ -121,57 +117,40 @@ func DefaultStressConfig() StressConfig {
 // Stress evaluates the closed forms on a larger cluster than the paper
 // ever prints (C = ∆ = 9 by default): expected safe/polluted times,
 // pollution probability and the polluted-merge absorption risk for every
-// (k, µ, d). Each cell builds and solves its own enlarged chain, fanned
-// across the pool.
+// (k, µ, d). The grid shares one state space and kernel through the
+// sweep evaluator.
 func Stress(ctx context.Context, pool *engine.Pool, cfg StressConfig) (*Table, error) {
 	if len(cfg.Ks) == 0 || len(cfg.Mus) == 0 || len(cfg.Ds) == 0 {
 		return nil, fmt.Errorf("experiments: Stress needs non-empty Ks, Mus and Ds")
 	}
-	sp, err := core.NewSpace(cfg.C, cfg.Delta)
+	plan := sweep.Plan{
+		C: []int{cfg.C}, Delta: []int{cfg.Delta}, K: cfg.Ks,
+		Mu: cfg.Mus, D: cfg.Ds, Nu: []float64{0.1},
+	}
+	rs, err := sweep.Evaluate(ctx, plan, sweep.Options{Pool: pool, BuildPool: cfg.BuildPool, Solver: cfg.Solver})
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Title: fmt.Sprintf("Sweep S2 — large-cluster stress (C=%d, ∆=%d, |Ω|=%d, α=δ)",
-			cfg.C, cfg.Delta, sp.Size()),
+			cfg.C, cfg.Delta, rs.Cells[0].States),
 		Columns: []string{"protocol", "mu", "d", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
 		Note: fmt.Sprintf("beyond the paper's evaluation: quorum c=%d; checks that the C=∆=7 "+
 			"qualitative ordering survives a larger cluster", (cfg.C-1)/3),
 	}
-	type point struct {
-		k     int
-		mu, d float64
-	}
-	var points []point
-	for _, k := range cfg.Ks {
-		for _, mu := range cfg.Mus {
-			for _, d := range cfg.Ds {
-				points = append(points, point{k, mu, d})
-			}
-		}
-	}
-	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
-		pt := points[i]
-		p := core.Params{C: cfg.C, Delta: cfg.Delta, Mu: pt.mu, D: pt.d, K: pt.k, Nu: 0.1}
-		m, err := core.NewWithSolver(p, cfg.Solver)
-		if err != nil {
+	// Plan order is k-major, then µ, then d — the table's row order.
+	for _, cell := range rs.Cells {
+		if err := t.AddRow(
+			fmt.Sprintf("protocol_%d", cell.Params.K),
+			fmtPercent(cell.Params.Mu),
+			fmtPercent(cell.Params.D),
+			fmtFloat(cell.Analysis.ExpectedSafeTime),
+			fmtFloat(cell.Analysis.ExpectedPollutedTime),
+			fmtFloat(cell.Analysis.PollutionProbability),
+			fmtFloat(cell.Analysis.Absorption[core.ClassNamePollutedMerge]),
+		); err != nil {
 			return nil, err
 		}
-		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-		if err != nil {
-			return nil, err
-		}
-		return [][]string{{
-			fmt.Sprintf("protocol_%d", pt.k),
-			fmtPercent(pt.mu),
-			fmtPercent(pt.d),
-			fmtFloat(a.ExpectedSafeTime),
-			fmtFloat(a.ExpectedPollutedTime),
-			fmtFloat(a.PollutionProbability),
-			fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
-		}}, nil
-	}); err != nil {
-		return nil, err
 	}
 	return t, nil
 }
@@ -227,8 +206,9 @@ func DefaultHugeClusterConfig() LargeClusterConfig {
 // paper's printed figures — thousands of transient states — which only
 // the sparse solver path makes affordable: per cell it reports |Ω|, the
 // transient-state count, expected safe/polluted times, the pollution
-// probability and the polluted-merge absorption risk. Cells fan out
-// across the pool.
+// probability and the polluted-merge absorption risk. Each size is one
+// single-geometry sweep.Plan (C = ∆ = size), so protocols at the same
+// size share the enumerated space.
 func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig) (*Table, error) {
 	if len(cfg.Sizes) == 0 || len(cfg.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: LargeCluster needs non-empty Sizes and Ks")
@@ -247,40 +227,39 @@ func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig
 		Columns: []string{"C=∆", "protocol", "|Ω|", "transient", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
 		Note:    "state spaces an order of magnitude past the printed figures; infeasible on the dense LU path, routine on CSR + iterative solves",
 	}
-	type point struct {
-		size, k int
-	}
-	var points []point
-	for _, size := range cfg.Sizes {
-		for _, k := range cfg.Ks {
-			points = append(points, point{size, k})
+	// One single-geometry plan per size; the independent per-size
+	// evaluations fan across the pool (nested pool use splits width),
+	// with rows appended in size order afterwards.
+	resultSets := make([]*sweep.ResultSet, len(cfg.Sizes))
+	if err := engine.Ensure(pool).Run(ctx, len(cfg.Sizes), func(i int) error {
+		plan := sweep.Plan{
+			C: []int{cfg.Sizes[i]}, Delta: []int{cfg.Sizes[i]}, K: cfg.Ks,
+			Mu: []float64{cfg.Mu}, D: []float64{cfg.D}, Nu: []float64{0.1},
 		}
-	}
-	if err := gridRows(ctx, pool, t, len(points), func(i int) ([][]string, error) {
-		pt := points[i]
-		p := core.Params{C: pt.size, Delta: pt.size, Mu: cfg.Mu, D: cfg.D, K: pt.k, Nu: 0.1}
-		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(cfg.BuildPool))
+		rs, err := sweep.Evaluate(ctx, plan, sweep.Options{Pool: pool, BuildPool: cfg.BuildPool, Solver: solver})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp := m.Space()
-		transient := len(sp.IndicesOf(core.ClassSafe)) + len(sp.IndicesOf(core.ClassPolluted))
-		a, err := m.AnalyzeNamed(core.DistributionDelta, 1)
-		if err != nil {
-			return nil, err
-		}
-		return [][]string{{
-			fmt.Sprintf("%d", pt.size),
-			fmt.Sprintf("protocol_%d", pt.k),
-			fmt.Sprintf("%d", sp.Size()),
-			fmt.Sprintf("%d", transient),
-			fmtFloat(a.ExpectedSafeTime),
-			fmtFloat(a.ExpectedPollutedTime),
-			fmtFloat(a.PollutionProbability),
-			fmtFloat(a.Absorption[core.ClassNamePollutedMerge]),
-		}}, nil
+		resultSets[i] = rs
+		return nil
 	}); err != nil {
 		return nil, err
+	}
+	for i, rs := range resultSets {
+		for _, cell := range rs.Cells {
+			if err := t.AddRow(
+				fmt.Sprintf("%d", cfg.Sizes[i]),
+				fmt.Sprintf("protocol_%d", cell.Params.K),
+				fmt.Sprintf("%d", cell.States),
+				fmt.Sprintf("%d", cell.Transient),
+				fmtFloat(cell.Analysis.ExpectedSafeTime),
+				fmtFloat(cell.Analysis.ExpectedPollutedTime),
+				fmtFloat(cell.Analysis.PollutionProbability),
+				fmtFloat(cell.Analysis.Absorption[core.ClassNamePollutedMerge]),
+			); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return t, nil
 }

@@ -6,12 +6,19 @@ import (
 
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
 )
 
 // Table1Config parameterizes Table I.
 type Table1Config struct {
 	Mus []float64
 	Ds  []float64
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultTable1Config reproduces the paper's Table I grid.
@@ -45,7 +52,7 @@ func Table1(ctx context.Context, pool *engine.Pool, cfg Table1Config) (*Table, e
 		pt := points[i]
 		p := baseParams()
 		p.Mu, p.D = pt.mu, pt.d
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}
@@ -70,6 +77,12 @@ type Table2Config struct {
 	Mus      []float64
 	D        float64
 	Sojourns int
+	// Solver selects the analytic linear-solver backend; the zero value
+	// is the paper-exact dense path.
+	Solver matrix.SolverConfig
+	// BuildPool fans each cell's matrix construction; nil builds rows
+	// serially.
+	BuildPool *engine.Pool
 }
 
 // DefaultTable2Config reproduces the paper's Table II grid.
@@ -105,7 +118,7 @@ func Table2(ctx context.Context, pool *engine.Pool, cfg Table2Config) (*Table, e
 		mu := cfg.Mus[i]
 		p := baseParams()
 		p.Mu, p.D = mu, cfg.D
-		m, err := core.New(p)
+		m, err := core.NewWithSolver(p, cfg.Solver, core.WithBuildPool(cfg.BuildPool))
 		if err != nil {
 			return nil, err
 		}

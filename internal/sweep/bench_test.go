@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
+)
+
+// hugeGrid is the acceptance grid: a ν×d surface of 64 cells at C=∆=40
+// (|Ω| = 35301, 33579 transient per cell).
+func hugeGrid() Plan {
+	return Plan{
+		C: []int{40}, Delta: []int{40}, K: []int{1},
+		Mu: []float64{0.2},
+		D:  []float64{0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85},
+		Nu: []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60},
+	}
+}
+
+// BenchmarkSweepGrid measures the amortized evaluator against the same
+// 64 cells run as independent core.Analyze calls. The evaluator shares
+// one state space, kernel and Rule 1 gain table across the grid and
+// proves the ν axis redundant per (µ, d) (protocol_1 never fires
+// Rule 1), so it solves 8 distinct chains instead of 64; "evaluate"
+// additionally verifies every cell against the per-cell result at
+// 1e-12 on its first iteration.
+func BenchmarkSweepGrid(b *testing.B) {
+	sc := matrix.SolverConfig{Kind: "bicgstab"}
+	plan := hugeGrid()
+	b.Run("evaluate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rs, err := Evaluate(context.Background(), plan, Options{Solver: sc, Pool: engine.New(0)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				verifyAgainstPerCell(b, rs, sc)
+			}
+		}
+	})
+	b.Run("percell", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range plan.Cells() {
+				if _, err := analyzeOne(p, sc, plan.Dist, plan.sojourns()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func analyzeOne(p core.Params, sc matrix.SolverConfig, dist core.InitialDistribution, sojourns int) (*core.Analysis, error) {
+	m, err := core.NewWithSolver(p, sc)
+	if err != nil {
+		return nil, err
+	}
+	return m.AnalyzeNamed(dist, sojourns)
+}
+
+// verifyAgainstPerCell asserts the acceptance criterion: every sweep
+// cell matches the independent per-cell path at 1e-12.
+func verifyAgainstPerCell(b *testing.B, rs *ResultSet, sc matrix.SolverConfig) {
+	b.StopTimer()
+	defer b.StartTimer()
+	for _, cell := range rs.Cells {
+		want, err := analyzeOne(cell.Params, sc, rs.Plan.Dist, rs.Plan.sojourns())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if field, ok := analysesEqual(cell.Analysis, want, 1e-12); !ok {
+			b.Fatalf("cell %v: %s differs from per-cell path beyond 1e-12", cell.Params, field)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
+)
+
+// Options tunes an evaluation. The zero value evaluates serially with
+// the solver the model would pick per cell (dense LU).
+type Options struct {
+	// Pool fans distinct chains across workers; nil evaluates serially.
+	// Results are bit-identical for any pool width.
+	Pool *engine.Pool
+	// BuildPool supplies the workers of the row-parallel
+	// transition-matrix construction inside each cell; nil builds rows
+	// serially. Nested engine pools split width instead of stacking.
+	BuildPool *engine.Pool
+	// Solver selects the linear-solver backend of every cell's analysis.
+	Solver matrix.SolverConfig
+	// OnCell, when non-nil, streams results as they are produced: it is
+	// called once per cell, from evaluator goroutines in completion
+	// order (not index order), as soon as the cell's equivalence class
+	// finishes. It must be safe for concurrent use.
+	OnCell func(CellResult)
+}
+
+// CellResult is the outcome of one grid cell.
+type CellResult struct {
+	// Index is the cell's position in Plan.Cells() order.
+	Index int
+	// Params are the cell's model parameters.
+	Params core.Params
+	// States and Transient size the cell's state space.
+	States, Transient int
+	// Rule1Fires counts the transient safe states in which the
+	// adversary's voluntary-leave strategy fires at the cell's ν.
+	Rule1Fires int
+	// Shared reports that the cell's chain was proven identical to an
+	// earlier cell's (equal geometry, µ, d and Rule 1 firing set) and
+	// its Analysis taken from that evaluation instead of a re-solve.
+	Shared bool
+	// Analysis holds the closed-form results for the plan's initial
+	// distribution.
+	Analysis *core.Analysis
+}
+
+// ResultSet is the deterministic outcome of a grid evaluation: cells in
+// plan order, whatever the pool width or completion order.
+type ResultSet struct {
+	Plan  Plan
+	Cells []CellResult
+	// Groups counts the distinct (C, ∆) geometries the planner built
+	// shared structure for; Evaluated counts the distinct chains
+	// actually constructed and solved after deduplication (the remaining
+	// Size()−Evaluated cells shared one of those solves).
+	Groups    int
+	Evaluated int
+}
+
+// signature identifies a cell's Markov chain up to provable equality:
+// geometry and protocol pin the state space and maintenance kernel, µ
+// and d pin every branch weight, and the Rule 1 gain cut pins the
+// firing set — the only door through which ν enters the matrix. The
+// initial distribution is a function of (C, ∆, µ) and the plan's
+// distribution choice, so two cells with equal signatures have equal
+// chains AND equal α: their Analyses are the same numbers.
+type signature struct {
+	c, delta, k int
+	mu, d       float64
+	cut         int
+}
+
+// group is the shared structure of one (C, ∆) geometry.
+type group struct {
+	space *core.Space
+	// gains maps protocol k to the shared relation (2) table.
+	gains map[int]*core.Rule1Gains
+}
+
+// Evaluate runs the plan and returns one Analysis per cell. Shared
+// structure (state space, maintenance kernel, Rule 1 gains) is built
+// once per (C, ∆) group; provably identical cells are solved once; the
+// remaining distinct chains fan out across opts.Pool. Every cell's
+// numbers are bit-identical to an independent core.Analyze of the same
+// parameters with the same solver.
+func Evaluate(ctx context.Context, plan Plan, opts Options) (*ResultSet, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := opts.Solver.Build(); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	cells := plan.Cells()
+
+	// Planner pass 1: shared structure per geometry.
+	groups := make(map[[2]int]*group)
+	for _, p := range cells {
+		key := [2]int{p.C, p.Delta}
+		g, ok := groups[key]
+		if !ok {
+			sp, err := core.NewSpace(p.C, p.Delta)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			g = &group{space: sp, gains: make(map[int]*core.Rule1Gains)}
+			groups[key] = g
+		}
+		if _, ok := g.gains[p.K]; !ok {
+			gains, err := core.ComputeRule1Gains(p)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			g.gains[p.K] = gains
+		}
+	}
+
+	// Planner pass 2: deduplicate cells into equivalence classes. The
+	// leader of a class is its lowest cell index; classes keep plan
+	// order, so the evaluation schedule is deterministic.
+	type class struct {
+		leader  int
+		members []int
+	}
+	classOf := make(map[signature]int)
+	var classes []class
+	for i, p := range cells {
+		g := groups[[2]int{p.C, p.Delta}]
+		sig := signature{c: p.C, delta: p.Delta, k: p.K, mu: p.Mu, d: p.D, cut: g.gains[p.K].CutIndex(p.Nu)}
+		ci, ok := classOf[sig]
+		if !ok {
+			ci = len(classes)
+			classOf[sig] = ci
+			classes = append(classes, class{leader: i})
+		}
+		classes[ci].members = append(classes[ci].members, i)
+	}
+
+	// Evaluation pass: one model build + solve per class, fanned across
+	// the pool; results land in per-cell slots (classes own disjoint
+	// cell sets), so accumulation is order-independent.
+	results := make([]CellResult, len(cells))
+	err := engine.Ensure(opts.Pool).Run(ctx, len(classes), func(ci int) error {
+		cl := classes[ci]
+		p := cells[cl.leader]
+		g := groups[[2]int{p.C, p.Delta}]
+		m, err := core.NewWithSolver(p, opts.Solver,
+			core.WithSpace(g.space),
+			core.WithRule1Gains(g.gains[p.K]),
+			core.WithBuildPool(opts.BuildPool),
+		)
+		if err != nil {
+			return fmt.Errorf("cell %v: %w", p, err)
+		}
+		a, err := m.AnalyzeNamed(plan.Dist, plan.sojourns())
+		if err != nil {
+			return fmt.Errorf("cell %v: %w", p, err)
+		}
+		for _, i := range cl.members {
+			pi := cells[i]
+			res := CellResult{
+				Index:      i,
+				Params:     pi,
+				States:     g.space.Size(),
+				Transient:  g.space.TransientCount(),
+				Rule1Fires: g.gains[pi.K].CountFires(pi.Nu),
+				Shared:     i != cl.leader,
+				Analysis:   a,
+			}
+			if res.Shared {
+				res.Analysis = cloneAnalysis(a)
+			}
+			results[i] = res
+			if opts.OnCell != nil {
+				opts.OnCell(res)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &ResultSet{
+		Plan:      plan,
+		Cells:     results,
+		Groups:    len(groups),
+		Evaluated: len(classes),
+	}, nil
+}
+
+// cloneAnalysis gives a sharing cell its own copy, so callers may mutate
+// per-cell results independently.
+func cloneAnalysis(a *core.Analysis) *core.Analysis {
+	b := *a
+	b.SafeSojourns = append([]float64(nil), a.SafeSojourns...)
+	b.PollutedSojourns = append([]float64(nil), a.PollutedSojourns...)
+	b.Absorption = make(map[string]float64, len(a.Absorption))
+	for k, v := range a.Absorption {
+		b.Absorption[k] = v
+	}
+	return &b
+}

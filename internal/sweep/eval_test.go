@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/matrix"
+)
+
+// analysesEqual compares two Analyses field by field at tolerance tol
+// (0 demands bitwise equality) and reports the first differing field.
+func analysesEqual(a, b *core.Analysis, tol float64) (string, bool) {
+	eq := func(x, y float64) bool {
+		if tol == 0 {
+			return x == y
+		}
+		return math.Abs(x-y) <= tol*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	}
+	if !eq(a.ExpectedSafeTime, b.ExpectedSafeTime) {
+		return "ExpectedSafeTime", false
+	}
+	if !eq(a.ExpectedPollutedTime, b.ExpectedPollutedTime) {
+		return "ExpectedPollutedTime", false
+	}
+	if !eq(a.PollutionProbability, b.PollutionProbability) {
+		return "PollutionProbability", false
+	}
+	if len(a.SafeSojourns) != len(b.SafeSojourns) || len(a.PollutedSojourns) != len(b.PollutedSojourns) {
+		return "sojourn lengths", false
+	}
+	for i := range a.SafeSojourns {
+		if !eq(a.SafeSojourns[i], b.SafeSojourns[i]) {
+			return "SafeSojourns", false
+		}
+	}
+	for i := range a.PollutedSojourns {
+		if !eq(a.PollutedSojourns[i], b.PollutedSojourns[i]) {
+			return "PollutedSojourns", false
+		}
+	}
+	if len(a.Absorption) != len(b.Absorption) {
+		return "absorption size", false
+	}
+	for k, v := range a.Absorption {
+		if !eq(v, b.Absorption[k]) {
+			return "Absorption[" + k + "]", false
+		}
+	}
+	return "", true
+}
+
+// perCell runs the independent single-cell path the evaluator must match.
+func perCell(t testing.TB, p core.Params, sc matrix.SolverConfig, dist core.InitialDistribution, sojourns int) *core.Analysis {
+	m, err := core.NewWithSolver(p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AnalyzeNamed(dist, sojourns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestEvaluateMatchesPerCellExactly: on the paper-size geometry, every
+// cell of a full (k, µ, d, ν) grid — dedup-shared cells included — must
+// reproduce the independent core.Analyze numbers bit for bit.
+func TestEvaluateMatchesPerCellExactly(t *testing.T) {
+	plan := Plan{
+		C: []int{7}, Delta: []int{7}, K: []int{1, 3},
+		Mu:       []float64{0.1, 0.3},
+		D:        []float64{0.5, 0.9},
+		Nu:       []float64{0.05, 0.5},
+		Sojourns: 2,
+	}
+	rs, err := Evaluate(context.Background(), plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Cells) != plan.Size() {
+		t.Fatalf("got %d cells, want %d", len(rs.Cells), plan.Size())
+	}
+	var shared int
+	for _, cell := range rs.Cells {
+		want := perCell(t, cell.Params, matrix.SolverConfig{}, plan.Dist, plan.Sojourns)
+		if field, ok := analysesEqual(cell.Analysis, want, 0); !ok {
+			t.Errorf("cell %v (shared=%v): %s differs from per-cell path", cell.Params, cell.Shared, field)
+		}
+		if cell.Shared {
+			shared++
+		}
+	}
+	// protocol_1 never fires Rule 1, so its ν axis must have collapsed:
+	// at least the 4 duplicate k=1 cells are shared.
+	if shared < 4 {
+		t.Errorf("shared cells = %d, want ≥ 4 (k=1 ν axis must deduplicate)", shared)
+	}
+	if rs.Evaluated+shared != plan.Size() {
+		t.Errorf("Evaluated (%d) + shared (%d) != cells (%d)", rs.Evaluated, shared, plan.Size())
+	}
+	if rs.Groups != 1 {
+		t.Errorf("Groups = %d, want 1", rs.Groups)
+	}
+}
+
+// TestEvaluateDedupCounts: with protocol_1 the whole ν axis is one
+// equivalence class per (µ, d).
+func TestEvaluateDedupCounts(t *testing.T) {
+	plan := Plan{
+		C: []int{7}, Delta: []int{7}, K: []int{1},
+		Mu: []float64{0.2},
+		D:  []float64{0.5, 0.9},
+		Nu: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9},
+	}
+	rs, err := Evaluate(context.Background(), plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Evaluated != 2 {
+		t.Errorf("Evaluated = %d, want 2 (one per d; ν must collapse at k=1)", rs.Evaluated)
+	}
+	if len(rs.Cells) != 16 {
+		t.Errorf("cells = %d, want 16", len(rs.Cells))
+	}
+	for _, cell := range rs.Cells {
+		if cell.Rule1Fires != 0 {
+			t.Errorf("protocol_1 cell %v reports %d Rule 1 states", cell.Params, cell.Rule1Fires)
+		}
+		if cell.States != 288 {
+			t.Errorf("cell %v: States = %d, want 288", cell.Params, cell.States)
+		}
+		if cell.Transient != 216 {
+			t.Errorf("cell %v: Transient = %d, want 216", cell.Params, cell.Transient)
+		}
+	}
+}
+
+// TestEvaluateDeterministicAcrossPools: the result set must not depend
+// on the pool width.
+func TestEvaluateDeterministicAcrossPools(t *testing.T) {
+	plan := Plan{
+		C: []int{6, 7}, Delta: []int{7}, K: []int{2},
+		Mu: []float64{0.2}, D: []float64{0.8}, Nu: []float64{0.05, 0.3},
+	}
+	serial, err := Evaluate(context.Background(), plan, Options{Pool: engine.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Evaluate(context.Background(), plan, Options{Pool: engine.New(8), BuildPool: engine.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Evaluated != wide.Evaluated || serial.Groups != wide.Groups {
+		t.Fatalf("plan accounting differs across pool widths")
+	}
+	for i := range serial.Cells {
+		if field, ok := analysesEqual(serial.Cells[i].Analysis, wide.Cells[i].Analysis, 0); !ok {
+			t.Errorf("cell %d: %s differs between pool widths", i, field)
+		}
+	}
+}
+
+// TestEvaluateStreamsEveryCell: OnCell must fire exactly once per cell.
+func TestEvaluateStreamsEveryCell(t *testing.T) {
+	plan := Plan{
+		C: []int{7}, Delta: []int{7}, K: []int{1},
+		Mu: []float64{0.1, 0.2}, D: []float64{0.5}, Nu: []float64{0.1, 0.9},
+	}
+	var calls atomic.Int64
+	seen := make([]atomic.Bool, plan.Size())
+	_, err := Evaluate(context.Background(), plan, Options{
+		Pool: engine.New(4),
+		OnCell: func(c CellResult) {
+			calls.Add(1)
+			if c.Index < 0 || c.Index >= len(seen) || seen[c.Index].Swap(true) {
+				t.Errorf("cell %d streamed twice or out of range", c.Index)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(plan.Size()) {
+		t.Errorf("OnCell fired %d times, want %d", got, plan.Size())
+	}
+}
+
+// TestEvaluateErrors: invalid plans and solver configs are rejected.
+func TestEvaluateErrors(t *testing.T) {
+	good := Plan{C: []int{7}, Delta: []int{7}, K: []int{1}, Mu: []float64{0.1}, D: []float64{0.5}, Nu: []float64{0.1}}
+	if _, err := Evaluate(context.Background(), Plan{}, Options{}); err == nil {
+		t.Error("empty plan must fail")
+	}
+	if _, err := Evaluate(context.Background(), good, Options{Solver: matrix.SolverConfig{Kind: "bogus"}}); err == nil {
+		t.Error("bogus solver must fail")
+	}
+}
+
+// TestEvaluateHugeSpotCheck compares a few C=∆=40 sweep cells against
+// the independent per-cell path at 1e-12 on the sparse solver — a spot
+// check of the acceptance benchmark's full verification.
+func TestEvaluateHugeSpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("C=∆=40 spot check skipped in -short mode")
+	}
+	sc := matrix.SolverConfig{Kind: "bicgstab"}
+	plan := Plan{
+		C: []int{40}, Delta: []int{40}, K: []int{1},
+		Mu: []float64{0.2},
+		D:  []float64{0.5, 0.8},
+		Nu: []float64{0.05, 0.1},
+	}
+	rs, err := Evaluate(context.Background(), plan, Options{Solver: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Evaluated != 2 {
+		t.Errorf("Evaluated = %d, want 2", rs.Evaluated)
+	}
+	for _, cell := range []CellResult{rs.Cells[0], rs.Cells[3]} {
+		want := perCell(t, cell.Params, sc, plan.Dist, 1)
+		if field, ok := analysesEqual(cell.Analysis, want, 1e-12); !ok {
+			t.Errorf("cell %v: %s differs from per-cell path beyond 1e-12", cell.Params, field)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package sweep evaluates parameter grids of the targeted-attack model
+// with shared structure instead of per-cell rebuilds.
+//
+// A Plan is the cross product of axes over the model parameters
+// (C, ∆, k, µ, d, ν). The evaluator groups its cells by cluster geometry
+// (C, ∆): each group enumerates one state space, shares the memoized
+// hypergeometric maintenance kernel, and precomputes one Rule 1 gain
+// table per protocol k — the reusable row structure every cell's
+// transition-matrix construction reads. On top of the shared structure,
+// cells are deduplicated by effective parameters: ν enters the model
+// only by thresholding the finite set of relation (2) gains, so every
+// cell with equal (k, µ, d) and an equal gain cut is provably the same
+// Markov chain and is evaluated once (for protocol_1 the whole ν axis
+// collapses — Rule 1 never fires). Distinct chains fan out across an
+// engine.Pool; results stream into a deterministic, order-independent
+// result set. Every cell's Analysis is bit-identical to an independent
+// core.Analyze of the same parameters.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"targetedattacks/internal/core"
+)
+
+// Plan is a parameter grid: the cross product of one axis per model
+// parameter. Cells enumerate in row-major order with C outermost and ν
+// innermost; cell indices are stable for a given plan.
+type Plan struct {
+	// C, Delta and K are the integer axes (cluster geometry and protocol).
+	C, Delta, K []int
+	// Mu, D and Nu are the attack/churn axes.
+	Mu, D, Nu []float64
+	// Dist selects the initial distribution applied to every cell.
+	Dist core.InitialDistribution
+	// Sojourns is the number of successive sojourn expectations computed
+	// per cell; values < 1 mean 1.
+	Sojourns int
+}
+
+// Size returns the number of cells of the grid, saturating at MaxInt
+// when the axis product overflows (Validate rejects such plans).
+func (pl Plan) Size() int {
+	size := 1
+	for _, n := range []int{len(pl.C), len(pl.Delta), len(pl.K), len(pl.Mu), len(pl.D), len(pl.Nu)} {
+		if n == 0 {
+			return 0
+		}
+		if size > math.MaxInt/n {
+			return math.MaxInt
+		}
+		size *= n
+	}
+	return size
+}
+
+// Validate checks that every axis is non-empty, the grid size does not
+// overflow, and every cell's parameters pass core validation.
+func (pl Plan) Validate() error {
+	if pl.Size() == 0 {
+		return fmt.Errorf("sweep: every axis needs at least one value (|C|=%d |∆|=%d |k|=%d |µ|=%d |d|=%d |ν|=%d)",
+			len(pl.C), len(pl.Delta), len(pl.K), len(pl.Mu), len(pl.D), len(pl.Nu))
+	}
+	if pl.Size() == math.MaxInt {
+		return fmt.Errorf("sweep: axis product overflows the grid size")
+	}
+	if pl.Dist != core.DistributionDelta && pl.Dist != core.DistributionBeta {
+		return fmt.Errorf("sweep: unknown initial distribution %d", int(pl.Dist))
+	}
+	for name, axis := range map[string][]float64{"µ": pl.Mu, "d": pl.D, "ν": pl.Nu} {
+		for _, v := range axis {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// core's interval checks cannot reject NaN (it fails
+				// neither bound), so it is caught here.
+				return fmt.Errorf("sweep: non-finite value %v on the %s axis", v, name)
+			}
+		}
+	}
+	for _, p := range pl.Cells() {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("sweep: cell %v: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Cells enumerates every cell's parameters in index order.
+func (pl Plan) Cells() []core.Params {
+	out := make([]core.Params, 0, pl.Size())
+	for _, c := range pl.C {
+		for _, delta := range pl.Delta {
+			for _, k := range pl.K {
+				for _, mu := range pl.Mu {
+					for _, d := range pl.D {
+						for _, nu := range pl.Nu {
+							out = append(out, core.Params{C: c, Delta: delta, K: k, Mu: mu, D: d, Nu: nu})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sojourns returns the effective sojourn count.
+func (pl Plan) sojourns() int {
+	if pl.Sojourns < 1 {
+		return 1
+	}
+	return pl.Sojourns
+}
+
+// String renders the plan compactly.
+func (pl Plan) String() string {
+	return fmt.Sprintf("sweep(C=%v ∆=%v k=%v µ=%v d=%v ν=%v α=%v sojourns=%d: %d cells)",
+		pl.C, pl.Delta, pl.K, pl.Mu, pl.D, pl.Nu, pl.Dist, pl.sojourns(), pl.Size())
+}
+
+// MaxAxisPoints bounds the number of values a single axis expression
+// may expand to. Axis expressions reach the parsers straight from
+// untrusted HTTP requests, so the bound must hold before any
+// allocation: a range like "1:4000000000" is rejected, not expanded.
+const MaxAxisPoints = 100_000
+
+// ParseInts parses an integer axis: a comma-separated list ("7,9,12") or
+// an inclusive lo:hi[:step] range ("4:8" is 4,5,6,7,8; "10:50:10" is
+// 10,20,30,40,50). An axis may expand to at most MaxAxisPoints values.
+func ParseInts(s string) ([]int, error) {
+	parts, isRange, err := splitAxis(s)
+	if err != nil {
+		return nil, err
+	}
+	if isRange {
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		step := 1
+		var err3 error
+		if len(parts) == 3 {
+			step, err3 = strconv.Atoi(parts[2])
+		}
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sweep: bad integer range %q", s)
+		}
+		if step < 1 {
+			return nil, fmt.Errorf("sweep: range %q needs a positive step", s)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("sweep: range %q is empty (hi < lo)", s)
+		}
+		// Size the range in uint64 (hi−lo cannot overflow there for
+		// hi ≥ lo) before allocating anything.
+		count := (uint64(hi)-uint64(lo))/uint64(step) + 1
+		if count > MaxAxisPoints {
+			return nil, fmt.Errorf("sweep: range %q expands to %d values, limit is %d", s, count, MaxAxisPoints)
+		}
+		out := make([]int, 0, count)
+		// Advance incrementally: v never exceeds hi, so the addition
+		// cannot overflow even for ranges near the int extremes.
+		for v, i := lo, uint64(0); ; v, i = v+step, i+1 {
+			out = append(out, v)
+			if i+1 == count {
+				break
+			}
+		}
+		return out, nil
+	}
+	if len(parts) > MaxAxisPoints {
+		return nil, fmt.Errorf("sweep: axis %q lists %d values, limit is %d", s, len(parts), MaxAxisPoints)
+	}
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad integer %q in axis %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a float axis: a comma-separated list
+// ("0.1,0.2,0.5") or an inclusive lo:hi:step range ("0.5:0.9:0.1").
+// Range points are computed as lo + i·step to keep them exactly
+// reproducible; the endpoint is included with a hair of floating slack
+// (step·1e-9 — enough to absorb accumulation error, never enough to
+// emit a point past hi). An axis may expand to at most MaxAxisPoints
+// values (so a denormal step cannot expand into an allocation bomb).
+func ParseFloats(s string) ([]float64, error) {
+	parts, isRange, err := splitAxis(s)
+	if err != nil {
+		return nil, err
+	}
+	if isRange {
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("sweep: float range %q needs lo:hi:step", s)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		step, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sweep: bad float range %q", s)
+		}
+		if step <= 0 || math.IsInf(step, 0) || math.IsNaN(step) ||
+			math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsInf(hi, 0) || math.IsNaN(hi) {
+			return nil, fmt.Errorf("sweep: range %q needs finite bounds and a positive step", s)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("sweep: range %q is empty (hi < lo)", s)
+		}
+		var out []float64
+		for i := 0; ; i++ {
+			v := lo + float64(i)*step
+			if v > hi+step*1e-9 {
+				break
+			}
+			if len(out) >= MaxAxisPoints {
+				return nil, fmt.Errorf("sweep: range %q expands past %d values", s, MaxAxisPoints)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if len(parts) > MaxAxisPoints {
+		return nil, fmt.Errorf("sweep: axis %q lists %d values, limit is %d", s, len(parts), MaxAxisPoints)
+	}
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			// NaN passes every interval check downstream (it fails
+			// neither v < lo nor v > hi), so non-finite values are
+			// stopped at the parse boundary.
+			return nil, fmt.Errorf("sweep: bad float %q in axis %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitAxis splits an axis expression into its parts and reports whether
+// it uses the colon range syntax.
+func splitAxis(s string) ([]string, bool, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, false, fmt.Errorf("sweep: empty axis")
+	}
+	if strings.Contains(s, ":") {
+		if strings.Contains(s, ",") {
+			return nil, false, fmt.Errorf("sweep: axis %q mixes list and range syntax", s)
+		}
+		parts := strings.Split(s, ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, false, fmt.Errorf("sweep: range %q needs lo:hi or lo:hi:step", s)
+		}
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts, true, nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, false, fmt.Errorf("sweep: empty axis %q", s)
+	}
+	return out, false, nil
+}
