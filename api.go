@@ -47,10 +47,22 @@ type (
 	Pool = engine.Pool
 	// SolverConfig selects the linear-solver backend of the closed-form
 	// analytics: the exact dense LU (the zero value) or a sparse
-	// iterative path ("sparse"/"bicgstab", "gs", "auto") that never
-	// densifies the transition matrix and keeps state spaces with
-	// thousands of transient states affordable.
+	// iterative path ("sparse"/"bicgstab", "gs", "ilu", "auto") that
+	// never densifies the transition matrix and keeps state spaces with
+	// thousands of transient states affordable. "ilu" preconditions
+	// BiCGSTAB with a zero-fill ILU(0) factorization — the slow-mixing
+	// d → 1 regime; "auto" probes each block's mixing speed and chooses.
 	SolverConfig = matrix.SolverConfig
+	// SolveStats reports what the solver layer did during an Analysis:
+	// the backend that answered (after any auto selection), total
+	// iterative-solver iterations, and sparse-to-dense fallbacks with
+	// their reason. Available as Analysis.Solver.
+	SolveStats = matrix.SolveStats
+	// WarmStart carries the converged solution vectors of one analysis
+	// so a neighboring parameter point can seed its iterative solves
+	// from them (Model.AnalyzeNamedWarm; sweeps use this through
+	// SweepOptions.WarmStart).
+	WarmStart = core.WarmStart
 	// BuildOption tunes the construction of the transition matrix in
 	// NewModel / NewModelWithSolver (see WithBuildPool, WithSharedSpace,
 	// WithRule1Gains).
@@ -60,7 +72,7 @@ type (
 	// EvaluateSweep.
 	SweepPlan = sweep.Plan
 	// SweepOptions tunes a grid evaluation (pool, build pool, solver,
-	// streaming callback).
+	// warm-start lanes, streaming callback).
 	SweepOptions = sweep.Options
 	// SweepResult is the deterministic outcome of a grid evaluation.
 	SweepResult = sweep.ResultSet

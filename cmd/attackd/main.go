@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	attackd [-addr :8080] [-workers 0] [-solver bicgstab|gs|dense|auto]
+//	attackd [-addr :8080] [-workers 0] [-solver bicgstab|gs|ilu|dense|auto]
 //	        [-tol 1e-12] [-cache 4096] [-maxcells 4096] [-maxstates 200000]
 //	        [-maxsojourns 1024] [-shutdown-timeout 10s]
 //
@@ -15,7 +15,13 @@
 //	POST /v1/sweep    a grid:   {"c":"7","delta":"7","k":"1","mu":"0.2",
 //	                             "d":"0.5:0.9:0.1","nu":"0.05,0.1"}
 //	GET  /healthz     liveness
-//	GET  /metrics     Prometheus text: requests, cache hit rate, in-flight
+//	GET  /metrics     Prometheus text: requests, cache hit rate, in-flight,
+//	                  solver iterations and sparse-to-dense fallbacks
+//
+// Both POST bodies accept an optional "solver" field overriding the
+// server's backend for that request (one of the -solver kinds). Sweep
+// evaluations warm-start neighboring grid cells' iterative solves; the
+// response reports the iterations spent.
 //
 // Axis expressions accept comma lists ("0.1,0.2") and inclusive
 // lo:hi:step ranges ("0.5:0.9:0.1"). SIGINT/SIGTERM drain in-flight

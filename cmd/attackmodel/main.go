@@ -8,11 +8,14 @@
 //	attackmodel [-C 7] [-delta 7] [-mu 0.2] [-d 0.9] [-k 1] [-nu 0.1]
 //	            [-alpha delta|beta] [-sojourns 2] [-overlay 0] [-events 100000]
 //	            [-mc 0] [-mcsteps 1000000] [-workers 0] [-seed 1]
-//	            [-scenarios] [-solver dense|sparse|gs|auto] [-tol 1e-12]
+//	            [-scenarios] [-solver dense|sparse|gs|ilu|auto] [-tol 1e-12]
 //
 // -solver selects the linear-solver backend of the closed forms: the
-// exact dense LU (default) or a sparse iterative path that keeps large
-// C/∆ state spaces affordable; -tol tunes the iterative residual target.
+// exact dense LU (default), a sparse iterative path that keeps large
+// C/∆ state spaces affordable (bicgstab, gs, or the ILU(0)-
+// preconditioned ilu for slow-mixing chains as d → 1), or auto, which
+// probes each block's mixing speed and picks for you; -tol tunes the
+// iterative residual target.
 //
 // With -overlay n > 0 it additionally prints the overlay-level expected
 // proportions of safe and polluted clusters after -events events
@@ -95,6 +98,13 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("model: %v, α = %v, |Ω| = %d states, solver = %s\n", p, dist, model.Space().Size(), model.SolverName())
+	if a.Solver.Iterations > 0 || a.Solver.Fallbacks > 0 {
+		line := fmt.Sprintf("solver stats: backend = %s, %d iterations", a.Solver.Backend, a.Solver.Iterations)
+		if a.Solver.Fallbacks > 0 {
+			line += fmt.Sprintf(", %d dense fallbacks (%s)", a.Solver.Fallbacks, a.Solver.FallbackReason)
+		}
+		fmt.Println(line)
+	}
 	fmt.Printf("E(T_S) = %.6g   (expected events in safe states before absorption)\n", a.ExpectedSafeTime)
 	fmt.Printf("E(T_P) = %.6g   (expected events in polluted states before absorption)\n", a.ExpectedPollutedTime)
 	fmt.Printf("P(ever polluted) = %.6g\n", a.PollutionProbability)

@@ -9,16 +9,18 @@
 // Usage:
 //
 //	paperrepro [-outdir results] [-quick] [-only fig3,table1,...]
-//	           [-workers N] [-seed S] [-list] [-solver dense|sparse|gs|auto]
+//	           [-workers N] [-seed S] [-list] [-solver dense|sparse|gs|ilu|auto]
 //	           [-tol 1e-12] [-buildworkers N] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks the slow grids for a fast smoke run. -workers 0 (the
 // default) uses one worker per CPU. -list prints the scenario catalog and
 // exits. -solver/-tol pick the analytic linear-solver backend for the
-// sweep scenarios S1-S4 (the paper-exact artifacts always use dense LU).
+// sweep scenarios S1-S5 (the paper-exact artifacts always use dense LU;
+// S5 defaults to auto, whose mixing probe engages the ILU(0)
+// preconditioner on slow-mixing chains).
 // -buildworkers sizes a dedicated pool for the row-parallel
-// transition-matrix construction of the large-state-space sweeps (S3,
-// S4): 0 (the default) shares the scenario pool, 1 forces a serial
+// transition-matrix construction of the large-state-space sweeps (S3-S5):
+// 0 (the default) shares the scenario pool, 1 forces a serial
 // build, N > 1 dedicates that many workers; construction output is
 // bit-identical for any setting. -cpuprofile/-memprofile write pprof
 // profiles so solver hot spots are inspectable without code edits.
@@ -56,7 +58,7 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker pool width (0 = one per CPU)")
 		seed       = fs.Int64("seed", 1, "root seed for randomized scenarios")
 		list       = fs.Bool("list", false, "list the scenario catalog and exit")
-		solver     = fs.String("solver", "", "linear-solver backend for the sweep scenarios (S1-S4): "+strings.Join(matrix.SolverKinds(), ", "))
+		solver     = fs.String("solver", "", "linear-solver backend for the sweep scenarios (S1-S5): "+strings.Join(matrix.SolverKinds(), ", "))
 		tol        = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
 		buildwkrs  = fs.Int("buildworkers", 0, "dedicated workers for transition-matrix construction in S3/S4 (0 = share -workers pool)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")

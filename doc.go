@@ -38,6 +38,24 @@
 //     iteration. Select a backend with NewModelWithSolver or the CLIs'
 //     -solver/-tol flags.
 //
+//   - The preconditioner and warm-start layer inside it: as the
+//     identifier-survival probability d → 1 the transient blocks mix
+//     slowly and plain BiCGSTAB iteration counts blow up. The "ilu"
+//     backend factors I−M once per block with ILU(0) (zero fill-in, so
+//     CSR-sized memory) and uses it as the BiCGSTAB preconditioner in
+//     both solve orientations; the "auto" backend probes each block's
+//     mixing speed (matrix.MixingEstimate) and picks ILU for slow
+//     blocks, falling back stickily to dense LU — with the reason
+//     recorded in Analysis.Solver — if an iterative solve ever fails.
+//     Every Factorization also accepts initial guesses
+//     (SolveVecFrom and variants); markov.Chain records its converged
+//     vectors as a WarmStart so a neighboring parameter cell can seed
+//     its own solves from them. Choosing a solver: "dense" is the exact
+//     LU reference (O(n²) memory — small grids only), "bicgstab" (alias
+//     "sparse") the CSR-only default at scale, "gs" a simple
+//     Gauss–Seidel alternative, "ilu" the d → 1 regime, and "auto" the
+//     safe default for unknown grids; see the README table.
+//
 //   - The parallel build pipeline above it: transition-matrix rows are
 //     constructed in independent chunks through row-local emitters and
 //     concatenated deterministically in row order, so the CSR is
@@ -92,7 +110,7 @@
 // sweep — is registered as a named scenario in internal/experiments.
 // ScenarioKeys lists them; cmd/paperrepro executes any subset
 // concurrently with -workers and -seed flags. The grid scenarios
-// (S1-S4) are expressed as SweepPlans and run through EvaluateSweep, so
+// (S1-S5) are expressed as SweepPlans and run through EvaluateSweep, so
 // they inherit the shared-structure amortization and cell
 // deduplication; every scenario honors Env.Solver, Env.BuildPool and
 // the worker pool uniformly (the registry test asserts it key by key).

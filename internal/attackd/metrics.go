@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"targetedattacks/internal/matrix"
 )
 
 // metrics is the server's instrumentation: monotonically increasing
@@ -22,6 +24,29 @@ type metrics struct {
 	evaluations        atomic.Int64
 	singleflightShared atomic.Int64
 	inflight           atomic.Int64
+
+	solverIterations     atomic.Int64
+	fallbacksIterCap     atomic.Int64
+	fallbacksBreakdown   atomic.Int64
+	fallbacksUnspecified atomic.Int64
+}
+
+// solve accounts one evaluation's linear-solver work: cumulative
+// iterations, plus — when the auto backend abandoned its sparse
+// factorization — the fallback count under the recorded reason.
+func (m *metrics) solve(st matrix.SolveStats) {
+	m.solverIterations.Add(st.Iterations)
+	if st.Fallbacks == 0 {
+		return
+	}
+	switch st.FallbackReason {
+	case matrix.FallbackIterationCap:
+		m.fallbacksIterCap.Add(st.Fallbacks)
+	case matrix.FallbackBreakdown:
+		m.fallbacksBreakdown.Add(st.Fallbacks)
+	default:
+		m.fallbacksUnspecified.Add(st.Fallbacks)
+	}
 }
 
 func newMetrics() *metrics {
@@ -81,4 +106,12 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP attackd_inflight_evaluations Evaluations currently running.")
 	fmt.Fprintln(w, "# TYPE attackd_inflight_evaluations gauge")
 	fmt.Fprintf(w, "attackd_inflight_evaluations %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# HELP attackd_solver_iterations_total Iterative linear-solver iterations spent by evaluations.")
+	fmt.Fprintln(w, "# TYPE attackd_solver_iterations_total counter")
+	fmt.Fprintf(w, "attackd_solver_iterations_total %d\n", m.solverIterations.Load())
+	fmt.Fprintln(w, "# HELP attackd_solver_fallbacks_total Auto-backend sparse-to-dense fallbacks, by reason.")
+	fmt.Fprintln(w, "# TYPE attackd_solver_fallbacks_total counter")
+	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"iteration_cap\"} %d\n", m.fallbacksIterCap.Load())
+	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"breakdown\"} %d\n", m.fallbacksBreakdown.Load())
+	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"unspecified\"} %d\n", m.fallbacksUnspecified.Load())
 }

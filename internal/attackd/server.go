@@ -146,6 +146,10 @@ type CellRequest struct {
 	Nu           float64 `json:"nu"`
 	Distribution string  `json:"distribution,omitempty"` // "delta" (default) or "beta"
 	Sojourns     int     `json:"sojourns,omitempty"`     // default 1
+	// Solver overrides the server's backend for this request (one of
+	// matrix.SolverKinds; "" keeps the server default). Tolerances stay
+	// the server's — only the backend changes.
+	Solver string `json:"solver,omitempty"`
 }
 
 // SweepRequest is the /v1/sweep request body: one axis expression per
@@ -159,6 +163,9 @@ type SweepRequest struct {
 	Nu           string `json:"nu"`
 	Distribution string `json:"distribution,omitempty"`
 	Sojourns     int    `json:"sojourns,omitempty"`
+	// Solver overrides the server's backend for this request, as in
+	// CellRequest.
+	Solver string `json:"solver,omitempty"`
 }
 
 // AnalysisDTO is the wire form of a core.Analysis.
@@ -201,6 +208,7 @@ type SweepCellDTO struct {
 	Transient  int         `json:"transient"`
 	Rule1Fires int         `json:"rule1_fires"`
 	Shared     bool        `json:"shared"`
+	Iterations int64       `json:"iterations,omitempty"`
 	Analysis   AnalysisDTO `json:"analysis"`
 }
 
@@ -209,8 +217,12 @@ type SweepResponse struct {
 	Cells     []SweepCellDTO `json:"cells"`
 	Groups    int            `json:"groups"`
 	Evaluated int            `json:"evaluated"`
-	Solver    string         `json:"solver"`
-	Cached    bool           `json:"cached"`
+	// Iterations totals the evaluation's iterative-solver work across
+	// all cells (0 for the dense backend and for cache hits of dense
+	// evaluations).
+	Iterations int64  `json:"iterations,omitempty"`
+	Solver     string `json:"solver"`
+	Cached     bool   `json:"cached"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -239,6 +251,23 @@ func parseDistribution(name string) (core.InitialDistribution, error) {
 	default:
 		return 0, fmt.Errorf("unknown distribution %q (want \"delta\" or \"beta\")", name)
 	}
+}
+
+// requestSolver resolves a per-request backend override: "" keeps the
+// server's configured solver; any other value replaces the backend kind
+// while inheriting the server's tolerance and iteration cap. Unknown
+// kinds surface as a client error.
+func (s *Server) requestSolver(kind string) (matrix.SolverConfig, error) {
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	if kind == "" {
+		return s.solver, nil
+	}
+	sc := s.solver
+	sc.Kind = kind
+	if _, err := sc.Build(); err != nil {
+		return sc, fmt.Errorf("solver %q: one of %s required", kind, strings.Join(matrix.SolverKinds(), ", "))
+	}
+	return sc, nil
 }
 
 // canonicalCellKey is the canonical cache/singleflight key of one cell
@@ -288,7 +317,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sojourns %d exceeds the server limit %d", sojourns, s.maxSojourns))
 		return
 	}
-	key := canonicalCellKey(p, dist, sojourns, s.solver)
+	solver, err := s.requestSolver(req.Solver)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	key := canonicalCellKey(p, dist, sojourns, solver)
 	if cached, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		resp := cached.(AnalyzeResponse)
@@ -301,7 +335,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluations.Add(1)
-		m, err := core.NewWithSolver(p, s.solver, core.WithBuildPool(s.pool))
+		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(s.pool))
 		if err != nil {
 			return nil, err
 		}
@@ -309,10 +343,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.solve(a.Solver)
 		resp := AnalyzeResponse{
 			Params:   paramsDTO(p, dist, sojourns),
 			States:   m.Space().Size(),
-			Solver:   s.solver.Kind,
+			Solver:   solver.Kind,
 			Analysis: analysisDTO(a),
 		}
 		s.cache.Put(key, resp, analysisWeight(sojourns))
@@ -344,7 +379,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	key := canonicalPlanKey(plan, s.solver)
+	solver, err := s.requestSolver(req.Solver)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	key := canonicalPlanKey(plan, solver)
 	if cached, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		resp := cached.(SweepResponse)
@@ -359,20 +399,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.metrics.evaluations.Add(1)
 		// The evaluation is shared: singleflight followers and the LRU
 		// cache consume its result, so it must not die with the leader
-		// request's connection — run it on a background context.
+		// request's connection — run it on a background context. Warm
+		// starting is always on: serving-grid lanes chain neighboring
+		// cells' solves, and the results stay worker-count independent.
 		rs, err := sweep.Evaluate(context.Background(), plan, sweep.Options{
 			Pool:      s.pool,
 			BuildPool: s.pool,
-			Solver:    s.solver,
+			Solver:    solver,
+			WarmStart: true,
 		})
 		if err != nil {
 			return nil, err
 		}
 		resp := SweepResponse{
-			Cells:     make([]SweepCellDTO, len(rs.Cells)),
-			Groups:    rs.Groups,
-			Evaluated: rs.Evaluated,
-			Solver:    s.solver.Kind,
+			Cells:      make([]SweepCellDTO, len(rs.Cells)),
+			Groups:     rs.Groups,
+			Evaluated:  rs.Evaluated,
+			Iterations: rs.Iterations,
+			Solver:     solver.Kind,
 		}
 		for i, cell := range rs.Cells {
 			resp.Cells[i] = SweepCellDTO{
@@ -382,7 +426,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Transient:  cell.Transient,
 				Rule1Fires: cell.Rule1Fires,
 				Shared:     cell.Shared,
+				Iterations: cell.Iterations,
 				Analysis:   analysisDTO(cell.Analysis),
+			}
+			if !cell.Shared {
+				s.metrics.solve(cell.Analysis.Solver)
 			}
 		}
 		s.cache.Put(key, resp, int64(len(rs.Cells))*analysisWeight(plan.Sojourns))

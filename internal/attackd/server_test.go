@@ -160,6 +160,85 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestPerRequestSolverOverride: a request may pick its own backend; the
+// override is part of the cache identity, unknown kinds are client
+// errors, and sweep responses surface iteration counts.
+func TestPerRequestSolverOverride(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := paperCell()
+	req.Solver = "ilu"
+	code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req)
+	if code != http.StatusOK || got.Solver != "ilu" {
+		t.Fatalf("status=%d solver=%q, want 200/ilu", code, got.Solver)
+	}
+	// The dense backend must agree (the override actually routed).
+	dreq := paperCell()
+	dreq.Solver = "dense"
+	code, dense := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", dreq)
+	if code != http.StatusOK || dense.Solver != "dense" || dense.Cached {
+		t.Fatalf("dense override: status=%d solver=%q cached=%v", code, dense.Solver, dense.Cached)
+	}
+	if math.Abs(got.Analysis.ExpectedSafeTime-dense.Analysis.ExpectedSafeTime) > 1e-9 {
+		t.Errorf("ilu E(T_S)=%v, dense=%v", got.Analysis.ExpectedSafeTime, dense.Analysis.ExpectedSafeTime)
+	}
+	// Overridden and default requests must not share cache entries.
+	code, def := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", paperCell())
+	if code != http.StatusOK || def.Cached {
+		t.Errorf("default solver after overrides: status=%d cached=%v, want a fresh evaluation", code, def.Cached)
+	}
+	// Unknown kinds are a 400 naming the valid ones.
+	breq := paperCell()
+	breq.Solver = "cholesky"
+	code, eresp := postJSON[errorResponse](t, ts.URL+"/v1/analyze", breq)
+	if code != http.StatusBadRequest || !strings.Contains(eresp.Error, "ilu") {
+		t.Errorf("bogus solver: status=%d error=%q, want 400 listing backends", code, eresp.Error)
+	}
+	sreq := SweepRequest{C: "7", Delta: "7", K: "1", Mu: "0.2", D: "0.5,0.9", Nu: "0.1", Solver: "ilu"}
+	code, sgot := postJSON[SweepResponse](t, ts.URL+"/v1/sweep", sreq)
+	if code != http.StatusOK || sgot.Solver != "ilu" {
+		t.Fatalf("sweep override: status=%d solver=%q", code, sgot.Solver)
+	}
+	if sgot.Iterations <= 0 {
+		t.Errorf("sweep iterations = %d, want > 0 on an iterative backend", sgot.Iterations)
+	}
+	sreq.Solver = "cholesky"
+	code, _ = postJSON[errorResponse](t, ts.URL+"/v1/sweep", sreq)
+	if code != http.StatusBadRequest {
+		t.Errorf("bogus sweep solver: status=%d, want 400", code)
+	}
+}
+
+// TestSolverMetricsAndFallbacks: /metrics must expose cumulative solver
+// iterations, and an auto backend hobbled by a one-iteration cap must
+// surface its sticky dense fallback under reason="iteration_cap".
+func TestSolverMetricsAndFallbacks(t *testing.T) {
+	ts := newTestServer(t, Config{Solver: matrix.SolverConfig{Kind: "auto", MaxIter: 1}})
+	code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", paperCell())
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if got.Solver != "auto" {
+		t.Errorf("solver = %q, want auto", got.Solver)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	var fallbacks int64
+	for _, line := range strings.Split(text, "\n") {
+		fmt.Sscanf(line, `attackd_solver_fallbacks_total{reason="iteration_cap"} %d`, &fallbacks)
+	}
+	if fallbacks == 0 {
+		t.Errorf("iteration_cap fallbacks = 0, want > 0 in:\n%s", text)
+	}
+	if !strings.Contains(text, "attackd_solver_iterations_total") {
+		t.Errorf("metrics missing attackd_solver_iterations_total:\n%s", text)
+	}
+}
+
 func TestHealthzAndMetrics(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")

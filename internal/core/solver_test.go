@@ -57,6 +57,8 @@ func TestSolverEquivalenceOnPaperGrid(t *testing.T) {
 	sparse := []matrix.SolverConfig{
 		{Kind: "bicgstab", Tol: 1e-13},
 		{Kind: "gs", Tol: 1e-13},
+		{Kind: "ilu", Tol: 1e-13},
+		{Kind: "auto", Tol: 1e-13},
 	}
 	for _, k := range []int{1, 2, 7} {
 		for _, mu := range []float64{0.1, 0.2, 0.3} {

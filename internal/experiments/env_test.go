@@ -17,22 +17,23 @@ import (
 var envScenarioContract = map[string]struct {
 	usesSolver bool
 }{
-	"fig1":    {usesSolver: false}, // census only, nothing to solve
-	"fig2":    {usesSolver: false}, // builds matrices, never factors them
-	"fig3":    {usesSolver: true},
-	"table1":  {usesSolver: true},
-	"table2":  {usesSolver: true},
-	"fig4":    {usesSolver: true},
-	"fig5":    {usesSolver: true},
-	"ablk":    {usesSolver: true},
-	"ablnu":   {usesSolver: true},
-	"mc":      {usesSolver: true},
-	"sys":     {usesSolver: false}, // agent-based simulation, no closed forms
-	"lookup":  {usesSolver: false}, // DES lookup trials, no closed forms
-	"nusweep": {usesSolver: true},
-	"stress9": {usesSolver: true},
-	"large":   {usesSolver: true},
-	"huge":    {usesSolver: true},
+	"fig1":     {usesSolver: false}, // census only, nothing to solve
+	"fig2":     {usesSolver: false}, // builds matrices, never factors them
+	"fig3":     {usesSolver: true},
+	"table1":   {usesSolver: true},
+	"table2":   {usesSolver: true},
+	"fig4":     {usesSolver: true},
+	"fig5":     {usesSolver: true},
+	"ablk":     {usesSolver: true},
+	"ablnu":    {usesSolver: true},
+	"mc":       {usesSolver: true},
+	"sys":      {usesSolver: false}, // agent-based simulation, no closed forms
+	"lookup":   {usesSolver: false}, // DES lookup trials, no closed forms
+	"nusweep":  {usesSolver: true},
+	"stress9":  {usesSolver: true},
+	"large":    {usesSolver: true},
+	"huge":     {usesSolver: true},
+	"colossal": {usesSolver: true},
 }
 
 // TestRegistryCoveredByEnvContract keeps the table in lockstep with the

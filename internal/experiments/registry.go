@@ -224,4 +224,23 @@ func init() {
 			return tableArtifacts("sweep_huge", t, err)
 		},
 	})
+	Register(Scenario{
+		Key:  "colossal",
+		Desc: "Sweep S5: colossal-cluster preconditioned analytics (C=∆ up to 100)",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultColossalClusterConfig()
+			// The scenario's own default is the auto backend (its point is
+			// the mixing probe engaging ILU(0)); an explicit -solver still
+			// overrides it like everywhere else.
+			if env.Solver.Kind != "" {
+				cfg.Solver = env.Solver
+			}
+			cfg.BuildPool = env.buildPool()
+			if env.Quick {
+				cfg.Sizes = []int{75}
+			}
+			t, err := LargeCluster(ctx, env.Pool, cfg)
+			return tableArtifacts("sweep_colossal", t, err)
+		},
+	})
 }

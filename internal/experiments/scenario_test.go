@@ -13,7 +13,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "table1", "table2", "fig4", "fig5",
 		"ablk", "ablnu", "mc", "sys", "lookup", "nusweep", "stress9",
-		"large", "huge",
+		"large", "huge", "colossal",
 	}
 	keys := Keys()
 	if len(keys) != len(want) {
@@ -230,6 +230,42 @@ func TestHugeClusterScenario(t *testing.T) {
 	}
 	if !strings.Contains(tb.Title, "S4") {
 		t.Errorf("title %q missing the S4 label", tb.Title)
+	}
+}
+
+// TestColossalClusterScenario runs the S5 frontier at its quick size
+// C=∆=75 (216524 transient states, d=90%): the auto backend's mixing
+// probe must engage the ILU(0)-preconditioned solver, and the table
+// must carry the backend and iteration columns.
+func TestColossalClusterScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("C=∆=75 colossal scenario skipped in -short mode")
+	}
+	cfg := DefaultColossalClusterConfig()
+	cfg.Sizes = []int{75}
+	cfg.BuildPool = engine.New(4)
+	tb, err := LargeCluster(context.Background(), engine.New(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	if row[2] != "222376" {
+		t.Errorf("|Ω| = %q, want 222376", row[2])
+	}
+	if row[3] != "216524" {
+		t.Errorf("transient = %q, want 216524", row[3])
+	}
+	if row[8] != "ilu" {
+		t.Errorf("backend = %q, want ilu (the mixing probe must flag d=0.9 as slow)", row[8])
+	}
+	if row[9] == "0" || row[9] == "" {
+		t.Errorf("iters = %q, want a positive count", row[9])
+	}
+	if !strings.Contains(tb.Title, "S5") {
+		t.Errorf("title %q missing the S5 label", tb.Title)
 	}
 }
 

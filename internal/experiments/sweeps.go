@@ -202,6 +202,23 @@ func DefaultHugeClusterConfig() LargeClusterConfig {
 	}
 }
 
+// DefaultColossalClusterConfig is the S5 frontier: C = ∆ ∈ {75, 100},
+// up to |Ω| = 520251 states (509949 transient) per cell, at the high
+// survival probability d = 90% where the transient blocks mix slowly.
+// The auto backend's mixing probe detects that regime and swaps the
+// fixed two-sweep Gauss-Seidel preconditioner for ILU(0) — the step
+// that makes this scale routine instead of iteration-bound.
+func DefaultColossalClusterConfig() LargeClusterConfig {
+	return LargeClusterConfig{
+		Sizes:  []int{75, 100},
+		Ks:     []int{1},
+		Mu:     0.2,
+		D:      0.9,
+		Solver: matrix.SolverConfig{Kind: "auto"},
+		Label:  "S5 — colossal-cluster preconditioned analytics",
+	}
+}
+
 // LargeCluster evaluates the closed forms on state spaces far beyond the
 // paper's printed figures — thousands of transient states — which only
 // the sparse solver path makes affordable: per cell it reports |Ω|, the
@@ -224,7 +241,7 @@ func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig
 	t := &Table{
 		Title: fmt.Sprintf("Sweep %s (µ=%g%%, d=%g%%, α=δ, solver=%s)",
 			label, cfg.Mu*100, cfg.D*100, solver.Kind),
-		Columns: []string{"C=∆", "protocol", "|Ω|", "transient", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)"},
+		Columns: []string{"C=∆", "protocol", "|Ω|", "transient", "E(T_S)", "E(T_P)", "P(ever polluted)", "p(polluted-merge)", "backend", "iters"},
 		Note:    "state spaces an order of magnitude past the printed figures; infeasible on the dense LU path, routine on CSR + iterative solves",
 	}
 	// One single-geometry plan per size; the independent per-size
@@ -256,6 +273,8 @@ func LargeCluster(ctx context.Context, pool *engine.Pool, cfg LargeClusterConfig
 				fmtFloat(cell.Analysis.ExpectedPollutedTime),
 				fmtFloat(cell.Analysis.PollutionProbability),
 				fmtFloat(cell.Analysis.Absorption[core.ClassNamePollutedMerge]),
+				cell.Analysis.Solver.Backend,
+				fmt.Sprintf("%d", cell.Analysis.Solver.Iterations),
 			); err != nil {
 				return nil, err
 			}

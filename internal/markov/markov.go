@@ -52,6 +52,93 @@ type Chain struct {
 	// vector y = α_T (I−T)⁻¹, filled on first use.
 	fa, fb, ft matrix.Factorization
 	visitsVec  []float64
+	// ws seeds iterative solves from a neighboring chain's recorded
+	// solutions; rec accumulates this chain's own converged vectors.
+	ws  *WarmStart
+	rec WarmStart
+}
+
+// WarmStart carries the converged solution vectors of one chain's
+// analysis so a neighboring chain — the next cell of a parameter sweep,
+// whose blocks differ only by smoothly varying branch weights — can seed
+// its iterative solves with them. Vectors are keyed by the relation that
+// produced them; any entry may be nil (that solve starts cold). Seeding
+// is best-effort: a vector whose length does not match the consuming
+// chain's blocks is ignored. The vectors are read-only — the producing
+// and the consuming chain may hold references to the same slices.
+type WarmStart struct {
+	// Visits seeds the shared left solve α_T(I−T)⁻¹ of relations (5),
+	// (6) and (9); length |A|+|B|.
+	Visits []float64
+	// EntryA seeds the αB(I−M_B)⁻¹ left solve inside the subset-A entry
+	// vector of relation (5) (length |B|); EntryB seeds the mirrored
+	// solve of the subset-B entry vector (length |A|).
+	EntryA, EntryB []float64
+	// UA and UB seed the column solves (I−M_A)⁻¹1 and (I−M_B)⁻¹1 of
+	// relations (7)/(8).
+	UA, UB []float64
+	// SojournPrologue seeds the B recursion's first half-step of
+	// SuccessiveSojournsBoth.
+	SojournPrologue []float64
+	// StepsA[i] and StepsB[i] seed the batched left solves of sojourn
+	// recursion step i+1 against I−M_A and I−M_B respectively.
+	StepsA, StepsB [][][]float64
+	// Clean seeds the (I−M_A)⁻¹ solve of AbsorbedWithinA; length |A|.
+	Clean []float64
+}
+
+// SeedWarmStart installs ws as the source of initial guesses for the
+// chain's iterative solves; call it before any analysis method. A nil
+// ws (or nil entries) leaves the corresponding solves cold. Warm-started
+// solves satisfy the same residual tolerance as cold ones, so results
+// agree with the cold path to solver tolerance — they are not
+// bit-identical. The dense backend ignores seeds entirely.
+func (c *Chain) SeedWarmStart(ws *WarmStart) { c.ws = ws }
+
+// RecordedWarmStart returns the solution vectors recorded by the
+// analysis methods run so far, for seeding a neighboring chain.
+func (c *Chain) RecordedWarmStart() *WarmStart {
+	rec := c.rec
+	return &rec
+}
+
+// SolveStats aggregates the linear-solver work of every factorization
+// the chain has built so far.
+func (c *Chain) SolveStats() matrix.SolveStats {
+	var st matrix.SolveStats
+	for _, f := range []matrix.Factorization{c.ft, c.fa, c.fb} {
+		if f != nil {
+			st = st.Plus(f.Stats())
+		}
+	}
+	if st.Backend == "" {
+		st.Backend = c.solver.Name()
+	}
+	return st
+}
+
+// fit returns seed if it has length n, else nil: chain-level warm
+// starting is best-effort and must never turn a solvable analysis into
+// an error.
+func fit(seed []float64, n int) []float64 {
+	if len(seed) == n {
+		return seed
+	}
+	return nil
+}
+
+// fitBatch returns the recorded step-i batch (1-based loop index) if its
+// shape matches the pending batch of n-vectors, else nil.
+func fitBatch(steps [][][]float64, i, want, n int) [][]float64 {
+	if i-1 >= len(steps) || len(steps[i-1]) != want {
+		return nil
+	}
+	for _, s := range steps[i-1] {
+		if len(s) != n {
+			return nil
+		}
+	}
+	return steps[i-1]
 }
 
 // Spec describes how to carve a Chain out of a full transition matrix.
@@ -230,31 +317,38 @@ func (c *Chain) visits() ([]float64, error) {
 	alphaT := make([]float64, 0, c.nA+c.nB)
 	alphaT = append(alphaT, c.alphaA...)
 	alphaT = append(alphaT, c.alphaB...)
-	y, err := ft.SolveVecLeft(alphaT)
+	var seed []float64
+	if c.ws != nil {
+		seed = fit(c.ws.Visits, c.nA+c.nB)
+	}
+	y, err := ft.SolveVecLeftFrom(alphaT, seed)
 	if err != nil {
 		return nil, fmt.Errorf("markov: solving α_T(I−T)⁻¹: %w", err)
 	}
 	c.visitsVec = y
+	c.rec.Visits = y
 	return y, nil
 }
 
 // entryVector computes the paper's v (relation (5)) for subset A:
 // v = αA + αB (I − M_B)⁻¹ M_{BA}, the distribution of the state in A at
 // the instant the chain first visits A (counting a start in A). fb must
-// factor I − M_B.
-func entryVector(alphaA, alphaB []float64, fb matrix.Factorization, mba *matrix.CSR) ([]float64, error) {
+// factor I − M_B. x0 optionally warm-starts the inner left solve, whose
+// solution is returned alongside v for recording.
+func entryVector(alphaA, alphaB []float64, fb matrix.Factorization, mba *matrix.CSR, x0 []float64) (v, u []float64, err error) {
 	if len(alphaB) == 0 {
-		return append([]float64(nil), alphaA...), nil
+		return append([]float64(nil), alphaA...), nil, nil
 	}
-	u, err := fb.SolveVecLeft(alphaB)
+	u, err = fb.SolveVecLeftFrom(alphaB, fit(x0, len(alphaB)))
 	if err != nil {
-		return nil, fmt.Errorf("markov: solving αB(I−M_B)⁻¹: %w", err)
+		return nil, nil, fmt.Errorf("markov: solving αB(I−M_B)⁻¹: %w", err)
 	}
 	um, err := mba.VecMul(u)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return matrix.VecAdd(alphaA, um)
+	v, err = matrix.VecAdd(alphaA, um)
+	return v, u, err
 }
 
 // ExpectedTotalTimeInA returns E(T_A), the expected number of transitions
@@ -330,7 +424,7 @@ func (c *Chain) successiveSojourns(n int, swapped bool) ([]float64, error) {
 			return nil, err
 		}
 	}
-	v, err := entryVector(alphaA, alphaB, fb, mba)
+	v, _, err := entryVector(alphaA, alphaB, fb, mba, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -407,22 +501,33 @@ func (c *Chain) SuccessiveSojournsBoth(n int) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	vA, err := entryVector(c.alphaA, c.alphaB, fb, c.mba)
+	// Seed every solve from the neighboring chain's recorded solutions
+	// (ws == nil or a nil entry means a cold start), and record this
+	// chain's own solutions for the next neighbor.
+	ws := c.ws
+	if ws == nil {
+		ws = &WarmStart{}
+	}
+	vA, entryA, err := entryVector(c.alphaA, c.alphaB, fb, c.mba, ws.EntryA)
 	if err != nil {
 		return nil, nil, err
 	}
-	vB, err := entryVector(c.alphaB, c.alphaA, fa, c.mab)
+	c.rec.EntryA = entryA
+	vB, entryB, err := entryVector(c.alphaB, c.alphaA, fa, c.mab, ws.EntryB)
 	if err != nil {
 		return nil, nil, err
 	}
-	uA, err := fa.SolveVec(matrix.Ones(c.nA))
+	c.rec.EntryB = entryB
+	uA, err := fa.SolveVecFrom(matrix.Ones(c.nA), fit(ws.UA, c.nA))
 	if err != nil {
 		return nil, nil, err
 	}
-	uB, err := fb.SolveVec(matrix.Ones(c.nB))
+	c.rec.UA = uA
+	uB, err := fb.SolveVecFrom(matrix.Ones(c.nB), fit(ws.UB, c.nB))
 	if err != nil {
 		return nil, nil, err
 	}
+	c.rec.UB = uB
 	outA := make([]float64, n)
 	outB := make([]float64, n)
 	rA, rB := vA, vB
@@ -438,21 +543,25 @@ func (c *Chain) SuccessiveSojournsBoth(n int) ([]float64, []float64, error) {
 	// Pipeline prologue: the B recursion's first half-step (its fb solve)
 	// runs once on its own; from then on every fb solve of the B
 	// recursion rides in the same batch as the A recursion's.
-	sB, err := fb.SolveVecLeft(rB)
+	sB, err := fb.SolveVecLeftFrom(rB, fit(ws.SojournPrologue, c.nB))
 	if err != nil {
 		return nil, nil, err
 	}
+	c.rec.SojournPrologue = sB
 	pB, err := c.mba.VecMul(sB)
 	if err != nil {
 		return nil, nil, err
 	}
+	c.rec.StepsA = make([][][]float64, 0, n-1)
+	c.rec.StepsB = make([][][]float64, 0, n-1)
 	for i := 1; i < n; i++ {
 		// One batched solve against I−M_A: rA's step and the B
 		// recursion's second half-step.
-		xs, err := fa.SolveMatLeft([][]float64{rA, pB})
+		xs, err := fa.SolveMatLeftFrom([][]float64{rA, pB}, fitBatch(ws.StepsA, i, 2, c.nA))
 		if err != nil {
 			return nil, nil, err
 		}
+		c.rec.StepsA = append(c.rec.StepsA, xs)
 		qA, err := c.mab.VecMul(xs[0])
 		if err != nil {
 			return nil, nil, err
@@ -469,10 +578,11 @@ func (c *Chain) SuccessiveSojournsBoth(n int) ([]float64, []float64, error) {
 		if i+1 < n {
 			rhs = append(rhs, rB)
 		}
-		ys, err := fb.SolveMatLeft(rhs)
+		ys, err := fb.SolveMatLeftFrom(rhs, fitBatch(ws.StepsB, i, len(rhs), c.nB))
 		if err != nil {
 			return nil, nil, err
 		}
+		c.rec.StepsB = append(c.rec.StepsB, ys)
 		if rA, err = c.mba.VecMul(ys[0]); err != nil {
 			return nil, nil, err
 		}
@@ -525,7 +635,7 @@ func (c *Chain) HitProbabilityA() (float64, error) {
 			return 0, err
 		}
 	}
-	v, err := entryVector(c.alphaA, c.alphaB, fb, c.mba)
+	v, _, err := entryVector(c.alphaA, c.alphaB, fb, c.mba, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -544,7 +654,7 @@ func (c *Chain) HitProbabilityB() (float64, error) {
 			return 0, err
 		}
 	}
-	w, err := entryVector(c.alphaB, c.alphaA, fa, c.mab)
+	w, _, err := entryVector(c.alphaB, c.alphaA, fa, c.mab, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -575,10 +685,15 @@ func (c *Chain) AbsorbedWithinA(classes ...string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	z, err := fa.SolveVec(rhs)
+	var seed []float64
+	if c.ws != nil {
+		seed = fit(c.ws.Clean, c.nA)
+	}
+	z, err := fa.SolveVecFrom(rhs, seed)
 	if err != nil {
 		return 0, fmt.Errorf("markov: solving (I−M_A)⁻¹: %w", err)
 	}
+	c.rec.Clean = z
 	return matrix.Dot(c.alphaA, z)
 }
 

@@ -15,18 +15,26 @@ import (
 // systems (I−M)x = b and left (row-vector) systems x(I−M) = b, so a
 // single prepared block serves several relations.
 //
-// Two families are provided:
+// Three families are provided:
 //
 //   - DenseSolver: the exact LU path. It densifies I − M and factors it
 //     with partial pivoting — O(n³) but backward stable; the fallback and
 //     cross-check reference.
-//   - Iterative solvers (GaussSeidelSolver, BiCGSTABSolver): sparse
-//     residual-controlled iterations that never materialize a dense
-//     matrix, making state spaces with thousands of transient states
-//     affordable.
+//   - Iterative solvers (GaussSeidelSolver, BiCGSTABSolver, ILUSolver):
+//     sparse residual-controlled iterations that never materialize a
+//     dense matrix, making state spaces with hundreds of thousands of
+//     transient states affordable. BiCGSTAB preconditions with fixed
+//     Gauss–Seidel sweeps; ILUSolver preconditions the same Krylov
+//     iteration with an ILU(0) factorization, which keeps the iteration
+//     count flat as the chain's mixing slows (d → 1).
+//   - AutoSolver composes them: probe the block's mixing speed, iterate
+//     sparsely with the matching preconditioner, densify only if the
+//     iteration fails to converge.
 //
-// AutoSolver composes them: iterate sparsely, densify only if the
-// iteration fails to converge.
+// Iterative factorizations accept a warm start (SolveVecFrom and
+// friends): an initial guess x0 from a nearby system — the previous cell
+// of a parameter sweep, the previous step of a sojourn recursion — cuts
+// the iteration count without changing the convergence criterion.
 
 // ErrNoConvergence is returned when an iterative solve fails to reach its
 // residual tolerance within its iteration budget.
@@ -44,6 +52,92 @@ const (
 	DefaultBiCGSTABMaxIter = 100_000
 )
 
+// ConvergenceError is the detailed failure of an iterative solve. It
+// wraps ErrNoConvergence (errors.Is works) and carries the diagnostics
+// the auto backend's fallback accounting reports: how much budget was
+// burned and whether the iteration suffered numerical breakdowns (the
+// two point at different remedies — a bigger budget / better
+// preconditioner versus a fundamentally ill-suited Krylov method).
+type ConvergenceError struct {
+	// Method names the iteration ("bicgstab", "gauss-seidel", "ilu").
+	Method string
+	// Iterations is the number of iterations performed before giving up.
+	Iterations int
+	// Breakdowns counts near-breakdown restarts (vanishing ρ or ω) the
+	// iteration hit; 0 means the budget simply ran out.
+	Breakdowns int
+	// N and Tol describe the attempted system.
+	N   int
+	Tol float64
+}
+
+func (e *ConvergenceError) Error() string {
+	msg := fmt.Sprintf("%v: %s after %d iterations (n=%d, tol=%g)",
+		ErrNoConvergence, e.Method, e.Iterations, e.N, e.Tol)
+	if e.Breakdowns > 0 {
+		msg += fmt.Sprintf(", %d breakdown restarts", e.Breakdowns)
+	}
+	return msg
+}
+
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// FallbackReason classifies why the auto backend abandoned the sparse
+// path for a block.
+type FallbackReason string
+
+const (
+	// FallbackNone: the sparse path never failed.
+	FallbackNone FallbackReason = ""
+	// FallbackIterationCap: the iteration ran out of budget.
+	FallbackIterationCap FallbackReason = "iteration_cap"
+	// FallbackBreakdown: the iteration hit numerical breakdowns before
+	// running out of budget.
+	FallbackBreakdown FallbackReason = "breakdown"
+)
+
+// classifyFallback maps an iterative-solve error to its FallbackReason.
+func classifyFallback(err error) FallbackReason {
+	var ce *ConvergenceError
+	if errors.As(err, &ce) && ce.Breakdowns > 0 {
+		return FallbackBreakdown
+	}
+	return FallbackIterationCap
+}
+
+// SolveStats summarizes the work a Factorization has performed so far.
+// Counters are cumulative across all solves on the factorization; like
+// the Factorization itself they are not safe for concurrent use.
+type SolveStats struct {
+	// Backend names the backend that served the solves ("dense",
+	// "bicgstab", "ilu", ...). For the auto backend it names the chosen
+	// sparse backend even after a fallback (Fallbacks tells the rest).
+	Backend string
+	// Iterations is the cumulative iterative work: Krylov iterations for
+	// BiCGSTAB/ILU, sweeps for Gauss–Seidel, 0 for dense.
+	Iterations int64
+	// Fallbacks counts solves answered by the auto backend's dense
+	// fallback instead of the sparse path.
+	Fallbacks int64
+	// FallbackReason records why the block first fell back.
+	FallbackReason FallbackReason
+}
+
+// Plus merges two stats (summing counters, keeping the first non-empty
+// backend and reason), for aggregation across a chain's factorizations.
+func (s SolveStats) Plus(o SolveStats) SolveStats {
+	out := s
+	out.Iterations += o.Iterations
+	out.Fallbacks += o.Fallbacks
+	if out.Backend == "" {
+		out.Backend = o.Backend
+	}
+	if out.FallbackReason == FallbackNone {
+		out.FallbackReason = o.FallbackReason
+	}
+	return out
+}
+
 // Factorization is a prepared solving context for A = I − M.
 // Implementations are not safe for concurrent use.
 type Factorization interface {
@@ -54,6 +148,13 @@ type Factorization interface {
 	// SolveVecLeft solves the row-vector system x (I − M) = b,
 	// i.e. (I − M)ᵀ xᵀ = bᵀ.
 	SolveVecLeft(b []float64) ([]float64, error)
+	// SolveVecFrom is SolveVec warm-started from the initial guess x0
+	// (same convergence criterion, fewer iterations when x0 is close).
+	// A nil x0 is the cold start; a non-nil x0 must have length Order().
+	// The dense backend ignores the guess. x0 is read, never written.
+	SolveVecFrom(b, x0 []float64) ([]float64, error)
+	// SolveVecLeftFrom is SolveVecLeft warm-started from x0.
+	SolveVecLeftFrom(b, x0 []float64) ([]float64, error)
 	// SolveMat solves (I − M) X = B for a batch of right-hand sides
 	// (bs[i] is one RHS vector): one prepared-block pass answers every
 	// column, so callers with several systems against the same block
@@ -65,6 +166,14 @@ type Factorization interface {
 	// x_i (I − M) = bs[i] for every i, sharing the per-block setup (LU
 	// factors, lazily built sparse transpose) across the batch.
 	SolveMatLeft(bs [][]float64) ([][]float64, error)
+	// SolveMatFrom is SolveMat with one warm-start guess per column;
+	// x0s may be nil (all cold), else len(x0s) must equal len(bs) and
+	// individual entries may be nil.
+	SolveMatFrom(bs, x0s [][]float64) ([][]float64, error)
+	// SolveMatLeftFrom is the batched, warm-started left solve.
+	SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error)
+	// Stats reports the cumulative work of all solves so far.
+	Stats() SolveStats
 }
 
 // Solver prepares factorizations of I − M for square substochastic CSR
@@ -76,21 +185,41 @@ type Solver interface {
 	Factor(m *CSR) (Factorization, error)
 }
 
-// solveBatch answers a batch of systems through one per-vector solve
+// checkGuess validates a warm-start guess against the system order.
+func checkGuess(x0 []float64, n int) error {
+	if x0 != nil && len(x0) != n {
+		return fmt.Errorf("matrix: warm-start guess length %d does not match order %d", len(x0), n)
+	}
+	return nil
+}
+
+// solveBatchFrom answers a batch of systems through one per-vector solve
 // function, after the caller has paid any shared setup (LU factors,
 // transpose) once. Each column gets exactly the arithmetic of the
 // corresponding vector call, so batched and looped solves agree
 // bit-for-bit.
-func solveBatch(bs [][]float64, solve func(b []float64) ([]float64, error)) ([][]float64, error) {
+func solveBatchFrom(bs, x0s [][]float64, solve func(b, x0 []float64) ([]float64, error)) ([][]float64, error) {
+	if x0s != nil && len(x0s) != len(bs) {
+		return nil, fmt.Errorf("matrix: batched warm start has %d guesses for %d right-hand sides", len(x0s), len(bs))
+	}
 	out := make([][]float64, len(bs))
 	for i, b := range bs {
-		x, err := solve(b)
+		var x0 []float64
+		if x0s != nil {
+			x0 = x0s[i]
+		}
+		x, err := solve(b, x0)
 		if err != nil {
 			return nil, fmt.Errorf("matrix: batched solve, rhs %d of %d: %w", i, len(bs), err)
 		}
 		out[i] = x
 	}
 	return out, nil
+}
+
+// solveBatch is solveBatchFrom with every column cold.
+func solveBatch(bs [][]float64, solve func(b []float64) ([]float64, error)) ([][]float64, error) {
+	return solveBatchFrom(bs, nil, func(b, _ []float64) ([]float64, error) { return solve(b) })
 }
 
 // ---------------------------------------------------------------------------
@@ -155,6 +284,22 @@ func (f *denseFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 	return lu.SolveVecTransposed(b)
 }
 
+// SolveVecFrom validates and then discards the guess: direct solves have
+// no iteration to shorten.
+func (f *denseFactorization) SolveVecFrom(b, x0 []float64) ([]float64, error) {
+	if err := checkGuess(x0, f.Order()); err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+func (f *denseFactorization) SolveVecLeftFrom(b, x0 []float64) ([]float64, error) {
+	if err := checkGuess(x0, f.Order()); err != nil {
+		return nil, err
+	}
+	return f.SolveVecLeft(b)
+}
+
 func (f *denseFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
 	lu, err := f.factor()
 	if err != nil {
@@ -170,6 +315,16 @@ func (f *denseFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
 	}
 	return solveBatch(bs, lu.SolveVecTransposed)
 }
+
+func (f *denseFactorization) SolveMatFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecFrom)
+}
+
+func (f *denseFactorization) SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecLeftFrom)
+}
+
+func (f *denseFactorization) Stats() SolveStats { return SolveStats{Backend: "dense"} }
 
 // ---------------------------------------------------------------------------
 // Gauss–Seidel backend.
@@ -215,19 +370,32 @@ type gsFactorization struct {
 	diag    []float64
 	tol     float64
 	maxIter int
+	iters   int64
 }
 
 func (f *gsFactorization) Order() int { return f.m.Rows() }
 
 func (f *gsFactorization) SolveVec(b []float64) ([]float64, error) {
-	return gaussSeidel(f.m, f.diag, b, f.tol, f.maxIter)
+	return f.SolveVecFrom(b, nil)
+}
+
+func (f *gsFactorization) SolveVecFrom(b, x0 []float64) ([]float64, error) {
+	x, sweeps, err := gaussSeidel(f.m, f.diag, b, x0, f.tol, f.maxIter)
+	f.iters += int64(sweeps)
+	return x, err
 }
 
 func (f *gsFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	return f.SolveVecLeftFrom(b, nil)
+}
+
+func (f *gsFactorization) SolveVecLeftFrom(b, x0 []float64) ([]float64, error) {
 	if f.mT == nil {
 		f.mT = f.m.Transpose()
 	}
-	return gaussSeidel(f.mT, f.diag, b, f.tol, f.maxIter)
+	x, sweeps, err := gaussSeidel(f.mT, f.diag, b, x0, f.tol, f.maxIter)
+	f.iters += int64(sweeps)
+	return x, err
 }
 
 func (f *gsFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
@@ -240,15 +408,42 @@ func (f *gsFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
 	return solveBatch(bs, f.SolveVecLeft)
 }
 
+func (f *gsFactorization) SolveMatFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecFrom)
+}
+
+func (f *gsFactorization) SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecLeftFrom)
+}
+
+func (f *gsFactorization) Stats() SolveStats {
+	return SolveStats{Backend: "gauss-seidel", Iterations: f.iters}
+}
+
 // gaussSeidel iterates x_i ← (b_i + Σ_{j≠i} M_ij x_j) / (1 − M_ii) until
 // the residual of (I−M)x = b satisfies ‖b − Ax‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞).
-// diag must be the diagonal of M (shared by M and Mᵀ).
-func gaussSeidel(m *CSR, diag []float64, b []float64, tol float64, maxIter int) ([]float64, error) {
+// diag must be the diagonal of M (shared by M and Mᵀ). A nil x0 starts
+// from b (the natural first iterate for A ≈ I); the sweep count is
+// returned alongside the solution for work accounting.
+func gaussSeidel(m *CSR, diag []float64, b, x0 []float64, tol float64, maxIter int) ([]float64, int, error) {
 	n := m.Rows()
 	if len(b) != n {
-		return nil, fmt.Errorf("matrix: SolveVec rhs length %d does not match order %d", len(b), n)
+		return nil, 0, fmt.Errorf("matrix: SolveVec rhs length %d does not match order %d", len(b), n)
 	}
-	x := append([]float64(nil), b...)
+	if err := checkGuess(x0, n); err != nil {
+		return nil, 0, err
+	}
+	var x []float64
+	if x0 != nil {
+		x = append([]float64(nil), x0...)
+		// A warm start may already satisfy the criterion (e.g. re-solving
+		// a system from its own solution); check before sweeping.
+		if res, scale := iMinusResidual(m, x, b); res <= tol*scale {
+			return x, 0, nil
+		}
+	} else {
+		x = append([]float64(nil), b...)
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		var maxDiff, maxX float64
 		for i := 0; i < n; i++ {
@@ -271,14 +466,14 @@ func gaussSeidel(m *CSR, diag []float64, b []float64, tol float64, maxIter int) 
 		// update norm underestimates the error for slowly mixing chains).
 		if maxDiff <= tol*(1+maxX) {
 			if res, scale := iMinusResidual(m, x, b); res <= tol*scale {
-				return x, nil
+				return x, iter + 1, nil
 			}
 		}
 	}
 	if res, scale := iMinusResidual(m, x, b); res <= tol*scale {
-		return x, nil
+		return x, maxIter, nil
 	}
-	return nil, fmt.Errorf("%w: gauss-seidel after %d sweeps (n=%d, tol=%g)", ErrNoConvergence, maxIter, n, tol)
+	return nil, maxIter, &ConvergenceError{Method: "gauss-seidel", Iterations: maxIter, N: n, Tol: tol}
 }
 
 // iMinusResidual returns ‖b − (I−M)x‖∞ and the convergence scale
@@ -310,14 +505,16 @@ func iMinusResidual(m *CSR, x, b []float64) (res, scale float64) {
 // BiCGSTABSolver solves (I−M)x = b with the biconjugate gradient
 // stabilized method of van der Vorst: a Krylov iteration for
 // non-symmetric systems that typically converges in far fewer matrix
-// passes than stationary sweeps. The iteration is right-preconditioned
-// with a fixed number of forward Gauss–Seidel sweeps (a linear operator,
-// since every sweep starts from zero): solve (I−M)P⁻¹y = b, then
-// x = P⁻¹y. GS sweeps are a natural preconditioner for these M-matrix
-// systems and flatten the heavy self-loops that slow convergence as
-// d → 1, while right preconditioning leaves the true residual unchanged.
-// Left systems run on the (sparse, lazily built) transpose; nothing is
-// ever densified.
+// passes than stationary sweeps. The iteration is preconditioned with a
+// fixed number of forward Gauss–Seidel sweeps (a linear operator, since
+// every sweep starts from zero) applied to the Krylov directions — the
+// standard right-preconditioned formulation, whose residual is the true
+// residual of the unpreconditioned system. GS sweeps are a natural
+// preconditioner for these M-matrix systems and flatten the heavy
+// self-loops that slow convergence as d → 1; for severely slow-mixing
+// blocks, ILUSolver swaps in a stronger ILU(0) preconditioner around the
+// same iteration. Left systems run on the (sparse, lazily built)
+// transpose; nothing is ever densified.
 type BiCGSTABSolver struct {
 	// Tol is the residual tolerance; 0 selects DefaultTol.
 	Tol float64
@@ -363,6 +560,7 @@ type bicgstabFactorization struct {
 	invDiag []float64 // 1/(1−M_ii), shared by M and Mᵀ
 	tol     float64
 	maxIter int
+	iters   int64
 }
 
 func (f *bicgstabFactorization) Order() int { return f.m.Rows() }
@@ -400,40 +598,46 @@ func gsSweepsInto(m *CSR, invDiag, r, z []float64) {
 // solve runs the preconditioned iteration on a, which is M for right
 // systems and Mᵀ for left ones (so both orientations see a plain
 // (I−a)x = b system).
-func (f *bicgstabFactorization) solve(b []float64, a *CSR) ([]float64, error) {
+func (f *bicgstabFactorization) solve(b, x0 []float64, a *CSR) ([]float64, error) {
 	n := a.Rows()
 	if len(b) != n {
 		return nil, fmt.Errorf("matrix: solve rhs length %d does not match order %d", len(b), n)
 	}
-	z := make([]float64, n)
-	tmp := make([]float64, n)
-	// op(y) = (I−a) P⁻¹ y; the residual b − op(y) equals the residual of
-	// the unpreconditioned system at x = P⁻¹y.
-	op := func(y, dst []float64) {
-		gsSweepsInto(a, f.invDiag, y, z)
-		_ = a.MulVecInto(z, tmp)
-		for i := range dst {
-			dst[i] = z[i] - tmp[i]
-		}
-	}
-	y, err := bicgstab(op, b, f.tol, f.maxIter)
-	if err != nil {
+	if err := checkGuess(x0, n); err != nil {
 		return nil, err
 	}
-	x := make([]float64, n)
-	gsSweepsInto(a, f.invDiag, y, x)
-	return x, nil
+	tmp := make([]float64, n)
+	matvec := func(x, dst []float64) {
+		_ = a.MulVecInto(x, tmp)
+		for i := range dst {
+			dst[i] = x[i] - tmp[i]
+		}
+	}
+	precond := func(r, z []float64) {
+		gsSweepsInto(a, f.invDiag, r, z)
+	}
+	x, iters, _, err := bicgstab(matvec, precond, b, x0, f.tol, f.maxIter)
+	f.iters += int64(iters)
+	return x, err
 }
 
 func (f *bicgstabFactorization) SolveVec(b []float64) ([]float64, error) {
-	return f.solve(b, f.m)
+	return f.solve(b, nil, f.m)
+}
+
+func (f *bicgstabFactorization) SolveVecFrom(b, x0 []float64) ([]float64, error) {
+	return f.solve(b, x0, f.m)
 }
 
 func (f *bicgstabFactorization) SolveVecLeft(b []float64) ([]float64, error) {
+	return f.SolveVecLeftFrom(b, nil)
+}
+
+func (f *bicgstabFactorization) SolveVecLeftFrom(b, x0 []float64) ([]float64, error) {
 	if f.mT == nil {
 		f.mT = f.m.Transpose()
 	}
-	return f.solve(b, f.mT)
+	return f.solve(b, x0, f.mT)
 }
 
 func (f *bicgstabFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
@@ -446,21 +650,45 @@ func (f *bicgstabFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error
 	return solveBatch(bs, f.SolveVecLeft)
 }
 
-// bicgstab runs the BiCGSTAB iteration for op(x) = b with a residual
-// stopping rule ‖b − op(x)‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞). Near-breakdowns
-// (vanishing ρ or ω) restart the iteration from the current iterate.
-func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) ([]float64, error) {
+func (f *bicgstabFactorization) SolveMatFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecFrom)
+}
+
+func (f *bicgstabFactorization) SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecLeftFrom)
+}
+
+func (f *bicgstabFactorization) Stats() SolveStats {
+	return SolveStats{Backend: "bicgstab", Iterations: f.iters}
+}
+
+// bicgstab runs the preconditioned BiCGSTAB iteration of van der Vorst
+// for matvec(x) = b with preconditioner applications z ≈ A⁻¹r supplied
+// by precond, warm-started from x0 (nil starts from b). The stopping
+// rule is the true residual ‖b − Ax‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞).
+// Near-breakdowns (vanishing ρ or ω) restart the iteration from the
+// current iterate; the iteration and breakdown counts are returned for
+// work accounting and fallback diagnostics.
+func bicgstab(matvec func(x, dst []float64), precond func(r, z []float64), b, x0 []float64, tol float64, maxIter int) ([]float64, int, int, error) {
 	n := len(b)
-	x := append([]float64(nil), b...)
+	var x []float64
+	if x0 != nil {
+		x = append([]float64(nil), x0...)
+	} else {
+		x = append([]float64(nil), b...)
+	}
 	r := make([]float64, n)
 	rhat := make([]float64, n)
 	v := make([]float64, n)
 	p := make([]float64, n)
+	phat := make([]float64, n)
 	s := make([]float64, n)
+	shat := make([]float64, n)
 	t := make([]float64, n)
 
+	breakdowns := 0
 	restart := func() float64 {
-		op(x, r)
+		matvec(x, r)
 		var norm float64
 		for i := range r {
 			r[i] = b[i] - r[i]
@@ -474,8 +702,8 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 		return norm
 	}
 	rho := restart()
-	if converged(op, x, b, t, tol) {
-		return x, nil
+	if converged(matvec, x, b, t, tol) {
+		return x, 0, 0, nil
 	}
 	var maxB float64
 	for i := range b {
@@ -484,13 +712,16 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 		}
 	}
 	const breakdown = 1e-280
-	for iter := 0; iter < maxIter; iter++ {
-		op(p, v)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		precond(p, phat)
+		matvec(phat, v)
 		var rhatV float64
 		for i := range v {
 			rhatV += rhat[i] * v[i]
 		}
 		if math.Abs(rhatV) < breakdown {
+			breakdowns++
 			rho = restart()
 			continue
 		}
@@ -498,7 +729,8 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 		for i := range s {
 			s[i] = r[i] - alpha*v[i]
 		}
-		op(s, t)
+		precond(s, shat)
+		matvec(shat, t)
 		var tt, ts float64
 		for i := range t {
 			tt += t[i] * t[i]
@@ -510,15 +742,16 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 		}
 		var maxX float64
 		for i := range x {
-			x[i] += alpha*p[i] + omega*s[i]
+			x[i] += alpha*phat[i] + omega*shat[i]
 			if a := math.Abs(x[i]); a > maxX {
 				maxX = a
 			}
 		}
 		if omega == 0 || math.Abs(omega) < breakdown {
-			if converged(op, x, b, t, tol) {
-				return x, nil
+			if converged(matvec, x, b, t, tol) {
+				return x, iters + 1, breakdowns, nil
 			}
+			breakdowns++
 			rho = restart()
 			continue
 		}
@@ -529,14 +762,15 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 			rNorm += r[i] * r[i]
 		}
 		// Cheap scale-aware 2-norm gate (‖r‖∞ ≤ ‖r‖₂) before paying one
-		// extra op for the true-residual ∞-norm check; the %16 backstop
-		// catches recursive-residual drift.
-		if target := tol * (maxB + maxX); rNorm <= target*target || iter%16 == 15 {
-			if converged(op, x, b, t, tol) {
-				return x, nil
+		// extra matvec for the true-residual ∞-norm check; the %16
+		// backstop catches recursive-residual drift.
+		if target := tol * (maxB + maxX); rNorm <= target*target || iters%16 == 15 {
+			if converged(matvec, x, b, t, tol) {
+				return x, iters + 1, breakdowns, nil
 			}
 		}
 		if math.Abs(rhoNext) < breakdown {
+			breakdowns++
 			rho = restart()
 			continue
 		}
@@ -546,10 +780,10 @@ func bicgstab(op func(x, dst []float64), b []float64, tol float64, maxIter int) 
 			p[i] = r[i] + beta*(p[i]-omega*v[i])
 		}
 	}
-	if converged(op, x, b, t, tol) {
-		return x, nil
+	if converged(matvec, x, b, t, tol) {
+		return x, iters, breakdowns, nil
 	}
-	return nil, fmt.Errorf("%w: bicgstab after %d iterations (n=%d, tol=%g)", ErrNoConvergence, maxIter, n, tol)
+	return nil, iters, breakdowns, &ConvergenceError{Method: "bicgstab", Iterations: iters, Breakdowns: breakdowns, N: n, Tol: tol}
 }
 
 // converged checks the true residual ‖b − op(x)‖∞ ≤ tol·(‖b‖∞ + ‖x‖∞),
@@ -574,12 +808,60 @@ func converged(op func(x, dst []float64), x, b, scratch []float64, tol float64) 
 // ---------------------------------------------------------------------------
 // Auto backend: sparse first, dense fallback.
 
+// Mixing-heuristic controls for AutoSolver's preconditioner choice.
+const (
+	// MixingProbeSteps is the number of power-iteration matvecs the
+	// heuristic spends estimating a block's spectral radius.
+	MixingProbeSteps = 16
+	// DefaultSlowMixThreshold is the estimated spectral radius above
+	// which a block counts as slow-mixing and gets the ILU(0)
+	// preconditioner instead of Gauss–Seidel sweeps.
+	DefaultSlowMixThreshold = 0.995
+)
+
+// MixingEstimate estimates the spectral radius of the substochastic
+// block M with `steps` power-iteration matvecs on the all-ones vector:
+// (Mᵏ1)_i is the probability of surviving k steps from state i, so the
+// k-th root of its maximum estimates the slowest decay rate — the
+// quantity that governs how hard (I−M)x = b is for weakly
+// preconditioned Krylov iterations. Cost: steps sparse matvecs.
+func MixingEstimate(m *CSR, steps int) float64 {
+	n := m.Rows()
+	if n == 0 || n != m.Cols() || steps <= 0 {
+		return 0
+	}
+	v := Ones(n)
+	w := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		_ = m.MulVecInto(v, w)
+		v, w = w, v
+	}
+	var max float64
+	for _, a := range v {
+		if a > max {
+			max = a
+		}
+	}
+	return math.Pow(max, 1/float64(steps))
+}
+
 // AutoSolver iterates sparsely and falls back to the dense LU path only
 // when the iteration fails to converge — robustness of the dense path at
-// sparse cost on the common path.
+// sparse cost on the common path. With no explicit Sparse backend it
+// probes each block's mixing speed (MixingEstimate) and picks the
+// preconditioner accordingly: Gauss–Seidel-preconditioned BiCGSTAB for
+// fast-mixing blocks, ILU(0)-preconditioned for slow-mixing ones.
 type AutoSolver struct {
-	// Sparse is the iterative backend; nil selects BiCGSTABSolver{}.
+	// Sparse is the iterative backend; nil selects the mixing heuristic
+	// between BiCGSTABSolver and ILUSolver per block.
 	Sparse Solver
+	// Tol and MaxIter parameterize the heuristically chosen backend;
+	// ignored when Sparse is set explicitly.
+	Tol     float64
+	MaxIter int
+	// SlowMixThreshold overrides DefaultSlowMixThreshold; 0 selects the
+	// default.
+	SlowMixThreshold float64
 }
 
 // Name implements Solver.
@@ -587,9 +869,20 @@ func (AutoSolver) Name() string { return "auto" }
 
 // Factor implements Solver.
 func (s AutoSolver) Factor(m *CSR) (Factorization, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", m.Rows(), m.Cols())
+	}
 	sparse := s.Sparse
 	if sparse == nil {
-		sparse = BiCGSTABSolver{}
+		threshold := s.SlowMixThreshold
+		if threshold <= 0 {
+			threshold = DefaultSlowMixThreshold
+		}
+		if MixingEstimate(m, MixingProbeSteps) >= threshold {
+			sparse = ILUSolver{Tol: s.Tol, MaxIter: s.MaxIter}
+		} else {
+			sparse = BiCGSTABSolver{Tol: s.Tol, MaxIter: s.MaxIter}
+		}
 	}
 	f, err := sparse.Factor(m)
 	if err != nil {
@@ -604,8 +897,12 @@ type autoFactorization struct {
 	dense  Factorization // built on first fallback
 	// fellBack remembers a non-convergence: once one solve on this block
 	// has failed to converge, later solves skip the doomed full-budget
-	// iteration and go straight to the dense factors.
-	fellBack bool
+	// iteration and go straight to the dense factors. reason records why
+	// the block fell back; fallbacks counts the solves the dense path
+	// answered.
+	fellBack  bool
+	reason    FallbackReason
+	fallbacks int64
 }
 
 func (f *autoFactorization) Order() int { return f.sparse.Order() }
@@ -622,23 +919,25 @@ func (f *autoFactorization) fallback() (Factorization, error) {
 	return f.dense, nil
 }
 
-func (f *autoFactorization) solve(b []float64, left bool) ([]float64, error) {
+func (f *autoFactorization) solve(b, x0 []float64, left bool) ([]float64, error) {
 	if !f.fellBack {
 		var x []float64
 		var err error
 		if left {
-			x, err = f.sparse.SolveVecLeft(b)
+			x, err = f.sparse.SolveVecLeftFrom(b, x0)
 		} else {
-			x, err = f.sparse.SolveVec(b)
+			x, err = f.sparse.SolveVecFrom(b, x0)
 		}
 		if !errors.Is(err, ErrNoConvergence) {
 			return x, err
 		}
+		f.reason = classifyFallback(err)
 	}
 	d, err := f.fallback()
 	if err != nil {
 		return nil, err
 	}
+	f.fallbacks++
 	if left {
 		return d.SolveVecLeft(b)
 	}
@@ -646,11 +945,19 @@ func (f *autoFactorization) solve(b []float64, left bool) ([]float64, error) {
 }
 
 func (f *autoFactorization) SolveVec(b []float64) ([]float64, error) {
-	return f.solve(b, false)
+	return f.solve(b, nil, false)
 }
 
 func (f *autoFactorization) SolveVecLeft(b []float64) ([]float64, error) {
-	return f.solve(b, true)
+	return f.solve(b, nil, true)
+}
+
+func (f *autoFactorization) SolveVecFrom(b, x0 []float64) ([]float64, error) {
+	return f.solve(b, x0, false)
+}
+
+func (f *autoFactorization) SolveVecLeftFrom(b, x0 []float64) ([]float64, error) {
+	return f.solve(b, x0, true)
 }
 
 // SolveMat batches through the per-vector path so the sparse→dense
@@ -663,6 +970,21 @@ func (f *autoFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
 	return solveBatch(bs, f.SolveVecLeft)
 }
 
+func (f *autoFactorization) SolveMatFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecFrom)
+}
+
+func (f *autoFactorization) SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecLeftFrom)
+}
+
+func (f *autoFactorization) Stats() SolveStats {
+	st := f.sparse.Stats()
+	st.Fallbacks = f.fallbacks
+	st.FallbackReason = f.reason
+	return st
+}
+
 // ---------------------------------------------------------------------------
 // Configuration.
 
@@ -670,7 +992,7 @@ func (f *autoFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
 // values. The zero value selects the exact dense LU backend.
 type SolverConfig struct {
 	// Kind names the backend: "dense" (or ""), "sparse"/"bicgstab",
-	// "gs"/"gauss-seidel", or "auto".
+	// "gs"/"gauss-seidel", "ilu", or "auto".
 	Kind string
 	// Tol is the iterative residual tolerance; 0 selects DefaultTol.
 	// Ignored by the dense backend.
@@ -682,7 +1004,7 @@ type SolverConfig struct {
 
 // SolverKinds lists the accepted SolverConfig.Kind values.
 func SolverKinds() []string {
-	return []string{"dense", "sparse", "bicgstab", "gs", "gauss-seidel", "auto"}
+	return []string{"dense", "sparse", "bicgstab", "gs", "gauss-seidel", "ilu", "auto"}
 }
 
 // Build resolves the configuration into a Solver.
@@ -694,8 +1016,10 @@ func (c SolverConfig) Build() (Solver, error) {
 		return BiCGSTABSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
 	case "gs", "gauss-seidel":
 		return GaussSeidelSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
+	case "ilu":
+		return ILUSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
 	case "auto":
-		return AutoSolver{Sparse: BiCGSTABSolver{Tol: c.Tol, MaxIter: c.MaxIter}}, nil
+		return AutoSolver{Tol: c.Tol, MaxIter: c.MaxIter}, nil
 	default:
 		return nil, fmt.Errorf("matrix: unknown solver kind %q (want one of %s)",
 			c.Kind, strings.Join(SolverKinds(), ", "))

@@ -14,6 +14,7 @@ func solverBackends(t *testing.T) []Solver {
 		DenseSolver{},
 		GaussSeidelSolver{},
 		BiCGSTABSolver{},
+		ILUSolver{},
 		AutoSolver{},
 	}
 }
@@ -196,6 +197,7 @@ func TestSolverConfigBuild(t *testing.T) {
 		{"bicgstab", "bicgstab"},
 		{"gs", "gauss-seidel"},
 		{"gauss-seidel", "gauss-seidel"},
+		{"ilu", "ilu"},
 		{"auto", "auto"},
 	} {
 		s, err := SolverConfig{Kind: tt.kind}.Build()
@@ -309,6 +311,16 @@ func (f *countingFactorization) SolveVecLeft(b []float64) ([]float64, error) {
 	return f.inner.SolveVecLeft(b)
 }
 
+func (f *countingFactorization) SolveVecFrom(b, x0 []float64) ([]float64, error) {
+	f.calls++
+	return f.inner.SolveVecFrom(b, x0)
+}
+
+func (f *countingFactorization) SolveVecLeftFrom(b, x0 []float64) ([]float64, error) {
+	f.calls++
+	return f.inner.SolveVecLeftFrom(b, x0)
+}
+
 func (f *countingFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
 	return solveBatch(bs, f.SolveVec)
 }
@@ -316,3 +328,13 @@ func (f *countingFactorization) SolveMat(bs [][]float64) ([][]float64, error) {
 func (f *countingFactorization) SolveMatLeft(bs [][]float64) ([][]float64, error) {
 	return solveBatch(bs, f.SolveVecLeft)
 }
+
+func (f *countingFactorization) SolveMatFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecFrom)
+}
+
+func (f *countingFactorization) SolveMatLeftFrom(bs, x0s [][]float64) ([][]float64, error) {
+	return solveBatchFrom(bs, x0s, f.SolveVecLeftFrom)
+}
+
+func (f *countingFactorization) Stats() SolveStats { return f.inner.Stats() }

@@ -31,15 +31,18 @@ func BenchmarkSweepGrid(b *testing.B) {
 	sc := matrix.SolverConfig{Kind: "bicgstab"}
 	plan := hugeGrid()
 	b.Run("evaluate", func(b *testing.B) {
+		var iters int64
 		for i := 0; i < b.N; i++ {
 			rs, err := Evaluate(context.Background(), plan, Options{Solver: sc, Pool: engine.New(0)})
 			if err != nil {
 				b.Fatal(err)
 			}
+			iters += rs.Iterations
 			if i == 0 {
 				verifyAgainstPerCell(b, rs, sc)
 			}
 		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 	})
 	b.Run("percell", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -50,6 +53,82 @@ func BenchmarkSweepGrid(b *testing.B) {
 			}
 		}
 	})
+}
+
+// warmGrid is the warm-start acceptance grid: C=∆=40 with protocol_2, so
+// the ν axis survives deduplication (each threshold cut changes the
+// Rule 1 firing rows and nothing else) and the planner's lanes walk 28
+// distinct chains in (d, ν) order. Adjacent chains differ in a handful
+// of matrix rows, which is exactly the regime warm starting exploits.
+func warmGrid() Plan {
+	return Plan{
+		C: []int{40}, Delta: []int{40}, K: []int{2},
+		Mu: []float64{0.2},
+		D:  []float64{0.50, 0.70},
+		Nu: []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90},
+	}
+}
+
+// BenchmarkWarmStartSweep measures the warm-started evaluator against
+// the cold schedule on the same grid. The iters/op metric is the
+// machine-independent acceptance number: warm must cut total
+// iterative-solver iterations by ≥ 2× (asserted in
+// TestWarmStartHalvesIterationsHuge; CI compares the metric with
+// benchstat against the committed baseline).
+func BenchmarkWarmStartSweep(b *testing.B) {
+	sc := matrix.SolverConfig{Kind: "bicgstab"}
+	plan := warmGrid()
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var iters int64
+			for i := 0; i < b.N; i++ {
+				rs, err := Evaluate(context.Background(), plan, Options{
+					Solver: sc, WarmStart: mode.warm, Pool: engine.New(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters += rs.Iterations
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+		})
+	}
+}
+
+// TestWarmStartHalvesIterationsHuge asserts the warm-start acceptance
+// criterion on the C=∆=40 grid: ≥ 2× fewer total iterative-solver
+// iterations than the cold schedule, with every cell agreeing at 1e-9.
+func TestWarmStartHalvesIterationsHuge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("C=∆=40 warm-start acceptance skipped in -short mode")
+	}
+	// One notch below the default residual tolerance: at |Ω| = 35301 the
+	// blocks' conditioning amplifies 1e-12 residuals to ~1e-9 solution
+	// differences, right at the agreement bar.
+	sc := matrix.SolverConfig{Kind: "bicgstab", Tol: 1e-13}
+	plan := warmGrid()
+	cold, err := Evaluate(context.Background(), plan, Options{Solver: sc, Pool: engine.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Evaluate(context.Background(), plan, Options{Solver: sc, WarmStart: true, Pool: engine.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Cells {
+		if field, ok := analysesEqual(warm.Cells[i].Analysis, cold.Cells[i].Analysis, 1e-9); !ok {
+			t.Errorf("cell %d (%v): %s differs between warm and cold beyond 1e-9",
+				i, cold.Cells[i].Params, field)
+		}
+	}
+	if warm.Iterations*2 > cold.Iterations {
+		t.Errorf("warm iterations = %d, cold = %d; want ≥ 2× reduction", warm.Iterations, cold.Iterations)
+	}
+	t.Logf("cold %d iterations, warm %d (%.2f× reduction)",
+		cold.Iterations, warm.Iterations, float64(cold.Iterations)/float64(warm.Iterations))
 }
 
 func analyzeOne(p core.Params, sc matrix.SolverConfig, dist core.InitialDistribution, sojourns int) (*core.Analysis, error) {

@@ -21,6 +21,17 @@ type Options struct {
 	BuildPool *engine.Pool
 	// Solver selects the linear-solver backend of every cell's analysis.
 	Solver matrix.SolverConfig
+	// WarmStart chains the iterative solves of neighboring cells: the
+	// planner orders each geometry group's distinct chains into lanes of
+	// equal (C, ∆, k, µ) — within a lane only d and the ν gain cut vary,
+	// and they vary smoothly in plan order — and each lane is evaluated
+	// sequentially, seeding every cell's solves from the previous cell's
+	// converged vectors. Lanes (not cells) fan out across the pool, so
+	// results remain independent of the worker count. Warm-started solves
+	// meet the same residual tolerance as cold ones; cells agree with the
+	// cold path to solver tolerance instead of bit-for-bit (the dense
+	// backend ignores warm starts entirely and stays exact).
+	WarmStart bool
 	// OnCell, when non-nil, streams results as they are produced: it is
 	// called once per cell, from evaluator goroutines in completion
 	// order (not index order), as soon as the cell's equivalence class
@@ -43,6 +54,10 @@ type CellResult struct {
 	// earlier cell's (equal geometry, µ, d and Rule 1 firing set) and
 	// its Analysis taken from that evaluation instead of a re-solve.
 	Shared bool
+	// Iterations is the iterative-solver work this cell's chain cost
+	// (Analysis.Solver.Iterations); 0 for shared cells, whose leader
+	// already counted the work, and for the dense backend.
+	Iterations int64
 	// Analysis holds the closed-form results for the plan's initial
 	// distribution.
 	Analysis *core.Analysis
@@ -59,6 +74,10 @@ type ResultSet struct {
 	// Size()−Evaluated cells shared one of those solves).
 	Groups    int
 	Evaluated int
+	// Iterations is the total iterative-solver work of the evaluation
+	// (the sum of the per-leader-cell counts) — the number warm starting
+	// drives down.
+	Iterations int64
 }
 
 // signature identifies a cell's Markov chain up to provable equality:
@@ -139,43 +158,73 @@ func Evaluate(ctx context.Context, plan Plan, opts Options) (*ResultSet, error) 
 		classes[ci].members = append(classes[ci].members, i)
 	}
 
-	// Evaluation pass: one model build + solve per class, fanned across
-	// the pool; results land in per-cell slots (classes own disjoint
-	// cell sets), so accumulation is order-independent.
+	// Planner pass 3: lanes. Without warm starting every class is its
+	// own lane — the schedule (and arithmetic) of the classic evaluator.
+	// With warm starting, consecutive classes whose leaders share
+	// (C, ∆, k, µ) form one lane: the plan enumerates d (then ν)
+	// innermost, so a lane walks the d axis in small steps and each
+	// chain's solves can seed from the previous chain's converged
+	// vectors. Lanes are a fixed partition of the classes, so fanning
+	// lanes (instead of classes) across the pool keeps results
+	// independent of the worker count.
+	var lanes [][]int
+	for ci := range classes {
+		if opts.WarmStart && ci > 0 {
+			prev := cells[classes[ci-1].leader]
+			cur := cells[classes[ci].leader]
+			if prev.C == cur.C && prev.Delta == cur.Delta && prev.K == cur.K && prev.Mu == cur.Mu {
+				lanes[len(lanes)-1] = append(lanes[len(lanes)-1], ci)
+				continue
+			}
+		}
+		lanes = append(lanes, []int{ci})
+	}
+
+	// Evaluation pass: one model build + solve per class, lanes fanned
+	// across the pool; results land in per-cell slots (classes own
+	// disjoint cell sets), so accumulation is order-independent.
 	results := make([]CellResult, len(cells))
-	err := engine.Ensure(opts.Pool).Run(ctx, len(classes), func(ci int) error {
-		cl := classes[ci]
-		p := cells[cl.leader]
-		g := groups[[2]int{p.C, p.Delta}]
-		m, err := core.NewWithSolver(p, opts.Solver,
-			core.WithSpace(g.space),
-			core.WithRule1Gains(g.gains[p.K]),
-			core.WithBuildPool(opts.BuildPool),
-		)
-		if err != nil {
-			return fmt.Errorf("cell %v: %w", p, err)
-		}
-		a, err := m.AnalyzeNamed(plan.Dist, plan.sojourns())
-		if err != nil {
-			return fmt.Errorf("cell %v: %w", p, err)
-		}
-		for _, i := range cl.members {
-			pi := cells[i]
-			res := CellResult{
-				Index:      i,
-				Params:     pi,
-				States:     g.space.Size(),
-				Transient:  g.space.TransientCount(),
-				Rule1Fires: g.gains[pi.K].CountFires(pi.Nu),
-				Shared:     i != cl.leader,
-				Analysis:   a,
+	err := engine.Ensure(opts.Pool).Run(ctx, len(lanes), func(li int) error {
+		var ws *core.WarmStart
+		for _, ci := range lanes[li] {
+			cl := classes[ci]
+			p := cells[cl.leader]
+			g := groups[[2]int{p.C, p.Delta}]
+			m, err := core.NewWithSolver(p, opts.Solver,
+				core.WithSpace(g.space),
+				core.WithRule1Gains(g.gains[p.K]),
+				core.WithBuildPool(opts.BuildPool),
+			)
+			if err != nil {
+				return fmt.Errorf("cell %v: %w", p, err)
 			}
-			if res.Shared {
-				res.Analysis = cloneAnalysis(a)
+			a, rec, err := m.AnalyzeNamedWarm(plan.Dist, plan.sojourns(), ws)
+			if err != nil {
+				return fmt.Errorf("cell %v: %w", p, err)
 			}
-			results[i] = res
-			if opts.OnCell != nil {
-				opts.OnCell(res)
+			if opts.WarmStart {
+				ws = rec
+			}
+			for _, i := range cl.members {
+				pi := cells[i]
+				res := CellResult{
+					Index:      i,
+					Params:     pi,
+					States:     g.space.Size(),
+					Transient:  g.space.TransientCount(),
+					Rule1Fires: g.gains[pi.K].CountFires(pi.Nu),
+					Shared:     i != cl.leader,
+					Analysis:   a,
+				}
+				if res.Shared {
+					res.Analysis = cloneAnalysis(a)
+				} else {
+					res.Iterations = a.Solver.Iterations
+				}
+				results[i] = res
+				if opts.OnCell != nil {
+					opts.OnCell(res)
+				}
 			}
 		}
 		return nil
@@ -183,12 +232,16 @@ func Evaluate(ctx context.Context, plan Plan, opts Options) (*ResultSet, error) 
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
-	return &ResultSet{
+	rs := &ResultSet{
 		Plan:      plan,
 		Cells:     results,
 		Groups:    len(groups),
 		Evaluated: len(classes),
-	}, nil
+	}
+	for i := range results {
+		rs.Iterations += results[i].Iterations
+	}
+	return rs, nil
 }
 
 // cloneAnalysis gives a sharing cell its own copy, so callers may mutate

@@ -200,6 +200,158 @@ func TestEvaluateErrors(t *testing.T) {
 	}
 }
 
+// TestEvaluateWarmStartAgreesWithCold: warm-started sweeps must agree
+// with the cold path on every cell to solver tolerance, for every
+// iterative backend, and must spend strictly less iterative-solver work
+// (a dense d axis gives each lane many close-by chains to chain through).
+func TestEvaluateWarmStartAgreesWithCold(t *testing.T) {
+	plan := Plan{
+		C: []int{7}, Delta: []int{7}, K: []int{2, 3},
+		Mu:       []float64{0.1, 0.3},
+		D:        []float64{0.5, 0.6, 0.7, 0.8, 0.9},
+		Nu:       []float64{0.1, 0.5},
+		Sojourns: 2,
+	}
+	for _, kind := range []string{"bicgstab", "gs", "ilu", "auto"} {
+		sc := matrix.SolverConfig{Kind: kind}
+		cold, err := Evaluate(context.Background(), plan, Options{Solver: sc})
+		if err != nil {
+			t.Fatalf("%s cold: %v", kind, err)
+		}
+		warm, err := Evaluate(context.Background(), plan, Options{Solver: sc, WarmStart: true})
+		if err != nil {
+			t.Fatalf("%s warm: %v", kind, err)
+		}
+		for i := range cold.Cells {
+			if field, ok := analysesEqual(warm.Cells[i].Analysis, cold.Cells[i].Analysis, 1e-9); !ok {
+				t.Errorf("%s cell %d (%v): %s differs between warm and cold beyond 1e-9",
+					kind, i, cold.Cells[i].Params, field)
+			}
+		}
+		if cold.Iterations == 0 {
+			t.Fatalf("%s: cold sweep reports 0 iterations", kind)
+		}
+		if warm.Iterations >= cold.Iterations {
+			t.Errorf("%s: warm iterations = %d, cold = %d; warm starting must cut work",
+				kind, warm.Iterations, cold.Iterations)
+		}
+		t.Logf("%s: cold %d iterations, warm %d (%.1f%%)",
+			kind, cold.Iterations, warm.Iterations, 100*float64(warm.Iterations)/float64(cold.Iterations))
+	}
+}
+
+// TestEvaluateWarmStartDeterministicAcrossPools: lanes — not cells — fan
+// out, so warm-started results must be bit-identical for any pool width.
+func TestEvaluateWarmStartDeterministicAcrossPools(t *testing.T) {
+	plan := Plan{
+		C: []int{6, 7}, Delta: []int{7}, K: []int{2},
+		Mu: []float64{0.1, 0.3},
+		D:  []float64{0.5, 0.7, 0.9},
+		Nu: []float64{0.05, 0.3},
+	}
+	sc := matrix.SolverConfig{Kind: "bicgstab"}
+	serial, err := Evaluate(context.Background(), plan, Options{Solver: sc, WarmStart: true, Pool: engine.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Evaluate(context.Background(), plan, Options{Solver: sc, WarmStart: true, Pool: engine.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != wide.Iterations {
+		t.Errorf("total iterations differ across pool widths: %d vs %d", serial.Iterations, wide.Iterations)
+	}
+	for i := range serial.Cells {
+		if serial.Cells[i].Iterations != wide.Cells[i].Iterations {
+			t.Errorf("cell %d: iteration count differs across pool widths: %d vs %d",
+				i, serial.Cells[i].Iterations, wide.Cells[i].Iterations)
+		}
+		if field, ok := analysesEqual(serial.Cells[i].Analysis, wide.Cells[i].Analysis, 0); !ok {
+			t.Errorf("cell %d: %s differs between pool widths", i, field)
+		}
+	}
+}
+
+// TestEvaluateIterationAccounting: per-cell counts live on leaders only
+// and sum to the set total; the dense backend reports zero.
+func TestEvaluateIterationAccounting(t *testing.T) {
+	plan := Plan{
+		C: []int{7}, Delta: []int{7}, K: []int{1},
+		Mu: []float64{0.2}, D: []float64{0.5, 0.9}, Nu: []float64{0.1, 0.9},
+	}
+	rs, err := Evaluate(context.Background(), plan, Options{Solver: matrix.SolverConfig{Kind: "bicgstab"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, cell := range rs.Cells {
+		if cell.Shared && cell.Iterations != 0 {
+			t.Errorf("shared cell %d carries %d iterations, want 0", cell.Index, cell.Iterations)
+		}
+		if !cell.Shared && cell.Iterations == 0 {
+			t.Errorf("leader cell %d reports 0 iterations on an iterative backend", cell.Index)
+		}
+		sum += cell.Iterations
+	}
+	if sum != rs.Iterations {
+		t.Errorf("per-cell iterations sum to %d, ResultSet.Iterations = %d", sum, rs.Iterations)
+	}
+	dense, err := Evaluate(context.Background(), plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Iterations != 0 {
+		t.Errorf("dense sweep reports %d iterations, want 0", dense.Iterations)
+	}
+}
+
+// TestWarmStartedILUMatchesDense is the end-to-end property check of
+// the preconditioner + warm-start stack: warm-started ILU(0) sweeps
+// must reproduce the exact dense-LU per-cell Analysis — every field —
+// at 1e-9 over the paper grid and at the S3 large-cluster scale, for
+// 1-wide and 8-wide pools alike.
+func TestWarmStartedILUMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense reference at C=∆=16 skipped in -short mode")
+	}
+	sc := matrix.SolverConfig{Kind: "ilu", Tol: 1e-13}
+	plans := []Plan{
+		{
+			C: []int{7}, Delta: []int{7}, K: []int{1, 2, 7},
+			Mu:       []float64{0.1, 0.3},
+			D:        []float64{0.5, 0.9},
+			Nu:       []float64{0.1, 0.5},
+			Sojourns: 2,
+		},
+		// The S3 large-cluster point (2295 transient states): one cell,
+		// at the scale the sparse stack exists for.
+		{
+			C: []int{16}, Delta: []int{16}, K: []int{1},
+			Mu: []float64{0.2}, D: []float64{0.8}, Nu: []float64{0.1},
+		},
+	}
+	for _, plan := range plans {
+		dense := make(map[int]*core.Analysis)
+		for i, p := range plan.Cells() {
+			dense[i] = perCell(t, p, matrix.SolverConfig{}, plan.Dist, plan.sojourns())
+		}
+		for _, workers := range []int{1, 8} {
+			rs, err := Evaluate(context.Background(), plan, Options{
+				Solver: sc, WarmStart: true, Pool: engine.New(workers),
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for i, cell := range rs.Cells {
+				if field, ok := analysesEqual(cell.Analysis, dense[i], 1e-9); !ok {
+					t.Errorf("workers=%d cell %v: %s differs from dense LU beyond 1e-9",
+						workers, cell.Params, field)
+				}
+			}
+		}
+	}
+}
+
 // TestEvaluateHugeSpotCheck compares a few C=∆=40 sweep cells against
 // the independent per-cell path at 1e-12 on the sparse solver — a spot
 // check of the acceptance benchmark's full verification.
