@@ -78,6 +78,17 @@ type (
 	SweepResult = sweep.ResultSet
 	// SweepCell is one cell's outcome inside a SweepResult.
 	SweepCell = sweep.CellResult
+	// SimPlan is a simulation-sweep grid: strategy × µ × d × population
+	// sizes of whole-system overlay runs, each cell aggregating
+	// Monte-Carlo replicas; evaluated by EvaluateSimSweep.
+	SimPlan = sweep.SimPlan
+	// SimOptions tunes a simulation-sweep evaluation (pool, streaming
+	// callback).
+	SimOptions = sweep.SimOptions
+	// SimResult is the deterministic outcome of a simulation sweep.
+	SimResult = sweep.SimResultSet
+	// SimCell is one simulation cell's aggregated outcome.
+	SimCell = sweep.SimCellResult
 	// Rule1Gains is the precomputed relation (2) gain table of one
 	// (C, ∆, k): the reusable half of a row structure that parameter
 	// sweeps share across cells (see ComputeRule1Gains).
@@ -164,6 +175,16 @@ func ComputeRule1Gains(p Params) (*Rule1Gains, error) { return core.ComputeRule1
 // of the same parameters. cmd/attackd serves this evaluator over HTTP.
 func EvaluateSweep(ctx context.Context, plan SweepPlan, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Evaluate(ctx, plan, opts)
+}
+
+// EvaluateSimSweep runs a simulation-sweep grid: every cell's
+// Monte-Carlo replicas are whole overlay-system runs (bootstrap, churn,
+// split/merge, adversary) fanned across the options' Pool with
+// per-replica PCG streams, reduced in fixed replica order — summaries
+// are bit-identical for any worker count. cmd/attackd serves this
+// evaluator as POST /v1/simsweep.
+func EvaluateSimSweep(ctx context.Context, plan SimPlan, opts SimOptions) (*SimResult, error) {
+	return sweep.EvaluateSim(ctx, plan, opts)
 }
 
 // ParseIntAxis parses a sweep axis over integers: a comma list ("7,9")

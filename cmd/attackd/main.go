@@ -7,16 +7,21 @@
 //
 //	attackd [-addr :8080] [-workers 0] [-solver bicgstab|gs|ilu|dense|auto]
 //	        [-tol 1e-12] [-cache 4096] [-maxcells 4096] [-maxstates 200000]
-//	        [-maxsojourns 1024] [-shutdown-timeout 10s]
+//	        [-maxsojourns 1024] [-maxsimcells 256] [-maxsimevents 16777216]
+//	        [-shutdown-timeout 10s]
 //
 // Endpoints:
 //
 //	POST /v1/analyze  one cell: {"c":7,"delta":7,"k":1,"mu":0.2,"d":0.9,"nu":0.1}
 //	POST /v1/sweep    a grid:   {"c":"7","delta":"7","k":"1","mu":"0.2",
 //	                             "d":"0.5:0.9:0.1","nu":"0.05,0.1"}
+//	POST /v1/simsweep a simulation grid: {"strategies":"paper,passive",
+//	                             "mu":"0.1,0.2","sizes":"2000","events":2000,
+//	                             "replicas":2,"seed":7}
 //	GET  /healthz     liveness
 //	GET  /metrics     Prometheus text: requests, cache hit rate, in-flight,
-//	                  solver iterations and sparse-to-dense fallbacks
+//	                  solver iterations and sparse-to-dense fallbacks,
+//	                  simulation evaluations and simulated events
 //
 // Both POST bodies accept an optional "solver" field overriding the
 // server's backend for that request (one of the -solver kinds). Sweep
@@ -71,18 +76,22 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		maxCells    = fs.Int("maxcells", attackd.DefaultMaxCells, "maximum grid cells per sweep request")
 		maxStates   = fs.Int("maxstates", attackd.DefaultMaxStates, "maximum |Ω| per cell")
 		maxSojourns = fs.Int("maxsojourns", attackd.DefaultMaxSojourns, "maximum sojourn expectations per request")
+		maxSimCells = fs.Int("maxsimcells", attackd.DefaultMaxSimCells, "maximum grid cells per simulation-sweep request")
+		maxSimEvts  = fs.Int64("maxsimevents", attackd.DefaultMaxSimEventBudget, "maximum cells×replicas×events per simulation-sweep request")
 		drain       = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv, err := attackd.New(attackd.Config{
-		Pool:        engine.New(*workers),
-		Solver:      matrix.SolverConfig{Kind: *solver, Tol: *tol},
-		CacheSize:   *cacheSize,
-		MaxCells:    *maxCells,
-		MaxStates:   *maxStates,
-		MaxSojourns: *maxSojourns,
+		Pool:              engine.New(*workers),
+		Solver:            matrix.SolverConfig{Kind: *solver, Tol: *tol},
+		CacheSize:         *cacheSize,
+		MaxCells:          *maxCells,
+		MaxStates:         *maxStates,
+		MaxSojourns:       *maxSojourns,
+		MaxSimCells:       *maxSimCells,
+		MaxSimEventBudget: *maxSimEvts,
 	})
 	if err != nil {
 		return err

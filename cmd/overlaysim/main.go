@@ -7,8 +7,9 @@
 // Usage:
 //
 //	overlaysim [-mu 0.2] [-d 0.9] [-k 1] [-events 50000] [-clusters 8]
+//	           [-peers 0] [-fast] [-strategy paper|norule1|passive]
 //	           [-mode model|realtime] [-consensus] [-seed 1] [-interval 5000]
-//	           [-replicas 1] [-workers 0]
+//	           [-replicas 1] [-workers 0] [-cpuprofile f] [-memprofile f]
 //
 // With -replicas 1 (the default) the simulator prints a pollution report
 // every -interval events and a final operation census. With -replicas R >
@@ -16,6 +17,12 @@
 // across the worker pool, and reports the per-replica outcomes plus the
 // mean polluted fraction with a 95% confidence interval — Monte-Carlo
 // over whole systems instead of a single anecdote.
+//
+// -peers N sizes the bootstrap topology for a target population instead
+// of -clusters, and -fast swaps ed25519 certificates for hash-derived
+// identifiers — together they make 10^5..10^6-peer overlays practical
+// from the command line. -cpuprofile/-memprofile write pprof profiles so
+// simulation hot spots are inspectable without code edits.
 package main
 
 import (
@@ -23,7 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"targetedattacks/internal/adversary"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlaynet"
@@ -52,15 +62,58 @@ func run(args []string) error {
 		interval  = fs.Int("interval", 5000, "events between progress reports")
 		replicas  = fs.Int("replicas", 1, "independent replicated simulations (seeds derived from -seed)")
 		workers   = fs.Int("workers", 0, "worker pool width for -replicas (0 = one per CPU)")
+		peers     = fs.Int("peers", 0, "size the bootstrap for this target population (overrides -clusters)")
+		fast      = fs.Bool("fast", false, "hash-derived identifiers instead of ed25519 certificates")
+		strategy  = fs.String("strategy", "paper", "adversary strategy: paper, norule1 or passive")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	strat, err := adversary.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "overlaysim: memprofile:", err)
+			}
+		}()
 	}
 	cfg := overlaynet.Config{
 		Params:           core.Params{C: 7, Delta: 7, Mu: *mu, D: *d, K: *k, Nu: *nu},
 		InitialLabelBits: *clusters,
 		UseConsensus:     *consensus,
+		FastIdentity:     *fast,
+		Strategy:         strat,
 		Seed:             *seed,
+	}
+	if *peers > 0 {
+		bits := overlaynet.LabelBitsForPopulation(*peers, cfg.Params.C, cfg.Params.Delta)
+		if bits == 0 {
+			bits = -1 // a single root cluster
+		}
+		cfg.InitialLabelBits = bits
 	}
 	switch *mode {
 	case "model":

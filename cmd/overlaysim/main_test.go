@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunModelMode(t *testing.T) {
 	if err := run([]string{"-events", "2000", "-clusters", "2", "-interval", "1000"}); err != nil {
@@ -47,5 +51,36 @@ func TestRunReplicated(t *testing.T) {
 func TestRunRejectsBadReplicas(t *testing.T) {
 	if err := run([]string{"-replicas", "0"}); err == nil {
 		t.Error("replicas=0: want error")
+	}
+}
+
+func TestRunRejectsBadStrategy(t *testing.T) {
+	if err := run([]string{"-strategy", "sneaky"}); err == nil {
+		t.Error("bad strategy: want error")
+	}
+}
+
+func TestRunFastPopulationSized(t *testing.T) {
+	if err := run([]string{"-peers", "5000", "-fast", "-events", "500", "-interval", "500", "-strategy", "passive"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-events", "500", "-clusters", "2", "-interval", "500",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }

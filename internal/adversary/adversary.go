@@ -36,30 +36,91 @@ func (v ClusterView) Polluted() bool {
 	return v.MaliciousCore > (v.CoreSize-1)/3
 }
 
+// Strategy selects the adversary's playbook. The zero value is the
+// paper's full Section V strategy, so existing call sites keep their
+// behavior.
+type Strategy int
+
+// Playbooks.
+const (
+	// StrategyPaper is the full targeted attack of Section V: Rule 2
+	// join discards, Rule 1 voluntary leaves, refused leaves, biased
+	// maintenance and split/merge vetoes in polluted clusters.
+	StrategyPaper Strategy = iota
+	// StrategyNoRule1 plays the paper strategy without Rule 1 voluntary
+	// leaves (the ablation of Section V-C).
+	StrategyNoRule1
+	// StrategyPassive fields malicious peers that follow the protocol:
+	// they comply with leaves, never discard joins, and leave the
+	// maintenance honest — the Byzantine-colored baseline.
+	StrategyPassive
+)
+
+// String renders the strategy's wire name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPaper:
+		return "paper"
+	case StrategyNoRule1:
+		return "norule1"
+	case StrategyPassive:
+		return "passive"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy inverts Strategy.String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "paper":
+		return StrategyPaper, nil
+	case "norule1":
+		return StrategyNoRule1, nil
+	case "passive":
+		return StrategyPassive, nil
+	}
+	return 0, fmt.Errorf("adversary: unknown strategy %q (want paper, norule1 or passive)", name)
+}
+
 // Adversary encodes the strategy parameters.
 type Adversary struct {
-	params core.Params
-	rng    *rand.Rand
+	params   core.Params
+	rng      *rand.Rand
+	strategy Strategy
 }
 
 // New builds an adversary playing against protocol_k with the model
-// parameters p (µ is the population fraction; K and Nu drive Rule 1).
+// parameters p (µ is the population fraction; K and Nu drive Rule 1),
+// using the paper's full strategy.
 func New(p core.Params, seed int64) (*Adversary, error) {
+	return NewStrategic(p, seed, StrategyPaper)
+}
+
+// NewStrategic builds an adversary playing the given strategy.
+func NewStrategic(p core.Params, seed int64, strategy Strategy) (*Adversary, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("adversary: %w", err)
 	}
-	return &Adversary{params: p, rng: rand.New(rand.NewSource(seed))}, nil
+	switch strategy {
+	case StrategyPaper, StrategyNoRule1, StrategyPassive:
+	default:
+		return nil, fmt.Errorf("adversary: unknown strategy %d", strategy)
+	}
+	return &Adversary{params: p, rng: rand.New(rand.NewSource(seed)), strategy: strategy}, nil
 }
 
 // Params returns the strategy parameters.
 func (a *Adversary) Params() core.Params { return a.params }
+
+// Strategy returns the playbook in force.
+func (a *Adversary) Strategy() Strategy { return a.strategy }
 
 // ShouldDiscardJoin implements Rule 2: in a polluted cluster the
 // adversary discards the join event of q when (q is honest and s > 1) or
 // (s = ∆−1). Safe clusters are not under adversary control, so joins
 // proceed.
 func (a *Adversary) ShouldDiscardJoin(v ClusterView, joinerMalicious bool) bool {
-	if !v.Polluted() {
+	if a.strategy == StrategyPassive || !v.Polluted() {
 		return false
 	}
 	if v.SpareSize == v.SpareMax-1 {
@@ -74,6 +135,9 @@ func (a *Adversary) ShouldDiscardJoin(v ClusterView, joinerMalicious bool) bool 
 // restricts the rule to safe clusters (0 < x ≤ c) with spare sets large
 // enough to avoid a merge.
 func (a *Adversary) ShouldTriggerVoluntaryLeave(v ClusterView) (bool, error) {
+	if a.strategy != StrategyPaper {
+		return false, nil
+	}
 	if v.MaliciousCore < 1 || v.Polluted() || v.SpareSize <= 1 {
 		return false, nil
 	}
@@ -84,6 +148,9 @@ func (a *Adversary) ShouldTriggerVoluntaryLeave(v ClusterView) (bool, error) {
 // when its identifier has not expired: it never does (Section V-A); the
 // adversary only loses peers to Property 1 or to Rule 1.
 func (a *Adversary) CompliesWithLeave(expired bool) bool {
+	if a.strategy == StrategyPassive {
+		return true
+	}
 	return expired
 }
 
@@ -116,6 +183,13 @@ const (
 	PromoteHonestSpare
 )
 
+// ControlsMaintenance reports whether the adversary exploits its quorum
+// in a polluted cluster's maintenance round. A passive adversary does
+// not: the maintenance stays the honest randomized protocol_k.
+func (a *Adversary) ControlsMaintenance() bool {
+	return a.strategy != StrategyPassive
+}
+
 // BiasMaintenance picks the replacement in an adversary-controlled
 // maintenance round.
 func (a *Adversary) BiasMaintenance(v ClusterView) ReplacementChoice {
@@ -129,12 +203,12 @@ func (a *Adversary) BiasMaintenance(v ClusterView) ReplacementChoice {
 // split: never (Section V-B) — a split cannot increase the identifier
 // space it controls.
 func (a *Adversary) WantsSplit(v ClusterView) bool {
-	return !v.Polluted()
+	return a.strategy == StrategyPassive || !v.Polluted()
 }
 
 // WantsMerge reports whether the adversary would let a polluted cluster
 // merge: never voluntarily (the merge demotes its core members to
 // spares), though Property 1 can force it.
 func (a *Adversary) WantsMerge(v ClusterView) bool {
-	return !v.Polluted()
+	return a.strategy == StrategyPassive || !v.Polluted()
 }

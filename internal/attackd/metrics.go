@@ -22,6 +22,8 @@ type metrics struct {
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	evaluations        atomic.Int64
+	simEvaluations     atomic.Int64
+	simEvents          atomic.Int64
 	singleflightShared atomic.Int64
 	inflight           atomic.Int64
 
@@ -100,6 +102,12 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP attackd_evaluations_total Model evaluations actually computed (cache and singleflight filter the rest).")
 	fmt.Fprintln(w, "# TYPE attackd_evaluations_total counter")
 	fmt.Fprintf(w, "attackd_evaluations_total %d\n", m.evaluations.Load())
+	fmt.Fprintln(w, "# HELP attackd_sim_evaluations_total Simulation sweeps actually executed.")
+	fmt.Fprintln(w, "# TYPE attackd_sim_evaluations_total counter")
+	fmt.Fprintf(w, "attackd_sim_evaluations_total %d\n", m.simEvaluations.Load())
+	fmt.Fprintln(w, "# HELP attackd_sim_events_total Churn events simulated by /v1/simsweep evaluations.")
+	fmt.Fprintln(w, "# TYPE attackd_sim_events_total counter")
+	fmt.Fprintf(w, "attackd_sim_events_total %d\n", m.simEvents.Load())
 	fmt.Fprintln(w, "# HELP attackd_singleflight_shared_total Requests that piggybacked on an identical in-flight evaluation.")
 	fmt.Fprintln(w, "# TYPE attackd_singleflight_shared_total counter")
 	fmt.Fprintf(w, "attackd_singleflight_shared_total %d\n", m.singleflightShared.Load())

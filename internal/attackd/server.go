@@ -1,13 +1,18 @@
 // Package attackd is the HTTP serving layer over the targeted-attack
-// analytics: a JSON API that answers single-cell analyses (/v1/analyze)
-// and whole parameter grids (/v1/sweep) from one warm process.
+// analytics: a JSON API that answers single-cell analyses (/v1/analyze),
+// whole parameter grids (/v1/sweep) and simulation-sweep grids of
+// whole-system overlay runs (/v1/simsweep) from one warm process.
 //
 // Three layers keep repeated traffic cheap: a size-bounded LRU cache
 // keyed by canonical request parameters, singleflight deduplication so
 // concurrent identical requests share one evaluation, and the sweep
-// evaluator's own structural amortization underneath. /healthz and
-// /metrics (Prometheus text format) expose liveness, request counts,
-// cache hit rates and in-flight evaluations.
+// evaluator's own structural amortization underneath. Simulation sweeps
+// always run hash-derived fast identities and are bounded by a cell
+// limit and a cells×replicas×events budget; their responses carry no
+// wall-clock fields, so cached replies are byte-identical to fresh ones.
+// /healthz and /metrics (Prometheus text format) expose liveness,
+// request counts, cache hit rates, in-flight evaluations and simulated
+// event totals.
 package attackd
 
 import (
@@ -46,6 +51,13 @@ type Config struct {
 	// costs one batched block solve and two result slots); 0 picks
 	// DefaultMaxSojourns.
 	MaxSojourns int
+	// MaxSimCells bounds the grid size a single /v1/simsweep request may
+	// ask for; 0 picks DefaultMaxSimCells.
+	MaxSimCells int
+	// MaxSimEventBudget bounds a /v1/simsweep request's total simulated
+	// events (cells × replicas × events); 0 picks
+	// DefaultMaxSimEventBudget.
+	MaxSimEventBudget int64
 }
 
 // Serving defaults.
@@ -75,15 +87,17 @@ func analysisWeight(sojourns int) int64 {
 // Server answers the attackd HTTP API. Create one with New and mount
 // Handler on an http.Server.
 type Server struct {
-	pool        *engine.Pool
-	solver      matrix.SolverConfig
-	maxCells    int
-	maxStates   int
-	maxSojourns int
-	cache       *lru
-	flights     *flightGroup
-	metrics     *metrics
-	mux         *http.ServeMux
+	pool              *engine.Pool
+	solver            matrix.SolverConfig
+	maxCells          int
+	maxStates         int
+	maxSojourns       int
+	maxSimCells       int
+	maxSimEventBudget int64
+	cache             *lru
+	flights           *flightGroup
+	metrics           *metrics
+	mux               *http.ServeMux
 }
 
 // New builds a Server from cfg.
@@ -111,23 +125,34 @@ func New(cfg Config) (*Server, error) {
 	if maxSojourns == 0 {
 		maxSojourns = DefaultMaxSojourns
 	}
+	maxSimCells := cfg.MaxSimCells
+	if maxSimCells == 0 {
+		maxSimCells = DefaultMaxSimCells
+	}
+	maxSimEventBudget := cfg.MaxSimEventBudget
+	if maxSimEventBudget == 0 {
+		maxSimEventBudget = DefaultMaxSimEventBudget
+	}
 	pool := cfg.Pool
 	if pool == nil {
 		pool = engine.New(0) // per-CPU, as the Config doc promises
 	}
 	s := &Server{
-		pool:        pool,
-		solver:      solver,
-		maxCells:    maxCells,
-		maxStates:   maxStates,
-		maxSojourns: maxSojourns,
-		cache:       newLRU(cacheSize, maxCacheWeight),
-		flights:     newFlightGroup(),
-		metrics:     newMetrics(),
-		mux:         http.NewServeMux(),
+		pool:              pool,
+		solver:            solver,
+		maxCells:          maxCells,
+		maxStates:         maxStates,
+		maxSojourns:       maxSojourns,
+		maxSimCells:       maxSimCells,
+		maxSimEventBudget: maxSimEventBudget,
+		cache:             newLRU(cacheSize, maxCacheWeight),
+		flights:           newFlightGroup(),
+		metrics:           newMetrics(),
+		mux:               http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/simsweep", s.handleSimSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil

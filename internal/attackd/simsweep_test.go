@@ -1,0 +1,201 @@
+package attackd
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/sweep"
+)
+
+func simRequest() SimSweepRequest {
+	return SimSweepRequest{
+		Strategies:   "paper,passive",
+		Mu:           "0.1,0.25",
+		D:            "0.9",
+		Sizes:        "40",
+		Events:       300,
+		Replicas:     2,
+		Seed:         9,
+		Stationary:   true,
+		LookupTrials: 20,
+	}
+}
+
+func TestSimSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := simRequest()
+	code, got := postJSON[SimSweepResponse](t, ts.URL+"/v1/simsweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %+v", code, got)
+	}
+	if len(got.Cells) != 4 {
+		t.Fatalf("cells = %d, want strategies×µ = 4", len(got.Cells))
+	}
+	if got.Cached {
+		t.Error("first response claims cached")
+	}
+	if got.Events != int64(4*req.Replicas*req.Events) {
+		t.Errorf("events = %d, want %d", got.Events, 4*req.Replicas*req.Events)
+	}
+	for i, cell := range got.Cells {
+		if cell.Index != i {
+			t.Errorf("cell %d carries index %d", i, cell.Index)
+		}
+		if cell.Summary.Replicas != req.Replicas {
+			t.Errorf("cell %d aggregated %d replicas", i, cell.Summary.Replicas)
+		}
+		if cell.Summary.FinalPeers.Mean <= 0 {
+			t.Errorf("cell %d has empty final population", i)
+		}
+		if cell.Summary.Availability.N != req.Replicas {
+			t.Errorf("cell %d availability has %d samples", i, cell.Summary.Availability.N)
+		}
+	}
+	// The HTTP result must match a direct EvaluateSim of the same plan.
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.simPlanFromRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sweep.EvaluateSim(context.Background(), plan, sweep.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range rs.Cells {
+		if got.Cells[i].Summary.PollutedFraction.Mean != cell.Summary.PollutedFraction.Mean() {
+			t.Errorf("cell %d pollution %v over HTTP, %v direct",
+				i, got.Cells[i].Summary.PollutedFraction.Mean, cell.Summary.PollutedFraction.Mean())
+		}
+		if got.Cells[i].Strategy != cell.Cell.Strategy.String() {
+			t.Errorf("cell %d strategy %q over HTTP, %q direct", i, got.Cells[i].Strategy, cell.Cell.Strategy)
+		}
+	}
+	// Second identical request must come from the cache.
+	code, again := postJSON[SimSweepResponse](t, ts.URL+"/v1/simsweep", req)
+	if code != http.StatusOK || !again.Cached {
+		t.Fatalf("repeat request: status=%d cached=%v, want 200/true", code, again.Cached)
+	}
+	again.Cached = false
+	for i := range again.Cells {
+		if again.Cells[i] != got.Cells[i] {
+			t.Errorf("cached cell %d differs from fresh evaluation", i)
+		}
+	}
+}
+
+func TestSimSweepAbsorption(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SimSweepRequest{
+		Mu:               "0.2",
+		Sizes:            "10",
+		Events:           1 << 16,
+		Replicas:         4,
+		Seed:             3,
+		TrackAbsorption:  true,
+		StopOnAbsorption: true,
+	}
+	code, got := postJSON[SimSweepResponse](t, ts.URL+"/v1/simsweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %+v", code, got)
+	}
+	sum := got.Cells[0].Summary
+	absorbed := sum.SafeMerge + sum.SafeSplit + sum.PollutedMerge + sum.PollutedSplit
+	if absorbed != int64(req.Replicas) {
+		t.Errorf("absorbed = %d, want one sample per replica (%d)", absorbed, req.Replicas)
+	}
+	if sum.SafeTime.N != req.Replicas || sum.SafeTime.Mean <= 0 {
+		t.Errorf("safe-time summary %+v, want %d positive samples", sum.SafeTime, req.Replicas)
+	}
+}
+
+func TestSimSweepRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		mod  func(*SimSweepRequest)
+	}{
+		{"missing mu", func(r *SimSweepRequest) { r.Mu = "" }},
+		{"missing sizes", func(r *SimSweepRequest) { r.Sizes = "" }},
+		{"missing events", func(r *SimSweepRequest) { r.Events = 0 }},
+		{"bad strategy", func(r *SimSweepRequest) { r.Strategies = "sneaky" }},
+		{"bad mode", func(r *SimSweepRequest) { r.Mode = "hyperspeed" }},
+		{"bad mu", func(r *SimSweepRequest) { r.Mu = "1.5" }},
+		{"too many replicas", func(r *SimSweepRequest) { r.Replicas = DefaultMaxSimReplicas + 1 }},
+		{"population too large", func(r *SimSweepRequest) { r.Sizes = "99999999" }},
+		{"event budget", func(r *SimSweepRequest) { r.Events = 1 << 30; r.Replicas = 64 }},
+		{"stop without tracking", func(r *SimSweepRequest) { r.StopOnAbsorption = true }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := simRequest()
+			c.mod(&req)
+			code, resp := postJSON[map[string]any](t, ts.URL+"/v1/simsweep", req)
+			if code != http.StatusBadRequest {
+				t.Errorf("status = %d (%v), want 400", code, resp)
+			}
+		})
+	}
+}
+
+func TestSimSweepCellLimit(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSimCells: 2})
+	req := simRequest() // 4 cells
+	code, resp := postJSON[map[string]any](t, ts.URL+"/v1/simsweep", req)
+	if code != http.StatusBadRequest {
+		t.Errorf("status = %d (%v), want 400 over the cell limit", code, resp)
+	}
+}
+
+func TestSimPlanDefaults(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.simPlanFromRequest(SimSweepRequest{Mu: "0.2", Sizes: "40", Events: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Strategies) != 1 || plan.Strategies[0] != adversary.StrategyPaper {
+		t.Errorf("default strategies = %v", plan.Strategies)
+	}
+	if want := (core.Params{C: 7, Delta: 7, K: 1, Nu: 0.1, Mu: 0, D: 0}); plan.Params != want {
+		t.Errorf("default params = %+v, want %+v", plan.Params, want)
+	}
+	if len(plan.D) != 1 || plan.D[0] != 0.9 {
+		t.Errorf("default d axis = %v", plan.D)
+	}
+	if plan.Replicas != 1 || !plan.FastIdentity {
+		t.Errorf("defaults: replicas=%d fast=%t", plan.Replicas, plan.FastIdentity)
+	}
+}
+
+func TestCanonicalSimKeysNormalize(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.simPlanFromRequest(SimSweepRequest{Mu: "0.50", Sizes: "40", Events: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.simPlanFromRequest(SimSweepRequest{Mu: "0.5", Sizes: "40", Events: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalSimPlanKey(a) != canonicalSimPlanKey(b) {
+		t.Error("value-equal sim plans canonicalize to different keys")
+	}
+	c, err := s.simPlanFromRequest(SimSweepRequest{Mu: "0.5", Sizes: "40", Events: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalSimPlanKey(a) == canonicalSimPlanKey(c) {
+		t.Error("different seeds share a cache key")
+	}
+}

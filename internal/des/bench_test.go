@@ -1,0 +1,129 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+)
+
+// xorshift is a tiny deterministic delay source that costs no
+// allocations, so the benchmarks measure the scheduler, not the RNG.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+func (x *xorshift) delay() float64 { return float64(x.next()%1000)/1000 + 0.001 }
+
+// BenchmarkDESThroughput measures steady-state scheduler throughput on
+// the workload the overlay simulator generates: a population of pending
+// timers where every fired event schedules a successor (timer churn),
+// and a reset variant where every fired event additionally cancels and
+// reschedules a random victim (identifier-expiry resets). The arena
+// cases use the typed kind/payload API; the boxed cases drive the
+// pre-arena container/heap reference scheduler with its per-event
+// closures. events/sec is wall-clock dependent; B/op and allocs/op are
+// machine-independent and gated in CI against
+// bench/des_throughput_baseline.txt.
+func BenchmarkDESThroughput(b *testing.B) {
+	for _, timers := range []int{1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("pending=%d", timers), func(b *testing.B) {
+			benchThroughput(b, timers)
+		})
+	}
+}
+
+func benchThroughput(b *testing.B, timers int) {
+	b.Run("arena", func(b *testing.B) {
+		e := NewEngine()
+		rng := xorshift(1)
+		var kind Kind
+		kind, _ = e.RegisterKind(func(now float64, payload uint64) {
+			_, _ = e.Schedule(rng.delay(), kind, payload)
+		})
+		for i := 0; i < timers; i++ {
+			if _, err := e.Schedule(rng.delay(), kind, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+
+	b.Run("boxed", func(b *testing.B) {
+		e := newBoxedEngine()
+		rng := xorshift(1)
+		var fire func(i int)
+		fire = func(i int) {
+			_, _ = e.Schedule(rng.delay(), func() { fire(i) })
+		}
+		for i := 0; i < timers; i++ {
+			fire(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+
+	b.Run("arena_reset", func(b *testing.B) {
+		e := NewEngine()
+		rng := xorshift(1)
+		ids := make([]EventID, timers)
+		var kind Kind
+		kind, _ = e.RegisterKind(func(now float64, payload uint64) {
+			victim := int(rng.next() % uint64(timers))
+			if e.Cancel(ids[victim]) {
+				ids[victim], _ = e.Schedule(rng.delay(), kind, uint64(victim))
+			}
+			ids[payload], _ = e.Schedule(rng.delay(), kind, payload)
+		})
+		for i := 0; i < timers; i++ {
+			ids[i], _ = e.Schedule(rng.delay(), kind, uint64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+
+	b.Run("boxed_reset", func(b *testing.B) {
+		e := newBoxedEngine()
+		rng := xorshift(1)
+		ids := make([]boxedEventID, timers)
+		var fire func(i int)
+		fire = func(i int) {
+			victim := int(rng.next() % uint64(timers))
+			if e.Cancel(ids[victim]) {
+				ids[victim], _ = e.Schedule(rng.delay(), func() { fire(victim) })
+			}
+			ids[i], _ = e.Schedule(rng.delay(), func() { fire(i) })
+		}
+		for i := 0; i < timers; i++ {
+			ids[i], _ = e.Schedule(rng.delay(), func() { fire(i) })
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+}

@@ -1,0 +1,126 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// boxedEngine is the pre-arena scheduler, preserved test-side as the
+// reference implementation: a container/heap of *event records with
+// per-event action closures and a pending map keyed by ID. The arena
+// engine must match its execution order bit-for-bit
+// (TestMatchesBoxedReference) and beat it on throughput and allocation
+// (BenchmarkDESThroughput).
+
+type boxedEventID int64
+
+type boxedEvent struct {
+	time     float64
+	seq      int64
+	id       boxedEventID
+	action   func()
+	canceled bool
+	index    int
+}
+
+type boxedHeap []*boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h boxedHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *boxedHeap) Push(x any) {
+	e := x.(*boxedEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *boxedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type boxedEngine struct {
+	pq      boxedHeap
+	now     float64
+	nextSeq int64
+	nextID  boxedEventID
+	pending map[boxedEventID]*boxedEvent
+	steps   int64
+}
+
+func newBoxedEngine() *boxedEngine {
+	return &boxedEngine{pending: make(map[boxedEventID]*boxedEvent)}
+}
+
+func (e *boxedEngine) Now() float64 { return e.now }
+
+func (e *boxedEngine) Schedule(delay float64, action func()) (boxedEventID, error) {
+	if delay < 0 {
+		return 0, fmt.Errorf("des: negative delay %v", delay)
+	}
+	return e.ScheduleAt(e.now+delay, action)
+}
+
+func (e *boxedEngine) ScheduleAt(t float64, action func()) (boxedEventID, error) {
+	if t < e.now {
+		return 0, fmt.Errorf("des: schedule at %v before now %v", t, e.now)
+	}
+	if action == nil {
+		return 0, fmt.Errorf("des: nil action")
+	}
+	e.nextID++
+	e.nextSeq++
+	ev := &boxedEvent{time: t, seq: e.nextSeq, id: e.nextID, action: action}
+	heap.Push(&e.pq, ev)
+	e.pending[ev.id] = ev
+	return ev.id, nil
+}
+
+func (e *boxedEngine) Cancel(id boxedEventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	ev.canceled = true
+	delete(e.pending, id)
+	return true
+}
+
+func (e *boxedEngine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*boxedEvent)
+		if ev.canceled {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.time
+		e.steps++
+		ev.action()
+		return true
+	}
+	return false
+}
+
+func (e *boxedEngine) Drain(maxEvents int) int {
+	var ran int
+	for ran < maxEvents && e.Step() {
+		ran++
+	}
+	return ran
+}

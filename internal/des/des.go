@@ -4,151 +4,207 @@
 // substrate on which the full overlay-system simulator
 // (internal/overlaynet) runs churn, identifier expiry and protocol
 // operations.
+//
+// The scheduler is built for throughput: events are value-typed records
+// in a slot arena recycled through a free list, ordered by an
+// index-addressed 4-ary min-heap of slot numbers, so the hot path
+// (schedule, cancel, pop, dispatch) allocates nothing and boxes
+// nothing. Instead of per-event closures, behavior is a Kind registered
+// once with a Handler; each event carries a uint64 payload (typically a
+// slot or index into the caller's own tables) handed to the handler at
+// dispatch. Cancellation is O(1): an event's ID embeds the slot and a
+// generation counter, canceling marks the record and the heap discards
+// it lazily; when canceled records outnumber live ones the queue is
+// compacted in one pass, so memory stays bounded under timer-reset
+// workloads. Execution order is (time, seq) — strictly increasing seq
+// breaks timestamp ties FIFO — and is bit-identical to the reference
+// binary-heap scheduler, because the comparator is a strict total
+// order.
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// EventID identifies a scheduled event for cancellation.
-type EventID int64
+// EventID identifies a scheduled event for cancellation. It packs the
+// event's arena slot and the slot's generation at schedule time; a
+// fired, canceled or recycled event's ID goes stale automatically. The
+// zero EventID is never issued.
+type EventID uint64
 
-// event is one pending action.
+// Kind names a class of events sharing one handler. Kinds are small
+// integers indexing the engine's handler table; register them once at
+// setup with RegisterKind.
+type Kind uint32
+
+// Handler executes one event of its Kind. now is the event's timestamp
+// (the engine clock has already advanced to it); payload is the word
+// given at schedule time, typically an index into the caller's state.
+type Handler func(now float64, payload uint64)
+
+// event is one pending action: a value-typed arena record, never
+// individually heap-allocated. The ordering keys (time, seq) live in
+// the heap entry, not here, so sift comparisons stay in the heap's
+// contiguous memory.
 type event struct {
-	time     float64
-	seq      int64 // FIFO tiebreak for equal timestamps
-	id       EventID
-	action   func()
+	payload  uint64
+	gen      uint32 // incremented when the slot is recycled
+	kind     Kind
 	canceled bool
-	index    int // heap bookkeeping
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
+// entry is one heap node: the event's ordering keys plus its arena
+// slot. Keeping the keys inline makes a comparison two loads from the
+// same cache lines the sift is already touching.
+type entry struct {
+	time float64
+	seq  uint64 // FIFO tiebreak for equal timestamps
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before orders entries by (time, seq) — a strict total order, so heap
+// shape never affects pop order.
+func (a entry) before(b entry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
+// compactMin is the minimum canceled backlog before a compaction pass;
+// below it, lazy pop-side discarding is cheaper than rebuilding.
+const compactMin = 32
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is a single-threaded discrete-event scheduler. The zero value is
-// ready to use.
+// Engine is a single-threaded discrete-event scheduler. The zero value
+// is ready to use.
 type Engine struct {
-	pq      eventHeap
-	now     float64
-	nextSeq int64
-	nextID  EventID
-	pending map[EventID]*event
-	steps   int64
+	handlers []Handler
+	arena    []event
+	free     []int32 // recycled arena slots
+	heap     []entry // 4-ary min-heap ordered by (time, seq)
+	now      float64
+	nextSeq  uint64
+	live     int // pending, non-canceled events
+	canceled int // canceled events still in the heap
+	steps    int64
 }
 
 // NewEngine returns an empty engine at time 0.
-func NewEngine() *Engine {
-	return &Engine{pending: make(map[EventID]*event)}
+func NewEngine() *Engine { return &Engine{} }
+
+// RegisterKind adds a handler to the engine's dispatch table and
+// returns its Kind. Register kinds during setup, before scheduling
+// events of that kind.
+func (e *Engine) RegisterKind(h Handler) (Kind, error) {
+	if h == nil {
+		return 0, fmt.Errorf("des: nil handler")
+	}
+	e.handlers = append(e.handlers, h)
+	return Kind(len(e.handlers) - 1), nil
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() float64 { return e.now }
 
 // Len returns the number of pending (non-canceled) events.
-func (e *Engine) Len() int { return len(e.pending) }
+func (e *Engine) Len() int { return e.live }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() int64 { return e.steps }
 
-// Schedule runs action after delay units of simulated time.
-func (e *Engine) Schedule(delay float64, action func()) (EventID, error) {
+// Schedule runs an event of the given kind after delay units of
+// simulated time.
+func (e *Engine) Schedule(delay float64, kind Kind, payload uint64) (EventID, error) {
 	if delay < 0 {
 		return 0, fmt.Errorf("des: negative delay %v", delay)
 	}
-	return e.ScheduleAt(e.now+delay, action)
+	return e.ScheduleAt(e.now+delay, kind, payload)
 }
 
-// ScheduleAt runs action at absolute simulated time t ≥ Now().
-func (e *Engine) ScheduleAt(t float64, action func()) (EventID, error) {
+// ScheduleAt runs an event of the given kind at absolute simulated time
+// t ≥ Now().
+func (e *Engine) ScheduleAt(t float64, kind Kind, payload uint64) (EventID, error) {
 	if t < e.now {
 		return 0, fmt.Errorf("des: schedule at %v before now %v", t, e.now)
 	}
-	if action == nil {
-		return 0, fmt.Errorf("des: nil action")
+	if int(kind) >= len(e.handlers) {
+		return 0, fmt.Errorf("des: unregistered event kind %d", kind)
 	}
-	if e.pending == nil {
-		e.pending = make(map[EventID]*event)
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		slot = int32(len(e.arena))
+		e.arena = append(e.arena, event{gen: 1})
 	}
-	e.nextID++
 	e.nextSeq++
-	ev := &event{time: t, seq: e.nextSeq, id: e.nextID, action: action}
-	heap.Push(&e.pq, ev)
-	e.pending[ev.id] = ev
-	return ev.id, nil
+	ev := &e.arena[slot]
+	ev.payload = payload
+	ev.kind = kind
+	ev.canceled = false
+	e.heap = append(e.heap, entry{time: t, seq: e.nextSeq, slot: slot})
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return EventID(uint64(ev.gen)<<32 | uint64(uint32(slot))), nil
 }
 
-// Cancel removes a pending event; it reports whether the event was still
-// pending.
+// Cancel removes a pending event; it reports whether the event was
+// still pending. Cancellation is O(1): the record is marked and the
+// heap discards it lazily, compacting once canceled records outnumber
+// live ones.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.pending[id]
-	if !ok {
+	slot := int64(uint32(id))
+	if slot >= int64(len(e.arena)) {
+		return false
+	}
+	ev := &e.arena[slot]
+	if ev.gen != uint32(id>>32) || ev.canceled {
 		return false
 	}
 	ev.canceled = true
-	delete(e.pending, id)
+	e.live--
+	e.canceled++
+	if e.canceled >= compactMin && e.canceled > len(e.heap)/2 {
+		e.compact()
+	}
 	return true
 }
 
 // Step executes the next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*event)
+	for len(e.heap) > 0 {
+		top := e.popMin()
+		ev := &e.arena[top.slot]
 		if ev.canceled {
+			e.canceled--
+			e.release(top.slot)
 			continue
 		}
-		delete(e.pending, ev.id)
-		e.now = ev.time
+		e.now = top.time
+		kind, payload := ev.kind, ev.payload
+		e.live--
 		e.steps++
-		ev.action()
+		// Free before dispatch: the handler may schedule new events
+		// (and immediately reuse this slot under a new generation).
+		e.release(top.slot)
+		e.handlers[kind](e.now, payload)
 		return true
 	}
 	return false
 }
 
-// RunUntil executes events with timestamps ≤ t and advances the clock to
-// t. It returns the number of events executed.
+// RunUntil executes events with timestamps ≤ t and advances the clock
+// to t. It returns the number of events executed.
 func (e *Engine) RunUntil(t float64) (int, error) {
 	if t < e.now {
 		return 0, fmt.Errorf("des: run until %v before now %v", t, e.now)
 	}
 	var n int
-	for len(e.pq) > 0 {
+	for len(e.heap) > 0 {
 		// Peek without popping: canceled heads are discarded lazily.
-		head := e.pq[0]
-		if head.canceled {
-			heap.Pop(&e.pq)
+		head := e.heap[0]
+		if e.arena[head.slot].canceled {
+			e.canceled--
+			e.release(e.popMin().slot)
 			continue
 		}
 		if head.time > t {
@@ -180,4 +236,93 @@ func (e *Engine) Drain(maxEvents int) int {
 		ran++
 	}
 	return ran
+}
+
+// release recycles an arena slot: the generation bump invalidates any
+// outstanding EventID referring to the old incarnation.
+func (e *Engine) release(slot int32) {
+	ev := &e.arena[slot]
+	ev.gen++
+	if ev.gen == 0 { // generation wrap: keep IDs non-zero
+		ev.gen = 1
+	}
+	e.free = append(e.free, slot)
+}
+
+// siftUp restores the 4-ary heap invariant from leaf i upward.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	s := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = s
+}
+
+// siftDown restores the 4-ary heap invariant from node i downward.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	s := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		mk := h[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(mk) {
+				min, mk = c, h[c]
+			}
+		}
+		if !mk.before(s) {
+			break
+		}
+		h[i] = mk
+		i = min
+	}
+	h[i] = s
+}
+
+// popMin removes and returns the entry with the smallest (time, seq).
+func (e *Engine) popMin() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// compact removes every canceled record from the heap in one pass and
+// re-heapifies. Because the comparator is a strict total order, the
+// rebuilt heap pops the surviving events in exactly the order the lazy
+// path would have: compaction is invisible to the simulation.
+func (e *Engine) compact() {
+	keep := e.heap[:0]
+	for _, en := range e.heap {
+		if e.arena[en.slot].canceled {
+			e.release(en.slot)
+		} else {
+			keep = append(keep, en)
+		}
+	}
+	e.heap = keep
+	e.canceled = 0
+	for i := (len(keep) - 2) / 4; i >= 0 && len(keep) > 1; i-- {
+		e.siftDown(i)
+	}
 }

@@ -7,12 +7,42 @@ import (
 	"testing/quick"
 )
 
+// callbacks adapts the typed kind/payload API to per-event closures for
+// tests: one registered kind whose payload indexes a slice of funcs.
+type callbacks struct {
+	e    *Engine
+	kind Kind
+	fns  []func()
+}
+
+func newCallbacks(t *testing.T, e *Engine) *callbacks {
+	t.Helper()
+	c := &callbacks{e: e}
+	kind, err := e.RegisterKind(func(now float64, payload uint64) { c.fns[payload]() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.kind = kind
+	return c
+}
+
+func (c *callbacks) at(t float64, fn func()) (EventID, error) {
+	c.fns = append(c.fns, fn)
+	return c.e.ScheduleAt(t, c.kind, uint64(len(c.fns)-1))
+}
+
+func (c *callbacks) after(delay float64, fn func()) (EventID, error) {
+	c.fns = append(c.fns, fn)
+	return c.e.Schedule(delay, c.kind, uint64(len(c.fns)-1))
+}
+
 func TestScheduleAndOrder(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var got []int
 	mustSchedule := func(at float64, v int) {
 		t.Helper()
-		if _, err := e.ScheduleAt(at, func() { got = append(got, v) }); err != nil {
+		if _, err := cb.at(at, func() { got = append(got, v) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -32,10 +62,11 @@ func TestScheduleAndOrder(t *testing.T) {
 
 func TestFIFOAmongSimultaneous(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var got []int
 	for i := 0; i < 10; i++ {
 		v := i
-		if _, err := e.ScheduleAt(5, func() { got = append(got, v) }); err != nil {
+		if _, err := cb.at(5, func() { got = append(got, v) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -47,16 +78,20 @@ func TestFIFOAmongSimultaneous(t *testing.T) {
 
 func TestScheduleValidation(t *testing.T) {
 	e := NewEngine()
-	if _, err := e.Schedule(-1, func() {}); err == nil {
+	cb := newCallbacks(t, e)
+	if _, err := cb.after(-1, func() {}); err == nil {
 		t.Error("negative delay: want error")
 	}
-	if _, err := e.ScheduleAt(0, nil); err == nil {
-		t.Error("nil action: want error")
+	if _, err := e.ScheduleAt(0, cb.kind+1, 0); err == nil {
+		t.Error("unregistered kind: want error")
+	}
+	if _, err := e.RegisterKind(nil); err == nil {
+		t.Error("nil handler: want error")
 	}
 	if _, err := e.RunUntil(5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.ScheduleAt(1, func() {}); err == nil {
+	if _, err := cb.at(1, func() {}); err == nil {
 		t.Error("schedule in the past: want error")
 	}
 	if _, err := e.RunUntil(1); err == nil {
@@ -66,8 +101,9 @@ func TestScheduleValidation(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	ran := false
-	id, err := e.Schedule(1, func() { ran = true })
+	id, err := cb.after(1, func() { ran = true })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +122,115 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelStaleIDAfterFire(t *testing.T) {
+	e := NewEngine()
+	cb := newCallbacks(t, e)
+	id, err := cb.at(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Drain(10)
+	if e.Cancel(id) {
+		t.Error("canceling a fired event must fail")
+	}
+	// The fired event's slot is recycled under a new generation; the
+	// stale ID must not cancel the new occupant.
+	ran := false
+	id2, err := cb.at(2, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatal("recycled slot reissued the same EventID")
+	}
+	if e.Cancel(id) {
+		t.Error("stale ID canceled the slot's new occupant")
+	}
+	e.Drain(10)
+	if !ran {
+		t.Error("new occupant did not run")
+	}
+}
+
+// TestCancelRescheduleFIFO: the cancel-then-reschedule pattern (timer
+// reset) at the same timestamp re-enters FIFO order at its new seq, not
+// its original one.
+func TestCancelRescheduleFIFO(t *testing.T) {
+	e := NewEngine()
+	cb := newCallbacks(t, e)
+	var got []int
+	ids := make([]EventID, 4)
+	for i := 0; i < 4; i++ {
+		v := i
+		id, err := cb.at(5, func() { got = append(got, v) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Reset event 0's timer to the same timestamp: it must now run last.
+	if !e.Cancel(ids[0]) {
+		t.Fatal("cancel failed")
+	}
+	if _, err := cb.at(5, func() { got = append(got, 0) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Drain(10)
+	want := []int{1, 2, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCancelChurnBounded: a timer-reset workload (every tick cancels
+// and reschedules every timer) must not grow the queue or the arena
+// without bound — the lazy-cancel backlog is compacted.
+func TestCancelChurnBounded(t *testing.T) {
+	e := NewEngine()
+	cb := newCallbacks(t, e)
+	const timers = 8
+	ids := make([]EventID, timers)
+	for i := 0; i < timers; i++ {
+		id, err := cb.at(1e9, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for round := 0; round < 10_000; round++ {
+		for i := 0; i < timers; i++ {
+			if !e.Cancel(ids[i]) {
+				t.Fatal("cancel failed")
+			}
+			id, err := cb.at(1e9, func() {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+	}
+	if e.Len() != timers {
+		t.Fatalf("Len = %d, want %d", e.Len(), timers)
+	}
+	// 80k cancels went through; the heap must hold at most the live
+	// timers plus a backlog below the compaction threshold, and the
+	// arena must have recycled slots instead of growing per schedule.
+	if len(e.heap) > timers+2*compactMin {
+		t.Errorf("heap grew to %d entries under cancel churn", len(e.heap))
+	}
+	if len(e.arena) > timers+2*compactMin {
+		t.Errorf("arena grew to %d slots under cancel churn", len(e.arena))
+	}
+}
+
 func TestEventsScheduleEvents(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var times []float64
 	var schedule func()
 	n := 0
@@ -95,12 +238,12 @@ func TestEventsScheduleEvents(t *testing.T) {
 		times = append(times, e.Now())
 		n++
 		if n < 5 {
-			if _, err := e.Schedule(2, schedule); err != nil {
+			if _, err := cb.after(2, schedule); err != nil {
 				t.Error(err)
 			}
 		}
 	}
-	if _, err := e.ScheduleAt(1, schedule); err != nil {
+	if _, err := cb.at(1, schedule); err != nil {
 		t.Fatal(err)
 	}
 	e.Drain(100)
@@ -120,9 +263,10 @@ func TestEventsScheduleEvents(t *testing.T) {
 
 func TestRunUntilPartial(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var count int
 	for i := 1; i <= 10; i++ {
-		if _, err := e.ScheduleAt(float64(i), func() { count++ }); err != nil {
+		if _, err := cb.at(float64(i), func() { count++ }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,9 +284,10 @@ func TestRunUntilPartial(t *testing.T) {
 
 func TestRunSteps(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var count int
 	for i := 0; i < 5; i++ {
-		if _, err := e.Schedule(float64(i), func() { count++ }); err != nil {
+		if _, err := cb.after(float64(i), func() { count++ }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,7 +302,11 @@ func TestRunSteps(t *testing.T) {
 func TestZeroValueEngineUsable(t *testing.T) {
 	var e Engine
 	ran := false
-	if _, err := e.Schedule(1, func() { ran = true }); err != nil {
+	kind, err := e.RegisterKind(func(now float64, payload uint64) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(1, kind, 0); err != nil {
 		t.Fatal(err)
 	}
 	e.Drain(1)
@@ -174,13 +323,17 @@ func TestMonotoneClockProperty(t *testing.T) {
 		e := NewEngine()
 		var last float64
 		ok := true
+		kind, err := e.RegisterKind(func(now float64, payload uint64) {
+			if now < last {
+				ok = false
+			}
+			last = now
+		})
+		if err != nil {
+			return false
+		}
 		for i := 0; i < 50; i++ {
-			if _, err := e.ScheduleAt(rng.Float64()*100, func() {
-				if e.Now() < last {
-					ok = false
-				}
-				last = e.Now()
-			}); err != nil {
+			if _, err := e.ScheduleAt(rng.Float64()*100, kind, 0); err != nil {
 				return false
 			}
 		}
@@ -194,11 +347,12 @@ func TestMonotoneClockProperty(t *testing.T) {
 
 func TestCancelInterleavedWithRun(t *testing.T) {
 	e := NewEngine()
+	cb := newCallbacks(t, e)
 	var got []int
 	var ids []EventID
 	for i := 0; i < 6; i++ {
 		v := i
-		id, err := e.ScheduleAt(float64(i), func() { got = append(got, v) })
+		id, err := cb.at(float64(i), func() { got = append(got, v) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,6 +370,58 @@ func TestCancelInterleavedWithRun(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMatchesBoxedReference: the arena scheduler's execution order is
+// bit-identical to the reference container/heap scheduler on random
+// schedules with interleaved cancels.
+func TestMatchesBoxedReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		run := func(rng *rand.Rand, schedule func(t float64, v int) (EventID, bool), cancel func(EventID) bool, drain func()) []int {
+			var ids []EventID
+			for i := 0; i < 200; i++ {
+				t0 := float64(rng.Intn(40)) // coarse grid forces timestamp ties
+				if id, ok := schedule(t0, i); ok {
+					ids = append(ids, id)
+				}
+				if len(ids) > 0 && rng.Intn(3) == 0 {
+					cancel(ids[rng.Intn(len(ids))])
+				}
+			}
+			drain()
+			return nil
+		}
+		var gotA, gotB []int
+		e := NewEngine()
+		cb := newCallbacks(t, e)
+		run(rngA,
+			func(t0 float64, v int) (EventID, bool) {
+				id, err := cb.at(t0, func() { gotA = append(gotA, v) })
+				return id, err == nil
+			},
+			e.Cancel,
+			func() { e.Drain(1000) },
+		)
+		b := newBoxedEngine()
+		run(rngB,
+			func(t0 float64, v int) (EventID, bool) {
+				id, err := b.ScheduleAt(t0, func() { gotB = append(gotB, v) })
+				return EventID(id), err == nil
+			},
+			func(id EventID) bool { return b.Cancel(boxedEventID(id)) },
+			func() { b.Drain(1000) },
+		)
+		if len(gotA) != len(gotB) {
+			t.Fatalf("seed %d: arena ran %d events, boxed ran %d", seed, len(gotA), len(gotB))
+		}
+		for i := range gotA {
+			if gotA[i] != gotB[i] {
+				t.Fatalf("seed %d: order diverges at %d: arena %v, boxed %v", seed, i, gotA[i], gotB[i])
+			}
 		}
 	}
 }

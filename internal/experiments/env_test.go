@@ -34,6 +34,7 @@ var envScenarioContract = map[string]struct {
 	"large":    {usesSolver: true},
 	"huge":     {usesSolver: true},
 	"colossal": {usesSolver: true},
+	"swarm":    {usesSolver: true}, // cross-validation solves the analytic chain
 }
 
 // TestRegistryCoveredByEnvContract keeps the table in lockstep with the

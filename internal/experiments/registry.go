@@ -243,4 +243,22 @@ func init() {
 			return tableArtifacts("sweep_colossal", t, err)
 		},
 	})
+	Register(Scenario{
+		Key:  "swarm",
+		Desc: "Swarm S6: million-peer simulation grid + analytic cross-validation",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultSwarmConfig()
+			cfg.Seed = env.Seed
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			if env.Quick {
+				cfg.Sizes = []int{2000, 5000}
+				cfg.Events = 2000
+				cfg.XValMus = []float64{0.20}
+				cfg.XValReplicas = 30
+				cfg.XValMaxEvents = 1 << 15
+			}
+			return Swarm(ctx, env.Pool, cfg)
+		},
+	})
 }

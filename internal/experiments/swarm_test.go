@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"targetedattacks/internal/engine"
+)
+
+// TestSwarmCrossValidation is the PR's acceptance gate for the
+// simulation engine's fidelity: on the single-cluster absorption regime
+// the simulator must reproduce the analytic chain's expected safe and
+// polluted times within the Monte-Carlo envelope of the replica sample,
+// and the absorption-class split must land near the chain's.
+func TestSwarmCrossValidation(t *testing.T) {
+	cfg := DefaultSwarmConfig()
+	cfg.Seed = 7
+	cfg.XValMus = []float64{0.10, 0.20}
+	// Polluted time is heavy-tailed at low µ (most trajectories never
+	// pollute); 400 replicas keep its normal envelope honest.
+	cfg.XValReplicas = 400
+	cfg.XValMaxEvents = 1 << 15
+	rows, err := SwarmXValRows(context.Background(), engine.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.XValMus) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.XValMus))
+	}
+	for _, r := range rows {
+		if r.Replicas != cfg.XValReplicas {
+			t.Errorf("µ=%.2f: pooled %d safe-time samples, want one per replica (%d)",
+				r.Mu, r.Replicas, cfg.XValReplicas)
+		}
+		if r.ModelSafe <= 0 || r.SimSafe <= 0 {
+			t.Errorf("µ=%.2f: degenerate safe times sim=%v model=%v", r.Mu, r.SimSafe, r.ModelSafe)
+		}
+		// 3.5σ two-sided keeps the deterministic fixed-seed run honest
+		// without failing on an ordinary envelope excursion.
+		if z := r.ZSafe(); math.Abs(z) > 3.5 {
+			t.Errorf("µ=%.2f: E(T_S) sim %.2f±%.2f vs model %.2f (z=%.2f) outside the MC envelope",
+				r.Mu, r.SimSafe, r.SimSafeErr, r.ModelSafe, z)
+		}
+		if z := r.ZPol(); math.Abs(z) > 3.5 {
+			t.Errorf("µ=%.2f: E(T_P) sim %.2f±%.2f vs model %.2f (z=%.2f) outside the MC envelope",
+				r.Mu, r.SimPol, r.SimPolErr, r.ModelPol, z)
+		}
+		// Binomial envelope for the absorption-class split.
+		se := math.Sqrt(r.ModelPollutedAbs * (1 - r.ModelPollutedAbs) / float64(cfg.XValReplicas))
+		if diff := math.Abs(r.SimPollutedAbs - r.ModelPollutedAbs); diff > 3.5*se+1e-12 {
+			t.Errorf("µ=%.2f: P(polluted absorption) sim %.3f vs model %.3f (|∆|=%.3f > 3.5·%.3f)",
+				r.Mu, r.SimPollutedAbs, r.ModelPollutedAbs, diff, se)
+		}
+	}
+	// More aggressive attacks must not lengthen the analytic safe time.
+	if rows[0].ModelSafe < rows[1].ModelSafe {
+		t.Errorf("model E(T_S) increased with µ: %v then %v", rows[0].ModelSafe, rows[1].ModelSafe)
+	}
+}
+
+// TestSwarmQuickArtifacts smoke-runs the registered scenario in Quick
+// mode and checks the artifact contract: two named tables, populated,
+// and free of wall-clock columns.
+func TestSwarmQuickArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick swarm run still simulates ~10^4 peers")
+	}
+	sc, ok := Find("swarm")
+	if !ok {
+		t.Fatal("swarm scenario not registered")
+	}
+	arts, err := sc.Run(context.Background(), Env{Pool: engine.New(2), Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 || arts[0].Name != "swarm_scale" || arts[1].Name != "swarm_xval" {
+		t.Fatalf("artifacts = %+v, want swarm_scale then swarm_xval", arts)
+	}
+	scale := arts[0].Table
+	if len(scale.Rows) != 4 {
+		t.Fatalf("scale grid has %d rows, want 2 strategies × 2 sizes", len(scale.Rows))
+	}
+	for _, col := range scale.Columns {
+		if col == "wall clock" || col == "seconds" || col == "ns/op" {
+			t.Errorf("scale table carries timing column %q; artifacts must be pool-independent", col)
+		}
+	}
+	if len(arts[1].Table.Rows) != 1 {
+		t.Fatalf("xval table has %d rows, want 1 µ point in quick mode", len(arts[1].Table.Rows))
+	}
+}

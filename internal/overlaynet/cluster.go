@@ -27,6 +27,20 @@ type Cluster struct {
 	// deferred until the membership rebalances (see DESIGN.md deviation
 	// notes). While pending, the spare set may exceed ∆.
 	SplitPending bool
+
+	// slot is the cluster's index in the network's dense cluster slice;
+	// maintained by addCluster/removeCluster.
+	slot int32
+
+	// Absorption tracking (Config.TrackAbsorption): per-cluster chain
+	// ages counted in churn events targeting this cluster, mirroring the
+	// analytic chain's time steps. track is set on bootstrap clusters and
+	// cleared once the cluster reaches an absorbing condition (s = 0 or
+	// s = ∆) or is consumed by a sibling's merge (censored).
+	track        bool
+	everPolluted bool
+	safeAge      int64
+	pollutedAge  int64
 }
 
 // SpareSize returns s.

@@ -92,10 +92,12 @@ func TestConfigValidation(t *testing.T) {
 	}{
 		{"bad params", func(c *Config) { c.Params.C = 0 }},
 		{"bad id bits", func(c *Config) { c.IDBits = 4 }},
-		{"bad label bits", func(c *Config) { c.InitialLabelBits = 20 }},
+		{"bad label bits", func(c *Config) { c.InitialLabelBits = MaxInitialLabelBits + 1 }},
 		{"negative lifetime", func(c *Config) { c.Lifetime = -1 }},
 		{"negative window", func(c *Config) { c.GraceWindow = -1 }},
 		{"negative rate", func(c *Config) { c.EventRate = -2 }},
+		{"fast identity with consensus", func(c *Config) { c.FastIdentity = true; c.UseConsensus = true }},
+		{"stop without tracking", func(c *Config) { c.StopOnAbsorption = true }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

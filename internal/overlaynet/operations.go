@@ -18,7 +18,7 @@ import (
 // malicious spare when it has one.
 func (n *Network) maintainCore(cl *Cluster) error {
 	quorum := n.cfg.Params.Quorum()
-	if cl.Polluted(quorum) {
+	if cl.Polluted(quorum) && n.adv.ControlsMaintenance() {
 		return n.maintainCoreBiased(cl)
 	}
 	return n.maintainCoreRandom(cl)
@@ -103,7 +103,7 @@ func (n *Network) promoteSpare(cl *Cluster) error {
 	if len(cl.Spare) == 0 || len(cl.Core) >= n.cfg.Params.C {
 		return nil
 	}
-	if cl.Polluted(n.cfg.Params.Quorum()) {
+	if cl.Polluted(n.cfg.Params.Quorum()) && n.adv.ControlsMaintenance() {
 		return n.maintainCoreBiased(cl)
 	}
 	idx := n.rng.Intn(len(cl.Spare))
@@ -255,12 +255,16 @@ func (n *Network) tryMerge(cl *Cluster) error {
 	if err != nil {
 		return err
 	}
-	sib, ok := n.clusters[sibLabel.String()]
+	sibSlot, ok := n.byLabel[sibLabel]
 	if !ok {
 		cl.MergePending = true
 		n.metrics.DeferredMerges++
 		return nil
 	}
+	sib := n.clusters[sibSlot]
+	// The sibling is consumed before reaching its own absorbing
+	// condition: its trajectory is censored, not a sample.
+	n.censor(sib)
 	parent, err := cl.Label.Parent()
 	if err != nil {
 		return err
@@ -285,18 +289,35 @@ func (n *Network) tryMerge(cl *Cluster) error {
 
 // scheduleExpiry arms the Property 1 expiry of p's current incarnation
 // (RealTime mode): at expiry the peer is cut from its cluster and rejoins
-// with its next incarnation identifier.
+// with its next incarnation identifier. The typed event carries the
+// peer's registry slot; releasePeer cancels it, so a fired expiry always
+// finds its peer live.
 func (n *Network) scheduleExpiry(p *Peer) {
 	expiry := p.ExpiresAt(n.cfg.Lifetime)
 	if expiry < n.engine.Now() {
 		expiry = n.engine.Now()
 	}
-	if _, err := n.engine.ScheduleAt(expiry, func() {
-		if err := n.expirePeer(p); err != nil && n.asyncErr == nil {
-			// The engine has no error channel; surface at the next Run.
+	id, err := n.engine.ScheduleAt(expiry, n.expiryKind, uint64(p.slot))
+	if err != nil {
+		if n.asyncErr == nil {
 			n.asyncErr = err
 		}
-	}); err != nil && n.asyncErr == nil {
+		return
+	}
+	p.expiry = id
+}
+
+// handleExpiry is the des handler behind scheduleExpiry.
+func (n *Network) handleExpiry(now float64, payload uint64) {
+	p := n.peers[payload]
+	if p == nil {
+		// Unreachable: releasePeer cancels the pending expiry before
+		// freeing the slot. Kept as a guard against future reorderings.
+		return
+	}
+	p.expiry = 0
+	if err := n.expirePeer(p); err != nil && n.asyncErr == nil {
+		// The engine has no error channel; surface at the next Run.
 		n.asyncErr = err
 	}
 }
@@ -318,7 +339,15 @@ func (n *Network) expirePeer(p *Peer) error {
 		return err
 	}
 	p.Advance()
-	return n.joinPeer(p)
+	accepted, err := n.joinPeer(p, false)
+	if err != nil {
+		return err
+	}
+	if !accepted {
+		// Rule 2 discarded the rejoin: the peer leaves the overlay.
+		n.releasePeer(p)
+	}
+	return nil
 }
 
 // Metrics returns the activity counters.
@@ -360,26 +389,28 @@ func (n *Network) Snapshot() Snapshot {
 // Clusters returns the clusters sorted by label for deterministic
 // inspection. The returned slice is fresh; the clusters are live.
 func (n *Network) Clusters() []*Cluster {
-	out := make([]*Cluster, 0, len(n.clusters))
-	for _, l := range n.sortedLabels() {
-		out = append(out, n.clusters[l])
-	}
+	out := append([]*Cluster(nil), n.clusters...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Label.String() < out[j].Label.String() })
 	return out
 }
 
-func (n *Network) sortedLabels() []string {
-	labels := make([]string, 0, len(n.clusters))
-	for l := range n.clusters {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
-	return labels
-}
-
+// addCluster interns the cluster at the end of the dense slice.
 func (n *Network) addCluster(cl *Cluster) {
-	n.clusters[cl.Label.String()] = cl
+	cl.slot = int32(len(n.clusters))
+	n.clusters = append(n.clusters, cl)
+	n.byLabel[cl.Label] = cl.slot
 }
 
+// removeCluster swap-deletes the cluster from the dense slice in O(1).
 func (n *Network) removeCluster(cl *Cluster) {
-	delete(n.clusters, cl.Label.String())
+	last := len(n.clusters) - 1
+	moved := n.clusters[last]
+	n.clusters[cl.slot] = moved
+	moved.slot = cl.slot
+	n.clusters[last] = nil
+	n.clusters = n.clusters[:last]
+	delete(n.byLabel, cl.Label)
+	if moved != cl {
+		n.byLabel[moved.Label] = moved.slot
+	}
 }

@@ -13,19 +13,36 @@
 // events through the survival probability d), enabling apples-to-apples
 // validation against Theorem 2; RealTime schedules explicit incarnation
 // expiries on the discrete-event engine (internal/des).
+//
+// The operation path is built for million-peer populations: clusters
+// live in a dense slice keyed by interned hypercube.Label values (no
+// string hashing per event), peer records are pooled and slot-indexed
+// so identifier-expiry timers carry an integer payload through the
+// typed des event table, and FastIdentity mode derives identifiers from
+// a seeded hash instead of generating an ed25519 certificate per peer.
+//
+// With TrackAbsorption a single-cluster overlay doubles as a sampler of
+// the paper's absorbing chain: chain age ticks on churn events targeting
+// the cluster, and StopOnAbsorption ends the run at the first s = 0
+// merge or s = ∆ split, classified safe or polluted — the statistics
+// sweep.EvaluateSim cross-validates against core.Analyze.
 package overlaynet
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
+	"targetedattacks/internal/des"
 	"targetedattacks/internal/identity"
 )
 
 // Peer is one participant of the overlay.
 type Peer struct {
-	// Name is a unique diagnostic name.
-	Name string
-	// Identity holds the certificate and signing key.
+	// Seq is the peer's unique registration number (diagnostics).
+	Seq int64
+	// Identity holds the certificate and signing key; nil in
+	// FastIdentity mode, where identifiers derive from a seeded hash.
 	Identity *identity.Identity
 	// Malicious marks peers controlled by the adversary.
 	Malicious bool
@@ -33,26 +50,40 @@ type Peer struct {
 	CurrentID identity.ID
 	// Incarnation is the incarnation number of CurrentID.
 	Incarnation int64
+
+	id0    identity.ID // initial identifier (Property 1 hash chain root)
+	t0     float64     // certificate creation time
+	slot   int32       // index in the network's peer registry
+	expiry des.EventID // pending incarnation-expiry event (RealTime), 0 if none
+}
+
+// Name returns the peer's unique diagnostic name.
+func (p *Peer) Name() string { return fmt.Sprintf("peer-%d", p.Seq) }
+
+// fastInitialID derives a FastIdentity peer's id0 from its churn seed:
+// a uniform m-bit identifier without the ed25519 certificate walk.
+func fastInitialID(seed int64, m int) (identity.ID, error) {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	copy(buf[8:], "fast-id0")
+	return identity.NewID(sha256.Sum256(buf[:]), m)
 }
 
 // Refresh recomputes the peer's identifier for the incarnation current at
 // time t with identifier lifetime L.
 func (p *Peer) Refresh(t, lifetime float64) error {
-	if p.Identity == nil {
-		return fmt.Errorf("overlaynet: peer %s has no identity", p.Name)
-	}
-	id, k, err := p.Identity.CurrentID(t, lifetime)
+	k, err := identity.Incarnation(t, p.t0, lifetime)
 	if err != nil {
-		return fmt.Errorf("overlaynet: refreshing %s: %w", p.Name, err)
+		return fmt.Errorf("overlaynet: refreshing %s: %w", p.Name(), err)
 	}
-	p.CurrentID = id
+	p.CurrentID = identity.DeriveID(p.id0, k)
 	p.Incarnation = k
 	return nil
 }
 
 // ExpiresAt returns when the peer's current incarnation expires.
 func (p *Peer) ExpiresAt(lifetime float64) float64 {
-	return identity.ExpiryTime(p.Identity.Certificate().CreatedAt, lifetime, p.Incarnation)
+	return identity.ExpiryTime(p.t0, lifetime, p.Incarnation)
 }
 
 // Advance moves the peer to its next incarnation — the paper's Property 1
@@ -62,7 +93,7 @@ func (p *Peer) ExpiresAt(lifetime float64) float64 {
 // itself because ⌈(t−t0)/L⌉ still yields k on the boundary.
 func (p *Peer) Advance() {
 	p.Incarnation++
-	p.CurrentID = identity.DeriveID(p.Identity.InitialID(), p.Incarnation)
+	p.CurrentID = identity.DeriveID(p.id0, p.Incarnation)
 }
 
 // String renders the peer for diagnostics.
@@ -71,5 +102,5 @@ func (p *Peer) String() string {
 	if p.Malicious {
 		role = "malicious"
 	}
-	return fmt.Sprintf("%s(%s,k=%d)", p.Name, role, p.Incarnation)
+	return fmt.Sprintf("%s(%s,k=%d)", p.Name(), role, p.Incarnation)
 }

@@ -99,7 +99,11 @@ func TestLookupDropsAtPollutedCluster(t *testing.T) {
 		t.Errorf("drop label = %v, want %v", res.DropLabel, victim.Label)
 	}
 	// Availability must now be strictly below 1: the victim owns 1/4 of
-	// the id space.
+	// the id space. Analytically E[avail] = 1/2 exactly — a lookup fails
+	// when the source cluster is the victim (1/4), the key's cluster is
+	// the victim (1/4, overlap 1/16), or the greedy route passes through
+	// it (the 10→01 pair, 1/16) — so the sanity floor sits well below
+	// that mean, not on it.
 	avail, err := n.LookupAvailability(400)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +111,7 @@ func TestLookupDropsAtPollutedCluster(t *testing.T) {
 	if avail >= 1 {
 		t.Errorf("availability = %v with a polluted cluster, want < 1", avail)
 	}
-	if avail < 0.5 {
+	if avail < 0.38 {
 		t.Errorf("availability = %v, implausibly low for one polluted cluster of four", avail)
 	}
 }

@@ -15,6 +15,14 @@
 // engine.Pool; results stream into a deterministic, order-independent
 // result set. Every cell's Analysis is bit-identical to an independent
 // core.Analyze of the same parameters.
+//
+// A SimPlan is the simulation-side counterpart: a strategy × µ × d ×
+// population-size grid of whole-system overlay runs
+// (internal/overlaynet), each cell aggregating Monte-Carlo replicas with
+// per-replica PCG streams derived from the plan seed and the replica's
+// global task index. EvaluateSim fans replicas across the same
+// engine.Pool and reduces each cell in fixed replica order, so summaries
+// are bit-identical for any worker count, streaming delivery included.
 package sweep
 
 import (

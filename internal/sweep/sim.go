@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/overlaynet"
+	"targetedattacks/internal/stats"
+)
+
+// SimPlan is a simulation grid: the cross product of an adversary
+// strategy axis, an attack-intensity axis (µ), an induced-churn axis
+// (d, which sets the identifier lifetime) and a population-size axis,
+// each cell estimated by Replicas independent Monte-Carlo runs of the
+// overlaynet system simulator. Cells enumerate in row-major order with
+// strategies outermost and sizes innermost; replica r of cell i runs on
+// the deterministic stream engine.Stream(Seed, i·Replicas+r), so
+// results are bit-identical for any worker-pool width.
+type SimPlan struct {
+	// Strategies is the adversary-playbook axis.
+	Strategies []adversary.Strategy
+	// Mu is the attack-intensity axis (fraction of malicious joins).
+	Mu []float64
+	// D is the induced-churn axis: the per-event survival probability of
+	// unexpired identifiers, from which the incarnation lifetime derives.
+	D []float64
+	// Sizes is the population axis: each value selects the bootstrap
+	// label depth whose population comes closest (LabelBitsForPopulation).
+	Sizes []int
+	// Params carries the remaining model parameters (C, ∆, k, ν); its Mu
+	// and D fields are overridden per cell.
+	Params core.Params
+	// Events is the number of churn events each replica processes.
+	Events int
+	// Replicas is the number of Monte-Carlo runs per cell.
+	Replicas int
+	// Seed is the root seed of the replica streams.
+	Seed int64
+	// Mode selects churn fidelity (overlaynet.ModelFidelity default).
+	Mode overlaynet.Mode
+	// Stationary enables the stationary-population controller.
+	Stationary bool
+	// FastIdentity selects hash-derived identifiers (required in
+	// practice for 10^5+ peers).
+	FastIdentity bool
+	// TrackAbsorption records per-cluster absorption trajectories
+	// (chain ages to s = 0 or s = ∆), aggregated into the cell summary.
+	TrackAbsorption bool
+	// StopOnAbsorption ends each replica once every tracked cluster has
+	// absorbed (requires TrackAbsorption).
+	StopOnAbsorption bool
+	// LookupTrials, when positive, measures end-of-run lookup
+	// availability over that many random (source, key) pairs per replica.
+	LookupTrials int
+}
+
+// SimCell identifies one grid cell.
+type SimCell struct {
+	// Index is the cell's position in row-major plan order.
+	Index int
+	// Strategy, Mu, D and Size are the cell's axis values.
+	Strategy adversary.Strategy
+	Mu, D    float64
+	Size     int
+	// LabelBits is the bootstrap label depth the size resolved to.
+	LabelBits int
+}
+
+// SimSummary aggregates a cell's replicas in replica order. Every field
+// is a pure function of (plan, cell index), independent of pool width,
+// scheduling and wall-clock.
+type SimSummary struct {
+	// Replicas is the number of Monte-Carlo runs aggregated.
+	Replicas int
+	// Events is the total churn events processed across replicas.
+	Events int64
+	// FinalPeers and PollutedFraction summarize the end-of-run snapshot
+	// across replicas.
+	FinalPeers       stats.Running
+	PollutedFraction stats.Running
+	// Availability summarizes end-of-run lookup availability
+	// (LookupTrials > 0).
+	Availability stats.Running
+	// SafeTime and PollutedTime pool the absorption chain ages over all
+	// absorbed clusters of all replicas (TrackAbsorption); SafeTime.Mean()
+	// estimates the chain's E(T_S).
+	SafeTime     stats.Running
+	PollutedTime stats.Running
+	// Absorbing-class counts pooled over replicas (TrackAbsorption).
+	SafeMerge, SafeSplit, PollutedMerge, PollutedSplit int64
+	EverPolluted, Censored                             int64
+	// Protocol activity summed over replicas.
+	Splits, Merges, Joins, Leaves                  int64
+	DiscardedJoins, RefusedLeaves, VoluntaryLeaves int64
+	ExpiryLeaves                                   int64
+}
+
+// Absorbed returns the pooled number of completed absorption samples.
+func (s SimSummary) Absorbed() int64 {
+	return s.SafeMerge + s.SafeSplit + s.PollutedMerge + s.PollutedSplit
+}
+
+// SimCellResult is the outcome of one simulation cell.
+type SimCellResult struct {
+	Cell    SimCell
+	Summary SimSummary
+}
+
+// SimResultSet is the deterministic outcome of a simulation sweep:
+// cells in plan order, whatever the pool width or completion order.
+type SimResultSet struct {
+	Plan  SimPlan
+	Cells []SimCellResult
+}
+
+// SimOptions tunes a simulation sweep evaluation.
+type SimOptions struct {
+	// Pool fans replicas across workers; nil evaluates serially.
+	// Results are bit-identical for any pool width.
+	Pool *engine.Pool
+	// OnCell, when non-nil, streams each cell's result as soon as its
+	// last replica completes — from evaluator goroutines, in completion
+	// order (not index order). It must be safe for concurrent use.
+	OnCell func(SimCellResult)
+}
+
+// Size returns the number of cells, saturating at MaxInt on overflow.
+func (pl SimPlan) Size() int {
+	size := 1
+	for _, n := range []int{len(pl.Strategies), len(pl.Mu), len(pl.D), len(pl.Sizes)} {
+		if n == 0 {
+			return 0
+		}
+		if size > math.MaxInt/n {
+			return math.MaxInt
+		}
+		size *= n
+	}
+	return size
+}
+
+// Validate checks the axes, the replica/event counts, and every cell's
+// effective parameters.
+func (pl SimPlan) Validate() error {
+	if pl.Size() == 0 {
+		return fmt.Errorf("sweep: every sim axis needs at least one value (|strategy|=%d |µ|=%d |d|=%d |size|=%d)",
+			len(pl.Strategies), len(pl.Mu), len(pl.D), len(pl.Sizes))
+	}
+	if pl.Size() == math.MaxInt {
+		return fmt.Errorf("sweep: sim axis product overflows the grid size")
+	}
+	if pl.Replicas < 1 {
+		return fmt.Errorf("sweep: sim plan needs at least one replica, got %d", pl.Replicas)
+	}
+	if pl.Events < 1 {
+		return fmt.Errorf("sweep: sim plan needs at least one event per replica, got %d", pl.Events)
+	}
+	if pl.Replicas > math.MaxInt/pl.Size() {
+		return fmt.Errorf("sweep: %d cells × %d replicas overflows", pl.Size(), pl.Replicas)
+	}
+	if pl.StopOnAbsorption && !pl.TrackAbsorption {
+		return fmt.Errorf("sweep: StopOnAbsorption requires TrackAbsorption")
+	}
+	if pl.LookupTrials < 0 {
+		return fmt.Errorf("sweep: negative LookupTrials %d", pl.LookupTrials)
+	}
+	for _, s := range pl.Strategies {
+		if s.String() == fmt.Sprintf("strategy(%d)", int(s)) {
+			return fmt.Errorf("sweep: unknown strategy %d", int(s))
+		}
+	}
+	for _, size := range pl.Sizes {
+		if size < 1 {
+			return fmt.Errorf("sweep: sim population %d must be positive", size)
+		}
+	}
+	for _, cell := range pl.Cells() {
+		p := pl.Params
+		p.Mu, p.D = cell.Mu, cell.D
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("sweep: sim cell %d: %w", cell.Index, err)
+		}
+	}
+	return nil
+}
+
+// Cells enumerates the grid in row-major order: strategies outermost,
+// then µ, then d, with sizes innermost.
+func (pl SimPlan) Cells() []SimCell {
+	out := make([]SimCell, 0, pl.Size())
+	for _, s := range pl.Strategies {
+		for _, mu := range pl.Mu {
+			for _, d := range pl.D {
+				for _, size := range pl.Sizes {
+					out = append(out, SimCell{
+						Index:     len(out),
+						Strategy:  s,
+						Mu:        mu,
+						D:         d,
+						Size:      size,
+						LabelBits: overlaynet.LabelBitsForPopulation(size, pl.Params.C, pl.Params.Delta),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the plan compactly.
+func (pl SimPlan) String() string {
+	return fmt.Sprintf("simsweep(strategies=%v µ=%v d=%v sizes=%v events=%d replicas=%d: %d cells)",
+		pl.Strategies, pl.Mu, pl.D, pl.Sizes, pl.Events, pl.Replicas, pl.Size())
+}
+
+// config builds the overlaynet configuration of one replica.
+func (pl SimPlan) config(cell SimCell, seed int64) overlaynet.Config {
+	p := pl.Params
+	p.Mu, p.D = cell.Mu, cell.D
+	bits := cell.LabelBits
+	if bits == 0 {
+		bits = -1 // single root cluster (0 is "default" in Config)
+	}
+	return overlaynet.Config{
+		Params:               p,
+		IDBits:               64,
+		InitialLabelBits:     bits,
+		Mode:                 pl.Mode,
+		FastIdentity:         pl.FastIdentity,
+		Strategy:             cell.Strategy,
+		StationaryPopulation: pl.Stationary,
+		TrackAbsorption:      pl.TrackAbsorption,
+		StopOnAbsorption:     pl.StopOnAbsorption,
+		Seed:                 seed,
+	}
+}
+
+// replicaOutcome is the deterministic per-replica reduction input.
+type replicaOutcome struct {
+	snap         overlaynet.Snapshot
+	metrics      overlaynet.Metrics
+	absorb       overlaynet.AbsorptionReport
+	availability float64
+}
+
+// EvaluateSim runs the simulation grid: cells × replicas fan out as flat
+// tasks across opts.Pool, each replica on its own engine.Stream-derived
+// seed; a cell reduces in fixed replica order the moment its last
+// replica lands, so OnCell streams while the set's final Cells slice
+// stays in plan order. The result is bit-identical for any pool width.
+func EvaluateSim(ctx context.Context, plan SimPlan, opts SimOptions) (*SimResultSet, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	cells := plan.Cells()
+	outcomes := make([]replicaOutcome, len(cells)*plan.Replicas)
+	results := make([]SimCellResult, len(cells))
+	remaining := make([]atomic.Int64, len(cells))
+	for i := range remaining {
+		remaining[i].Store(int64(plan.Replicas))
+	}
+	err := engine.Ensure(opts.Pool).Run(ctx, len(outcomes), func(task int) error {
+		ci := task / plan.Replicas
+		seed := engine.Stream(uint64(plan.Seed), uint64(task)).Int64()
+		out, err := runReplica(plan, cells[ci], seed)
+		if err != nil {
+			return fmt.Errorf("sim cell %d replica %d: %w", ci, task%plan.Replicas, err)
+		}
+		outcomes[task] = out
+		// The final replica of a cell reduces it; replica slots are all
+		// written, and the reduction walks them in replica order, so the
+		// summary is deterministic even though the reducer is whichever
+		// worker finished last.
+		if remaining[ci].Add(-1) == 0 {
+			results[ci] = SimCellResult{
+				Cell:    cells[ci],
+				Summary: reduceCell(plan, outcomes[ci*plan.Replicas:(ci+1)*plan.Replicas]),
+			}
+			if opts.OnCell != nil {
+				opts.OnCell(results[ci])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &SimResultSet{Plan: plan, Cells: results}, nil
+}
+
+// runReplica executes one Monte-Carlo run and extracts its outcome.
+func runReplica(plan SimPlan, cell SimCell, seed int64) (replicaOutcome, error) {
+	n, err := overlaynet.New(plan.config(cell, seed))
+	if err != nil {
+		return replicaOutcome{}, err
+	}
+	if err := n.Run(plan.Events); err != nil {
+		return replicaOutcome{}, err
+	}
+	out := replicaOutcome{
+		snap:    n.Snapshot(),
+		metrics: n.Metrics(),
+		absorb:  n.Absorption(),
+	}
+	if plan.LookupTrials > 0 {
+		avail, err := n.LookupAvailability(plan.LookupTrials)
+		if err != nil {
+			return replicaOutcome{}, err
+		}
+		out.availability = avail
+	}
+	return out, nil
+}
+
+// reduceCell folds a cell's replica outcomes, in replica order, into its
+// summary.
+func reduceCell(plan SimPlan, outs []replicaOutcome) SimSummary {
+	var s SimSummary
+	s.Replicas = len(outs)
+	for _, o := range outs {
+		s.Events += o.metrics.Events
+		s.FinalPeers.Observe(float64(o.snap.Peers))
+		s.PollutedFraction.Observe(o.snap.PollutedFraction)
+		if plan.LookupTrials > 0 {
+			s.Availability.Observe(o.availability)
+		}
+		if plan.TrackAbsorption {
+			s.SafeTime.Merge(o.absorb.SafeTime)
+			s.PollutedTime.Merge(o.absorb.PollutedTime)
+			s.SafeMerge += o.absorb.SafeMerge
+			s.SafeSplit += o.absorb.SafeSplit
+			s.PollutedMerge += o.absorb.PollutedMerge
+			s.PollutedSplit += o.absorb.PollutedSplit
+			s.EverPolluted += o.absorb.EverPolluted
+			s.Censored += o.absorb.Censored
+		}
+		s.Splits += o.metrics.Splits
+		s.Merges += o.metrics.Merges
+		s.Joins += o.metrics.Joins
+		s.Leaves += o.metrics.Leaves
+		s.DiscardedJoins += o.metrics.DiscardedJoins
+		s.RefusedLeaves += o.metrics.RefusedLeaves
+		s.VoluntaryLeaves += o.metrics.VoluntaryLeaves
+		s.ExpiryLeaves += o.metrics.ExpiryLeaves
+	}
+	return s
+}

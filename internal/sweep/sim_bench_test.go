@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/overlaynet"
+)
+
+// BenchmarkOverlaySweep measures end-to-end simulation-sweep throughput:
+// a strategy × µ grid of full overlays on the arena scheduler, reported
+// as simulated churn events per second. One iteration evaluates the
+// whole grid, so the figure includes bootstrap, event dispatch and
+// summary reduction — the number attackd's budget limits are sized
+// against.
+func BenchmarkOverlaySweep(b *testing.B) {
+	for _, size := range []int{1_000, 20_000} {
+		plan := SimPlan{
+			Strategies:   []adversary.Strategy{adversary.StrategyPaper, adversary.StrategyPassive},
+			Mu:           []float64{0.1, 0.2},
+			D:            []float64{0.9},
+			Sizes:        []int{size},
+			Params:       core.Params{C: 7, Delta: 7, K: 1, Nu: 0.1},
+			Events:       5_000,
+			Replicas:     1,
+			Seed:         1,
+			Mode:         overlaynet.ModelFidelity,
+			Stationary:   true,
+			FastIdentity: true,
+		}
+		b.Run("peers="+strconv.Itoa(size), func(b *testing.B) {
+			pool := engine.New(1)
+			b.ReportAllocs()
+			for b.Loop() {
+				rs, err := EvaluateSim(context.Background(), plan, SimOptions{Pool: pool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var events int64
+				for _, cell := range rs.Cells {
+					events += cell.Summary.Events
+				}
+				if events == 0 {
+					b.Fatal("no events simulated")
+				}
+			}
+			grid := int64(plan.Size()) * int64(plan.Replicas) * int64(plan.Events)
+			b.ReportMetric(float64(grid)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"targetedattacks/internal/adversary"
+	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/overlaynet"
+)
+
+func simPlan() SimPlan {
+	return SimPlan{
+		Strategies:   []adversary.Strategy{adversary.StrategyPaper, adversary.StrategyPassive},
+		Mu:           []float64{0.1, 0.25},
+		D:            []float64{0.9},
+		Sizes:        []int{40, 80},
+		Params:       core.Params{C: 7, Delta: 7, K: 1, Nu: 0.1},
+		Events:       400,
+		Replicas:     3,
+		Seed:         11,
+		FastIdentity: true,
+		Stationary:   true,
+		LookupTrials: 50,
+	}
+}
+
+func TestSimPlanCells(t *testing.T) {
+	pl := simPlan()
+	cells := pl.Cells()
+	if len(cells) != pl.Size() || pl.Size() != 8 {
+		t.Fatalf("size = %d, cells = %d, want 8", pl.Size(), len(cells))
+	}
+	// Row-major: strategies outermost, sizes innermost.
+	if cells[0].Strategy != adversary.StrategyPaper || cells[0].Size != 40 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[1].Size != 80 {
+		t.Errorf("cell 1 = %+v, want innermost size axis", cells[1])
+	}
+	if cells[4].Strategy != adversary.StrategyPassive {
+		t.Errorf("cell 4 = %+v, want outermost strategy axis", cells[4])
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+	}
+}
+
+func TestSimPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*SimPlan)
+	}{
+		{"empty strategy axis", func(p *SimPlan) { p.Strategies = nil }},
+		{"empty mu axis", func(p *SimPlan) { p.Mu = nil }},
+		{"empty size axis", func(p *SimPlan) { p.Sizes = nil }},
+		{"no replicas", func(p *SimPlan) { p.Replicas = 0 }},
+		{"no events", func(p *SimPlan) { p.Events = 0 }},
+		{"bad mu", func(p *SimPlan) { p.Mu = []float64{1.5} }},
+		{"bad size", func(p *SimPlan) { p.Sizes = []int{0} }},
+		{"bad strategy", func(p *SimPlan) { p.Strategies = []adversary.Strategy{99} }},
+		{"stop without tracking", func(p *SimPlan) { p.StopOnAbsorption = true }},
+		{"negative lookup trials", func(p *SimPlan) { p.LookupTrials = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl := simPlan()
+			c.mod(&pl)
+			if err := pl.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", pl)
+			}
+		})
+	}
+	pl := simPlan()
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// TestEvaluateSimDeterministicAcrossPools is the determinism golden
+// test: the same plan evaluated serially and on 2- and 8-worker pools
+// must produce bit-identical result sets, cell streaming included.
+func TestEvaluateSimDeterministicAcrossPools(t *testing.T) {
+	pl := simPlan()
+	var ref *SimResultSet
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		streamed := make(map[int]SimCellResult)
+		rs, err := EvaluateSim(context.Background(), pl, SimOptions{
+			Pool: engine.New(workers),
+			OnCell: func(r SimCellResult) {
+				mu.Lock()
+				streamed[r.Cell.Index] = r
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != pl.Size() {
+			t.Fatalf("workers=%d: streamed %d cells, want %d", workers, len(streamed), pl.Size())
+		}
+		for i, cell := range rs.Cells {
+			if !reflect.DeepEqual(cell, streamed[i]) {
+				t.Errorf("workers=%d: streamed cell %d differs from result set", workers, i)
+			}
+		}
+		if ref == nil {
+			ref = rs
+			continue
+		}
+		if !reflect.DeepEqual(ref.Cells, rs.Cells) {
+			t.Errorf("workers=%d: result set differs from serial evaluation", workers)
+		}
+	}
+}
+
+// TestEvaluateSimSummaries sanity-checks the aggregated physics: the
+// paper strategy pollutes at least as much as the passive population,
+// and availability falls with pollution.
+func TestEvaluateSimSummaries(t *testing.T) {
+	pl := simPlan()
+	rs, err := EvaluateSim(context.Background(), pl, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range rs.Cells {
+		if cell.Summary.Replicas != pl.Replicas {
+			t.Errorf("cell %d aggregated %d replicas, want %d", cell.Cell.Index, cell.Summary.Replicas, pl.Replicas)
+		}
+		if cell.Summary.Events != int64(pl.Events*pl.Replicas) {
+			t.Errorf("cell %d processed %d events, want %d", cell.Cell.Index, cell.Summary.Events, pl.Events*pl.Replicas)
+		}
+		if n := cell.Summary.FinalPeers.N(); n != pl.Replicas {
+			t.Errorf("cell %d FinalPeers has %d samples", cell.Cell.Index, n)
+		}
+		if cell.Summary.FinalPeers.Mean() <= 0 {
+			t.Errorf("cell %d has empty final population", cell.Cell.Index)
+		}
+	}
+	// Cells 0..3 are StrategyPaper, 4..7 StrategyPassive, pairwise equal
+	// otherwise; pooled pollution must not be lower under the full attack.
+	var paper, passive float64
+	for i := 0; i < 4; i++ {
+		paper += rs.Cells[i].Summary.PollutedFraction.Mean()
+		passive += rs.Cells[i+4].Summary.PollutedFraction.Mean()
+	}
+	if paper < passive {
+		t.Errorf("paper strategy pooled pollution %v < passive %v", paper, passive)
+	}
+}
+
+// TestEvaluateSimAbsorption runs the single-cluster absorption regime
+// the analytic cross-validation uses: every replica is one absorption
+// trajectory of the chain.
+func TestEvaluateSimAbsorption(t *testing.T) {
+	pl := SimPlan{
+		Strategies:       []adversary.Strategy{adversary.StrategyPaper},
+		Mu:               []float64{0.2},
+		D:                []float64{0.9},
+		Sizes:            []int{10}, // single cluster at C = ∆ = 7
+		Params:           core.Params{C: 7, Delta: 7, K: 1, Nu: 0.1},
+		Events:           1 << 16,
+		Replicas:         8,
+		Seed:             5,
+		FastIdentity:     true,
+		TrackAbsorption:  true,
+		StopOnAbsorption: true,
+	}
+	rs, err := EvaluateSim(context.Background(), pl, SimOptions{Pool: engine.New(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rs.Cells[0].Summary
+	if s.Absorbed() != int64(pl.Replicas) {
+		t.Fatalf("absorbed = %d, want one sample per replica (%d): %+v", s.Absorbed(), pl.Replicas, s)
+	}
+	if s.Censored != 0 {
+		t.Errorf("censored = %d in single-cluster runs", s.Censored)
+	}
+	if s.SafeTime.N() != pl.Replicas {
+		t.Errorf("SafeTime pooled %d samples, want %d", s.SafeTime.N(), pl.Replicas)
+	}
+	if s.SafeTime.Mean() <= 0 {
+		t.Errorf("mean safe chain age %v, want > 0", s.SafeTime.Mean())
+	}
+}
+
+// TestSimPlanConfigSingleCluster checks the size→label-depth mapping
+// bottoms out at one root cluster rather than the 2^3 default.
+func TestSimPlanConfigSingleCluster(t *testing.T) {
+	pl := simPlan()
+	cell := SimCell{Size: 10, LabelBits: overlaynet.LabelBitsForPopulation(10, 7, 7)}
+	cfg := pl.config(cell, 1)
+	n, err := overlaynet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Clusters()); got != 1 {
+		t.Errorf("size-10 bootstrap built %d clusters, want 1", got)
+	}
+}
