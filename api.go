@@ -3,6 +3,10 @@ package targetedattacks
 import (
 	"context"
 
+	// Registers the APT compromise-chain family so ModelFamilies and
+	// LookupModelFamily see every built-in model.
+	_ "targetedattacks/internal/aptchain"
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
@@ -96,6 +100,28 @@ type (
 	// Space is the enumerated state space Ω(C, ∆); immutable, so one
 	// enumeration can back many model builds (see WithSharedSpace).
 	Space = core.Space
+	// ModelFamily is one registered absorbing-chain model: its parameter
+	// space, state space and the sweep structure the amortized evaluator
+	// exploits. The paper model registers as "targeted-attack", the APT
+	// compromise chain as "apt-compromise"; see ModelFamilies.
+	ModelFamily = chainmodel.Family
+	// ModelInstance is one analyzable chain of a family (a built
+	// transition matrix plus its transient/absorbing partition).
+	ModelInstance = chainmodel.Instance
+	// ModelAnalysis bundles the closed-form results of any family in
+	// model-free vocabulary (times and sojourns in the transient subsets
+	// A and B, absorption per named class, hit probability of B).
+	ModelAnalysis = chainmodel.Analysis
+	// ModelSweepPlan is a model-agnostic parameter grid: a family plus
+	// its cells in canonical order, evaluated by EvaluateModelSweep.
+	ModelSweepPlan = sweep.ModelPlan
+	// ModelSweepOptions tunes a model-agnostic grid evaluation.
+	ModelSweepOptions = sweep.ModelOptions
+	// ModelSweepResult is the deterministic outcome of a model-agnostic
+	// grid evaluation.
+	ModelSweepResult = sweep.ModelResultSet
+	// ModelSweepCell is one cell's outcome inside a ModelSweepResult.
+	ModelSweepCell = sweep.ModelCellResult
 )
 
 // Initial distributions of the paper (Section VII-A).
@@ -185,6 +211,33 @@ func EvaluateSweep(ctx context.Context, plan SweepPlan, opts SweepOptions) (*Swe
 // evaluator as POST /v1/simsweep.
 func EvaluateSimSweep(ctx context.Context, plan SimPlan, opts SimOptions) (*SimResult, error) {
 	return sweep.EvaluateSim(ctx, plan, opts)
+}
+
+// ModelFamilies lists the registered model family names, sorted. The
+// serving layer's "model" request field and LookupModelFamily accept
+// exactly these.
+func ModelFamilies() []string { return chainmodel.Names() }
+
+// LookupModelFamily resolves a registered family by name; the empty
+// name selects the default "targeted-attack" paper model.
+func LookupModelFamily(name string) (ModelFamily, bool) { return chainmodel.Lookup(name) }
+
+// AnalyzeModel runs the full closed-form analysis on any family's
+// instance for one of its named initial distributions ("" selects the
+// family default only through EvaluateModelSweep; here the name is
+// explicit). The arithmetic is identical to the paper model's Analyze.
+func AnalyzeModel(inst ModelInstance, dist string, sojourns int) (*ModelAnalysis, error) {
+	return chainmodel.Analyze(inst, dist, sojourns)
+}
+
+// EvaluateModelSweep runs a model-agnostic grid through the amortized
+// three-pass planner: shared immutable tables per family group,
+// provably identical cells solved once, warm-start lanes along the
+// family's declared slow axis. EvaluateSweep is the paper model's
+// specialized view of this evaluator; cmd/attackd serves both over
+// HTTP (the request's "model" field selects the family).
+func EvaluateModelSweep(ctx context.Context, plan ModelSweepPlan, opts ModelSweepOptions) (*ModelSweepResult, error) {
+	return sweep.EvaluateModel(ctx, plan, opts)
 }
 
 // ParseIntAxis parses a sweep axis over integers: a comma list ("7,9")

@@ -23,16 +23,26 @@
 // N Monte-Carlo trajectories fanned across -workers workers — the result
 // is deterministic in -seed alone, for any worker count. -scenarios lists
 // the registered experiment scenarios (run them with cmd/paperrepro).
+//
+// -model selects a registered chain family other than the default paper
+// model. For "apt-compromise" the cell comes from -n/-theta/-phi/-rho/
+// -detect (or a raw -params JSON object for any family), the initial
+// distribution from -dist, and the output is the model-free analysis:
+// expected times in the A/B transient split, successive sojourns, hit
+// probability and per-class absorption.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	_ "targetedattacks/internal/aptchain"
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/experiments"
@@ -68,6 +78,14 @@ func run(args []string) error {
 		scenarios = fs.Bool("scenarios", false, "list the experiment scenario registry and exit")
 		solver    = fs.String("solver", "", "linear-solver backend: "+strings.Join(matrix.SolverKinds(), ", "))
 		tol       = fs.Float64("tol", 0, "iterative solver residual tolerance (0 = default)")
+		modelName = fs.String("model", "", "chain family: "+strings.Join(chainmodel.Names(), ", ")+" (\"\" = "+chainmodel.DefaultFamily+")")
+		params    = fs.String("params", "", "non-default -model: raw JSON cell, overriding the per-family flags")
+		distName  = fs.String("dist", "", "non-default -model: named initial distribution (\"\" = family default)")
+		n         = fs.Int("n", 6, "apt-compromise: number of nodes n")
+		theta     = fs.Float64("theta", 0.5, "apt-compromise: per-probe infiltration probability θ")
+		phi       = fs.Float64("phi", 0.4, "apt-compromise: escalation probability φ")
+		rho       = fs.Float64("rho", 0.3, "apt-compromise: implant stealth ρ")
+		detect    = fs.Float64("detect", 0.7, "apt-compromise: detection probability δ")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +96,14 @@ func run(args []string) error {
 		}
 		fmt.Println("\nrun scenarios with: paperrepro -only <keys> [-workers N] [-seed S]")
 		return nil
+	}
+	if name := strings.ToLower(strings.TrimSpace(*modelName)); name != "" && name != chainmodel.DefaultFamily {
+		body := *params
+		if body == "" {
+			body = fmt.Sprintf(`{"n":%d,"theta":%g,"phi":%g,"rho":%g,"detect":%g}`,
+				*n, *theta, *phi, *rho, *detect)
+		}
+		return runModel(name, body, *distName, *sojourns, matrix.SolverConfig{Kind: *solver, Tol: *tol})
 	}
 	p := core.Params{C: *c, Delta: *delta, Mu: *mu, D: *d, K: *k, Nu: *nu}
 	model, err := core.NewWithSolver(p, matrix.SolverConfig{Kind: *solver, Tol: *tol})
@@ -143,6 +169,72 @@ func run(args []string) error {
 		for _, pt := range pts {
 			fmt.Printf("%-12d %-12.6f %.6f\n", pt.Events, pt.Safe, pt.Polluted)
 		}
+	}
+	return nil
+}
+
+// runModel analyzes one cell of a non-default chain family through the
+// model-agnostic engine and prints the model-free closed forms.
+func runModel(name, body, dist string, sojourns int, sc matrix.SolverConfig) error {
+	fam, ok := chainmodel.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown -model %q (registered: %s)", name, strings.Join(chainmodel.Names(), ", "))
+	}
+	cell, err := fam.ParseCell([]byte(body))
+	if err != nil {
+		return err
+	}
+	distName, err := fam.ParseDist(dist)
+	if err != nil {
+		return err
+	}
+	states, err := fam.StateCount(cell)
+	if err != nil {
+		return err
+	}
+	shared, err := fam.NewShared([]chainmodel.Cell{cell})
+	if err != nil {
+		return err
+	}
+	inst, err := fam.Build(shared, cell, sc, nil)
+	if err != nil {
+		return err
+	}
+	a, err := chainmodel.Analyze(inst, distName, sojourns)
+	if err != nil {
+		return err
+	}
+	dto, err := json.Marshal(fam.CellDTO(cell))
+	if err != nil {
+		return err
+	}
+	solverName := sc.Kind
+	if solverName == "" {
+		solverName = "dense"
+	}
+	fmt.Printf("model: %s %s, α = %s, |Ω| = %d states, solver = %s\n",
+		fam.Name(), dto, distName, states, solverName)
+	if a.Solver.Iterations > 0 || a.Solver.Fallbacks > 0 {
+		line := fmt.Sprintf("solver stats: backend = %s, %d iterations", a.Solver.Backend, a.Solver.Iterations)
+		if a.Solver.Fallbacks > 0 {
+			line += fmt.Sprintf(", %d dense fallbacks (%s)", a.Solver.Fallbacks, a.Solver.FallbackReason)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("E(T_A) = %.6g   (expected events in transient subset A before absorption)\n", a.TimeInA)
+	fmt.Printf("E(T_B) = %.6g   (expected events in transient subset B before absorption)\n", a.TimeInB)
+	fmt.Printf("P(hit B) = %.6g\n", a.HitProbability)
+	for i := range a.SojournsA {
+		fmt.Printf("E(T_A,%d) = %-12.6g E(T_B,%d) = %.6g\n",
+			i+1, a.SojournsA[i], i+1, a.SojournsB[i])
+	}
+	classes := make([]string, 0, len(a.Absorption))
+	for class := range a.Absorption {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("p(%s) = %.6g\n", class, a.Absorption[class])
 	}
 	return nil
 }

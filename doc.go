@@ -13,7 +13,23 @@
 //
 // # Layers
 //
-// The package exposes five layers:
+// The package exposes these layers:
+//
+//   - The model registry (internal/chainmodel): the analytic stack is
+//     model-agnostic. A chainmodel.Family declares a state enumeration,
+//     a sparse row emitter, a transient A/B split with named absorbing
+//     classes, and the structure a parameter sweep can exploit (shared-
+//     table groups, provable cell-equality signatures, warm-start
+//     lanes). Matrix construction (chunked, bit-identical for any
+//     worker count), the full closed-form suite (AnalyzeChain), the
+//     sweep planner and the HTTP serving layer are all written against
+//     this interface. Two families are registered: "targeted-attack"
+//     (the paper's model, the default) and "apt-compromise" (a
+//     multi-stage compromise campaign on a triangular footholds ×
+//     entrenched state space). ModelFamilies lists them,
+//     LookupModelFamily resolves one, AnalyzeModel and
+//     EvaluateModelSweep analyze them; see the README for the
+//     adding-a-third-family walkthrough.
 //
 //   - The exact analytical model: the absorbing Markov chain over states
 //     (s, x, y) — spare size, malicious core members, malicious spare
@@ -65,24 +81,31 @@
 //     scenario evaluates C=∆ up to 50 (|Ω| ≈ 68k states) end-to-end in
 //     seconds on this path.
 //
-//   - The amortized sweep evaluator above the model (internal/sweep): a
-//     SweepPlan expresses a parameter grid over (C, ∆, k, µ, d, ν) with
-//     list/range axes; the planner groups cells by cluster geometry so
-//     one enumerated state space, one memoized maintenance kernel and
-//     one Rule 1 gain table per protocol back every cell, and
-//     deduplicates provably identical cells — ν enters the chain only by
-//     thresholding the finite set of relation (2) gains, so equal firing
-//     sets at equal (k, µ, d) mean equal chains, solved once. A 64-cell
-//     ν×d grid at C=∆=40 evaluates ≈ 8× faster than independent per-cell
-//     analyses on one core, bit-identical results included
-//     (BenchmarkSweepGrid).
+//   - The amortized sweep evaluator above the models (internal/sweep):
+//     sweep.EvaluateModel runs any family's grid through a three-pass
+//     planner driven by the family's declared structure — cells group
+//     on GroupKey and share the immutable tables NewShared builds,
+//     cells with equal Signatures are provably the same chain and are
+//     solved once, and consecutive classes with equal LaneKeys form
+//     warm-start lanes whose iterative solves seed from their
+//     neighbor's converged vectors. Lanes (not chains) fan across the
+//     pool, so results and iteration counts are bit-identical for any
+//     worker width. For the paper model a SweepPlan over
+//     (C, ∆, k, µ, d, ν) runs on this path (EvaluateSweep): geometry
+//     groups share one state space, one memoized maintenance kernel
+//     and one Rule 1 gain table per protocol, and ν dedups by its gain
+//     cut — a 64-cell ν×d grid at C=∆=40 evaluates ≈ 8× faster than
+//     independent per-cell analyses on one core (BenchmarkSweepGrid).
 //
 //   - The serving layer (cmd/attackd, internal/attackd): a long-lived
 //     HTTP process exposing POST /v1/analyze (one cell) and
-//     POST /v1/sweep (a grid) with an LRU result cache keyed by
-//     canonical parameters, singleflight deduplication of concurrent
-//     identical requests, /healthz and Prometheus-format /metrics, and
-//     graceful drain on SIGINT/SIGTERM.
+//     POST /v1/sweep (a grid) for every registered family — the
+//     request's "model" field selects one, unknown names get a 400
+//     listing the registry — with an LRU result cache keyed by
+//     canonical parameters (model name included), singleflight
+//     deduplication of concurrent identical requests, /healthz,
+//     Prometheus-format /metrics with per-model evaluation counters,
+//     and graceful drain on SIGINT/SIGTERM.
 //
 //   - A Monte-Carlo simulator of the same chain for cross-validation.
 //
@@ -112,8 +135,10 @@
 // concurrently with -workers and -seed flags. The grid scenarios
 // (S1-S5) are expressed as SweepPlans and run through EvaluateSweep, so
 // they inherit the shared-structure amortization and cell
-// deduplication; every scenario honors Env.Solver, Env.BuildPool and
-// the worker pool uniformly (the registry test asserts it key by key).
+// deduplication; the apt scenario (S7) runs the second model family
+// through EvaluateModelSweep the same way; every scenario honors
+// Env.Solver, Env.BuildPool and the worker pool uniformly (the
+// registry test asserts it key by key).
 //
 // # Quick start
 //
@@ -144,8 +169,23 @@
 //		Solver: targetedattacks.SolverConfig{Kind: "bicgstab"},
 //	})
 //
+//	// Any registered family runs through the same engine; e.g. an APT
+//	// compromise campaign with warm-started stealth lanes:
+//	fam, _ := targetedattacks.LookupModelFamily("apt-compromise")
+//	cells, err := fam.ParsePlan([]byte(
+//		`{"n":"20","theta":"0.3,0.6","phi":"0.4","detect":"0.5,0.8","rho":"0:0.5:0.25"}`))
+//	if err != nil { ... }
+//	mrs, err := targetedattacks.EvaluateModelSweep(ctx,
+//		targetedattacks.ModelSweepPlan{Family: fam, Cells: cells},
+//		targetedattacks.ModelSweepOptions{
+//			Pool:      targetedattacks.NewPool(0),
+//			Solver:    targetedattacks.SolverConfig{Kind: "bicgstab"},
+//			WarmStart: true,
+//		})
+//
 // Or serve it: `go run ./cmd/attackd` starts the HTTP layer
-// (POST /v1/analyze, POST /v1/sweep, /healthz, /metrics).
+// (POST /v1/analyze, POST /v1/sweep, /healthz, /metrics; the "model"
+// request field selects any registered family).
 //
 // See the examples/ directory for runnable programs and cmd/paperrepro
 // for the harness that regenerates every table and figure of the paper.

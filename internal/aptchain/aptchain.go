@@ -1,0 +1,328 @@
+// Package aptchain is the second model family of the absorbing-chain
+// engine: an APT-style multi-stage compromise chain over a networked
+// system of n nodes, after the extended stochastic compromise models of
+// Xu & Xu (arXiv:1603.08304) and the APT security-evaluation chains of
+// Yang et al. (arXiv:1707.03611).
+//
+// A state (a, b) counts the attacker's footholds — a nodes infiltrated
+// but not yet entrenched — and b nodes entrenched (persistent,
+// detection-resistant). The remaining h = n − a − b nodes are healthy.
+// Each step is an attacker event or a defender event with probability
+// 1/2 each, and the acting side probes one uniformly random node:
+//
+//   - attacker on a healthy node: infiltration succeeds with
+//     probability θ — (a, b) → (a+1, b);
+//   - attacker on a foothold: escalation to persistence succeeds with
+//     probability φ — (a, b) → (a−1, b+1);
+//   - defender on a foothold: detection and cleanup succeed with
+//     probability δ — (a, b) → (a−1, b);
+//   - defender on an entrenched node: the implant's stealth ρ discounts
+//     detection, succeeding with probability δ·(1−ρ) —
+//     (a, b) → (a, b−1);
+//   - otherwise nothing changes.
+//
+// The campaign ends in one of two absorbing states: (0, 0) — the
+// defender eradicated every compromised node and the campaign is over
+// ("evicted") — or (0, n) — every node is entrenched and the defender
+// has lost ("compromised"). The transient split mirrors the engine's
+// A/B vocabulary: subset A ("contained") holds the states with no
+// entrenchment yet (b = 0, a ≥ 1), subset B ("escalated") the transient
+// states with b ≥ 1. The generic hit probability is therefore the
+// probability the attacker ever entrenches a single node.
+package aptchain
+
+import (
+	"fmt"
+
+	"targetedattacks/internal/chainmodel"
+	"targetedattacks/internal/engine"
+	"targetedattacks/internal/markov"
+	"targetedattacks/internal/matrix"
+)
+
+// Params are the campaign parameters.
+type Params struct {
+	// N is the number of nodes.
+	N int
+	// Theta is the per-probe infiltration success probability θ.
+	Theta float64
+	// Phi is the per-probe escalation success probability φ.
+	Phi float64
+	// Rho is the entrenched implants' stealth ρ: detection of an
+	// entrenched node succeeds with probability δ·(1−ρ).
+	Rho float64
+	// Detect is the defender's per-probe detection probability δ.
+	Detect float64
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("aptchain: N = %d, want N ≥ 2", p.N)
+	}
+	if !(p.Theta > 0 && p.Theta <= 1) {
+		return fmt.Errorf("aptchain: θ = %v outside (0, 1]", p.Theta)
+	}
+	if !(p.Phi > 0 && p.Phi <= 1) {
+		return fmt.Errorf("aptchain: φ = %v outside (0, 1]", p.Phi)
+	}
+	if !(p.Rho >= 0 && p.Rho < 1) {
+		return fmt.Errorf("aptchain: ρ = %v outside [0, 1)", p.Rho)
+	}
+	if !(p.Detect > 0 && p.Detect <= 1) {
+		return fmt.Errorf("aptchain: δ = %v outside (0, 1]", p.Detect)
+	}
+	return nil
+}
+
+// String renders the parameters compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("apt(n=%d, θ=%.3f, φ=%.3f, ρ=%.3f, δ=%.3f)", p.N, p.Theta, p.Phi, p.Rho, p.Detect)
+}
+
+// Absorbing class names as used in Analysis.Absorption.
+const (
+	// ClassNameEvicted is full recovery: the defender cleaned the last
+	// compromised node and the campaign is over.
+	ClassNameEvicted = "evicted"
+	// ClassNameCompromised is full compromise: every node entrenched.
+	ClassNameCompromised = "compromised"
+)
+
+// Named initial distributions.
+const (
+	// DistFoothold (the default) starts from (1, 0): a single
+	// infiltrated node, the classic spear-phishing entry.
+	DistFoothold = "foothold"
+	// DistBlitz starts from (n, 0): every node infiltrated at once, no
+	// entrenchment yet — a worst-case mass-infiltration wave.
+	DistBlitz = "blitz"
+)
+
+// Space enumerates the triangular state space
+// Ω(n) = {(a, b) : a, b ≥ 0, a + b ≤ n}, b-major: index
+// (a, b) ↦ b(n+1) − b(b−1)/2 + a. |Ω| = (n+1)(n+2)/2. Immutable, so
+// one enumeration backs every cell of a sweep group at fixed n.
+type Space struct {
+	n int
+	// a, b decode an index back to its state in O(1).
+	a, b []int32
+}
+
+// NewSpace enumerates Ω(n).
+func NewSpace(n int) (*Space, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("aptchain: N = %d, want N ≥ 2", n)
+	}
+	size := (n + 1) * (n + 2) / 2
+	sp := &Space{n: n, a: make([]int32, size), b: make([]int32, size)}
+	i := 0
+	for b := 0; b <= n; b++ {
+		for a := 0; a <= n-b; a++ {
+			sp.a[i] = int32(a)
+			sp.b[i] = int32(b)
+			i++
+		}
+	}
+	return sp, nil
+}
+
+// N returns the node count.
+func (sp *Space) N() int { return sp.n }
+
+// Size returns |Ω| = (n+1)(n+2)/2.
+func (sp *Space) Size() int { return len(sp.a) }
+
+// Index returns the index of (a, b), reporting whether the state lies
+// in Ω.
+func (sp *Space) Index(a, b int) (int, bool) {
+	if a < 0 || b < 0 || a+b > sp.n {
+		return 0, false
+	}
+	return b*(sp.n+1) - b*(b-1)/2 + a, true
+}
+
+// MustIndex is Index for states known to lie in Ω.
+func (sp *Space) MustIndex(a, b int) int {
+	i, ok := sp.Index(a, b)
+	if !ok {
+		panic(fmt.Sprintf("aptchain: state (%d,%d) outside Ω(n=%d)", a, b, sp.n))
+	}
+	return i
+}
+
+// At decodes index i back to its state (a, b).
+func (sp *Space) At(i int) (a, b int) {
+	return int(sp.a[i]), int(sp.b[i])
+}
+
+// Transient reports whether state i is transient: everything except the
+// two absorbing campaign outcomes (0, 0) and (0, n).
+func (sp *Space) Transient(i int) bool {
+	a, b := sp.At(i)
+	return !(a == 0 && (b == 0 || b == sp.n))
+}
+
+// Emitter emits the sparse transition rows of the campaign chain; it
+// implements chainmodel.RowEmitter (EmitRow is safe for concurrent use
+// on distinct rows — the Space is immutable and Params a value).
+type Emitter struct {
+	P  Params
+	Sp *Space
+}
+
+// NumStates implements chainmodel.RowEmitter.
+func (e Emitter) NumStates() int { return e.Sp.Size() }
+
+// Transient implements chainmodel.RowEmitter.
+func (e Emitter) Transient(i int) bool { return e.Sp.Transient(i) }
+
+// EmitRow implements chainmodel.RowEmitter: the four move probabilities
+// of state (a, b) plus the self-loop remainder. The per-branch node
+// fractions keep the row sum ≤ 1 for any parameters — the attacker
+// branches spend at most (h+a)/n of their half-step, the defender
+// branches at most (a+b)/n of theirs.
+func (e Emitter) EmitRow(rb *matrix.RowBuilder, i int) error {
+	a, b := e.Sp.At(i)
+	n := float64(e.Sp.n)
+	h := e.Sp.n - a - b
+	pInf := 0.5 * float64(h) / n * e.P.Theta
+	pEsc := 0.5 * float64(a) / n * e.P.Phi
+	pDetA := 0.5 * float64(a) / n * e.P.Detect
+	pDetB := 0.5 * float64(b) / n * e.P.Detect * (1 - e.P.Rho)
+	stay := 1 - pInf - pEsc - pDetA - pDetB
+	if stay < 0 {
+		// The exact sum is ≤ 1; only float round-off can push past it.
+		if stay < -1e-9 {
+			return fmt.Errorf("aptchain: state (%d,%d): moves sum to %v > 1", a, b, 1-stay)
+		}
+		stay = 0
+	}
+	add := func(a2, b2 int, w float64) error {
+		if w == 0 {
+			return nil
+		}
+		return rb.Add(e.Sp.MustIndex(a2, b2), w)
+	}
+	if err := add(a+1, b, pInf); err != nil {
+		return err
+	}
+	if err := add(a-1, b+1, pEsc); err != nil {
+		return err
+	}
+	if err := add(a-1, b, pDetA); err != nil {
+		return err
+	}
+	if err := add(a, b-1, pDetB); err != nil {
+		return err
+	}
+	return add(a, b, stay)
+}
+
+// Instance is one built campaign chain; it implements
+// chainmodel.Instance.
+type Instance struct {
+	params Params
+	space  *Space
+	m      *matrix.CSR
+	solver matrix.Solver
+}
+
+// New validates p and builds the campaign chain: its state space (sp
+// when non-nil and matching, else a fresh enumeration), the exact
+// transition matrix (row construction fanned across buildPool; output
+// bit-identical for any width), and the linear-solver backend of its
+// analyses.
+func New(p Params, sc matrix.SolverConfig, sp *Space, buildPool *engine.Pool) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	solver, err := sc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("aptchain: %w", err)
+	}
+	if sp != nil {
+		if sp.n != p.N {
+			return nil, fmt.Errorf("aptchain: shared space Ω(n=%d) does not match params (n=%d)", sp.n, p.N)
+		}
+	} else if sp, err = NewSpace(p.N); err != nil {
+		return nil, err
+	}
+	m, err := chainmodel.BuildMatrix(Emitter{P: p, Sp: sp}, buildPool)
+	if err != nil {
+		return nil, fmt.Errorf("aptchain: %w", err)
+	}
+	return &Instance{params: p, space: sp, m: m, solver: solver}, nil
+}
+
+// Params returns the campaign parameters.
+func (in *Instance) Params() Params { return in.params }
+
+// Space returns the state space.
+func (in *Instance) Space() *Space { return in.space }
+
+// NumStates implements chainmodel.Instance.
+func (in *Instance) NumStates() int { return in.space.Size() }
+
+// NumTransient implements chainmodel.Instance: everything but the two
+// campaign outcomes.
+func (in *Instance) NumTransient() int { return in.space.Size() - 2 }
+
+// TransientState implements chainmodel.Instance.
+func (in *Instance) TransientState(i int) bool { return in.space.Transient(i) }
+
+// Matrix implements chainmodel.Instance.
+func (in *Instance) Matrix() *matrix.CSR { return in.m }
+
+// CleanClasses implements chainmodel.Instance: only eviction is
+// reachable without the attacker ever entrenching a node, so the
+// generic HitProbability is P(ever entrenched).
+func (in *Instance) CleanClasses() []string { return []string{ClassNameEvicted} }
+
+// Initial materializes a named initial distribution over Ω.
+func (in *Instance) Initial(dist string) ([]float64, error) {
+	alpha := make([]float64, in.space.Size())
+	switch dist {
+	case DistFoothold:
+		alpha[in.space.MustIndex(1, 0)] = 1
+	case DistBlitz:
+		alpha[in.space.MustIndex(in.space.n, 0)] = 1
+	default:
+		return nil, fmt.Errorf("aptchain: unknown distribution %q (want %q or %q)", dist, DistFoothold, DistBlitz)
+	}
+	return alpha, nil
+}
+
+// Chain implements chainmodel.Instance: subset A is the contained
+// states (b = 0, a ≥ 1), subset B the escalated transient states
+// (b ≥ 1), and the two campaign outcomes are the absorbing classes.
+func (in *Instance) Chain(dist string) (*markov.Chain, error) {
+	alpha, err := in.Initial(dist)
+	if err != nil {
+		return nil, err
+	}
+	sp := in.space
+	var subsetA, subsetB []int
+	for i := 0; i < sp.Size(); i++ {
+		a, b := sp.At(i)
+		switch {
+		case !sp.Transient(i):
+		case b == 0 && a >= 1:
+			subsetA = append(subsetA, i)
+		default:
+			subsetB = append(subsetB, i)
+		}
+	}
+	return markov.NewChain(markov.Spec{
+		Full:    in.m,
+		Alpha:   alpha,
+		SubsetA: subsetA,
+		SubsetB: subsetB,
+		AbsorbingClasses: map[string][]int{
+			ClassNameEvicted:     {sp.MustIndex(0, 0)},
+			ClassNameCompromised: {sp.MustIndex(0, sp.n)},
+		},
+		ClassOrder: []string{ClassNameEvicted, ClassNameCompromised},
+		Solver:     in.solver,
+	})
+}

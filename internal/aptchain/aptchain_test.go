@@ -1,0 +1,189 @@
+package aptchain
+
+import (
+	"math"
+	"testing"
+
+	"targetedattacks/internal/chainmodel"
+	"targetedattacks/internal/matrix"
+)
+
+func testParams() Params {
+	return Params{N: 6, Theta: 0.5, Phi: 0.4, Rho: 0.3, Detect: 0.7}
+}
+
+func build(t *testing.T, p Params, kind string) *Instance {
+	t.Helper()
+	in, err := New(p, matrix.SolverConfig{Kind: kind}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSpaceIndexRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 12} {
+		sp, err := NewSpace(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (n + 1) * (n + 2) / 2; sp.Size() != want {
+			t.Fatalf("n=%d: |Ω| = %d, want %d", n, sp.Size(), want)
+		}
+		for i := 0; i < sp.Size(); i++ {
+			a, b := sp.At(i)
+			if a < 0 || b < 0 || a+b > n {
+				t.Fatalf("n=%d: At(%d) = (%d,%d) outside Ω", n, i, a, b)
+			}
+			if got := sp.MustIndex(a, b); got != i {
+				t.Fatalf("n=%d: (%d,%d) indexes to %d, enumerated at %d", n, a, b, got, i)
+			}
+		}
+		for _, bad := range [][2]int{{-1, 0}, {0, -1}, {n, 1}, {n + 1, 0}, {0, n + 1}} {
+			if _, ok := sp.Index(bad[0], bad[1]); ok {
+				t.Errorf("n=%d: Index(%d,%d) accepted a state outside Ω", n, bad[0], bad[1])
+			}
+		}
+		// Exactly the two campaign outcomes are absorbing.
+		absorbing := 0
+		for i := 0; i < sp.Size(); i++ {
+			if !sp.Transient(i) {
+				absorbing++
+			}
+		}
+		if absorbing != 2 {
+			t.Errorf("n=%d: %d absorbing states, want 2", n, absorbing)
+		}
+	}
+	if _, err := NewSpace(1); err == nil {
+		t.Error("NewSpace(1) must be rejected")
+	}
+}
+
+// TestStochasticity: every built matrix must be a well-formed absorbing
+// transition matrix at the contract tolerance (exact probability
+// splits, so rounding stays far below 1e-12).
+func TestStochasticity(t *testing.T) {
+	for _, p := range []Params{
+		testParams(),
+		{N: 2, Theta: 1, Phi: 1, Rho: 0, Detect: 1},
+		{N: 10, Theta: 0.01, Phi: 0.99, Rho: 0.9, Detect: 0.05},
+		{N: 25, Theta: 0.7, Phi: 0.2, Rho: 0.5, Detect: 0.6},
+	} {
+		in := build(t, p, "dense")
+		if err := chainmodel.ValidateInstance(in, chainmodel.DefaultStochasticityTol); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+// TestSparseDenseEquivalence: the iterative sparse backends must agree
+// with the dense LU analysis to 1e-9 on every closed form, for both
+// initial distributions.
+func TestSparseDenseEquivalence(t *testing.T) {
+	p := testParams()
+	dense := build(t, p, "dense")
+	for _, kind := range []string{"bicgstab", "ilu"} {
+		sparse := build(t, p, kind)
+		for _, dist := range []string{DistFoothold, DistBlitz} {
+			want, err := chainmodel.Analyze(dense, dist, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := chainmodel.Analyze(sparse, dist, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			close := func(name string, x, y float64) {
+				if math.Abs(x-y) > 1e-9 {
+					t.Errorf("%s/%s: %s = %v sparse, %v dense", kind, dist, name, x, y)
+				}
+			}
+			close("E(T_A)", got.TimeInA, want.TimeInA)
+			close("E(T_B)", got.TimeInB, want.TimeInB)
+			close("hit", got.HitProbability, want.HitProbability)
+			for i := range want.SojournsA {
+				close("sojourn A", got.SojournsA[i], want.SojournsA[i])
+				close("sojourn B", got.SojournsB[i], want.SojournsB[i])
+			}
+			for class, v := range want.Absorption {
+				close("absorption "+class, got.Absorption[class], v)
+			}
+		}
+	}
+}
+
+// TestAbsorptionSanity: the two campaign outcomes partition the
+// probability mass, the hit probability bounds the compromise
+// probability (entrenchment precedes full compromise), and a stronger
+// defender evicts more often.
+func TestAbsorptionSanity(t *testing.T) {
+	p := testParams()
+	a, err := chainmodel.Analyze(build(t, p, "dense"), DistFoothold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := a.Absorption[ClassNameEvicted] + a.Absorption[ClassNameCompromised]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("absorption sums to %v, want 1", sum)
+	}
+	if a.HitProbability < a.Absorption[ClassNameCompromised]-1e-12 {
+		t.Errorf("hit %v < P(compromised) %v: full compromise requires entrenchment",
+			a.HitProbability, a.Absorption[ClassNameCompromised])
+	}
+	if a.HitProbability <= 0 || a.HitProbability >= 1 {
+		t.Errorf("hit = %v, want interior for interior parameters", a.HitProbability)
+	}
+	strong := p
+	strong.Detect = 0.99
+	sa, err := chainmodel.Analyze(build(t, strong, "dense"), DistFoothold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Absorption[ClassNameEvicted] <= a.Absorption[ClassNameEvicted] {
+		t.Errorf("δ=%.2f evicts %v, δ=%.2f evicts %v: more detection must evict more",
+			strong.Detect, sa.Absorption[ClassNameEvicted], p.Detect, a.Absorption[ClassNameEvicted])
+	}
+	// The blitz wave can only help the attacker.
+	blitz, err := chainmodel.Analyze(build(t, p, "dense"), DistBlitz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blitz.Absorption[ClassNameCompromised] <= a.Absorption[ClassNameCompromised] {
+		t.Errorf("blitz compromises %v, foothold %v: mass infiltration must dominate",
+			blitz.Absorption[ClassNameCompromised], a.Absorption[ClassNameCompromised])
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	for name, p := range map[string]Params{
+		"tiny n":    {N: 1, Theta: 0.5, Phi: 0.5, Detect: 0.5},
+		"zero θ":    {N: 4, Theta: 0, Phi: 0.5, Detect: 0.5},
+		"big θ":     {N: 4, Theta: 1.5, Phi: 0.5, Detect: 0.5},
+		"zero φ":    {N: 4, Theta: 0.5, Phi: 0, Detect: 0.5},
+		"ρ = 1":     {N: 4, Theta: 0.5, Phi: 0.5, Rho: 1, Detect: 0.5},
+		"zero δ":    {N: 4, Theta: 0.5, Phi: 0.5, Detect: 0},
+		"NaN θ":     {N: 4, Theta: math.NaN(), Phi: 0.5, Detect: 0.5},
+		"neg ρ":     {N: 4, Theta: 0.5, Phi: 0.5, Rho: -0.1, Detect: 0.5},
+		"inf δ":     {N: 4, Theta: 0.5, Phi: 0.5, Detect: math.Inf(1)},
+		"big δ":     {N: 4, Theta: 0.5, Phi: 0.5, Detect: 1.01},
+	} {
+		if err := (p).Validate(); err == nil {
+			t.Errorf("%s: %v accepted", name, p)
+		}
+	}
+	if _, err := New(Params{N: 1}, matrix.SolverConfig{Kind: "dense"}, nil, nil); err == nil {
+		t.Error("New must reject invalid params")
+	}
+	// A shared space of the wrong geometry is rejected.
+	sp, err := NewSpace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(testParams(), matrix.SolverConfig{Kind: "dense"}, sp, nil); err == nil {
+		t.Error("New must reject a mismatched shared space")
+	}
+	if _, err := build(t, testParams(), "dense").Initial("zeta"); err == nil {
+		t.Error("unknown distribution must be rejected")
+	}
+}

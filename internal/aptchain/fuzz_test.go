@@ -1,0 +1,61 @@
+package aptchain
+
+import (
+	"math"
+	"testing"
+
+	"targetedattacks/internal/chainmodel"
+	"targetedattacks/internal/matrix"
+)
+
+// fuzzUnit folds an arbitrary float64 (including NaN and ±Inf) into
+// [0, 1), deterministically.
+func fuzzUnit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(math.Mod(x, 1))
+	if x >= 1 { // Mod can return exactly 1 only through rounding; clamp.
+		x = 0
+	}
+	return x
+}
+
+// FuzzAPTRowEmitter drives the campaign-chain row emitter over arbitrary
+// (n, θ, φ, ρ, δ) folded into the model's validity bounds: every build
+// must succeed, the matrix must be a well-formed absorbing transition
+// matrix at the contract tolerance, and the triangular state space must
+// round-trip through its index bijectively. CI runs a short -fuzz smoke
+// on top of the committed seeds.
+func FuzzAPTRowEmitter(f *testing.F) {
+	f.Add(uint8(6), 0.5, 0.4, 0.3, 0.7)
+	f.Add(uint8(2), 1.0, 1.0, 0.0, 1.0)
+	f.Add(uint8(20), 0.01, 0.99, 0.9, 0.05)
+	f.Add(uint8(11), 0.7, 0.2, 0.5, 0.6)
+	f.Fuzz(func(t *testing.T, n uint8, theta, phi, rho, detect float64) {
+		p := Params{
+			N:      2 + int(n%24),
+			Theta:  0.001 + 0.999*fuzzUnit(theta),
+			Phi:    0.001 + 0.999*fuzzUnit(phi),
+			Rho:    0.999 * fuzzUnit(rho),
+			Detect: 0.001 + 0.999*fuzzUnit(detect),
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("folded params %v invalid: %v", p, err)
+		}
+		in, err := New(p, matrix.SolverConfig{Kind: "dense"}, nil, nil)
+		if err != nil {
+			t.Fatalf("build %v: %v", p, err)
+		}
+		if err := chainmodel.ValidateInstance(in, chainmodel.DefaultStochasticityTol); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		sp := in.Space()
+		for i := 0; i < sp.Size(); i++ {
+			a, b := sp.At(i)
+			if got := sp.MustIndex(a, b); got != i {
+				t.Fatalf("%v: (%d,%d) indexes to %d, enumerated at %d", p, a, b, got, i)
+			}
+		}
+	})
+}

@@ -16,8 +16,9 @@ import (
 // path; the requests map takes a mutex only on a new (endpoint, code)
 // pair.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]*atomic.Int64 // key: endpoint + "\x00" + status code
+	mu         sync.Mutex
+	requests   map[string]*atomic.Int64 // key: endpoint + "\x00" + status code
+	modelEvals map[string]*atomic.Int64 // key: model family name
 
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
@@ -52,7 +53,23 @@ func (m *metrics) solve(st matrix.SolveStats) {
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]*atomic.Int64)}
+	return &metrics{
+		requests:   make(map[string]*atomic.Int64),
+		modelEvals: make(map[string]*atomic.Int64),
+	}
+}
+
+// evaluation counts one computed evaluation, total and per model family.
+func (m *metrics) evaluation(model string) {
+	m.evaluations.Add(1)
+	m.mu.Lock()
+	c, ok := m.modelEvals[model]
+	if !ok {
+		c = new(atomic.Int64)
+		m.modelEvals[model] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
 }
 
 // request counts one served request.
@@ -102,6 +119,22 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP attackd_evaluations_total Model evaluations actually computed (cache and singleflight filter the rest).")
 	fmt.Fprintln(w, "# TYPE attackd_evaluations_total counter")
 	fmt.Fprintf(w, "attackd_evaluations_total %d\n", m.evaluations.Load())
+	fmt.Fprintln(w, "# HELP attackd_model_evaluations_total Model evaluations actually computed, by model family.")
+	fmt.Fprintln(w, "# TYPE attackd_model_evaluations_total counter")
+	m.mu.Lock()
+	models := make([]string, 0, len(m.modelEvals))
+	for k := range m.modelEvals {
+		models = append(models, k)
+	}
+	sort.Strings(models)
+	modelCounters := make([]*atomic.Int64, len(models))
+	for i, k := range models {
+		modelCounters[i] = m.modelEvals[k]
+	}
+	m.mu.Unlock()
+	for i, k := range models {
+		fmt.Fprintf(w, "attackd_model_evaluations_total{model=%q} %d\n", k, modelCounters[i].Load())
+	}
 	fmt.Fprintln(w, "# HELP attackd_sim_evaluations_total Simulation sweeps actually executed.")
 	fmt.Fprintln(w, "# TYPE attackd_sim_evaluations_total counter")
 	fmt.Fprintf(w, "attackd_sim_evaluations_total %d\n", m.simEvaluations.Load())

@@ -1,0 +1,307 @@
+package attackd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"targetedattacks/internal/chainmodel"
+	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/sweep"
+)
+
+// This file is the model-agnostic serving path: /v1/analyze and
+// /v1/sweep requests naming a non-default "model" are routed here. The
+// selected family parses its own parameters out of the raw request body
+// (the shared fields — distribution, sojourns, solver — stay the
+// handler's), and results are rendered in the model-free vocabulary of
+// chainmodel.Analysis. The default family keeps its historical
+// specialized responses for wire compatibility.
+
+// ModelAnalysisDTO is the wire form of a chainmodel.Analysis: subset A
+// is the family's "good" transient set, subset B its "bad" one.
+type ModelAnalysisDTO struct {
+	TimeInA        float64            `json:"time_in_a"`
+	TimeInB        float64            `json:"time_in_b"`
+	SojournsA      []float64          `json:"sojourns_a"`
+	SojournsB      []float64          `json:"sojourns_b"`
+	Absorption     map[string]float64 `json:"absorption"`
+	HitProbability float64            `json:"hit_probability"`
+}
+
+// ModelAnalyzeResponse is the /v1/analyze response body for non-default
+// model families.
+type ModelAnalyzeResponse struct {
+	Model        string           `json:"model"`
+	Params       any              `json:"params"`
+	Distribution string           `json:"distribution"`
+	Sojourns     int              `json:"sojourns"`
+	States       int              `json:"states"`
+	Solver       string           `json:"solver"`
+	Analysis     ModelAnalysisDTO `json:"analysis"`
+	// Cached reports the response was served from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+// ModelSweepCellDTO is one cell of a non-default-family /v1/sweep
+// response.
+type ModelSweepCellDTO struct {
+	Index      int              `json:"index"`
+	Params     any              `json:"params"`
+	States     int              `json:"states"`
+	Transient  int              `json:"transient"`
+	Shared     bool             `json:"shared"`
+	Iterations int64            `json:"iterations,omitempty"`
+	Analysis   ModelAnalysisDTO `json:"analysis"`
+}
+
+// ModelSweepResponse is the /v1/sweep response body for non-default
+// model families.
+type ModelSweepResponse struct {
+	Model        string              `json:"model"`
+	Distribution string              `json:"distribution"`
+	Sojourns     int                 `json:"sojourns"`
+	Cells        []ModelSweepCellDTO `json:"cells"`
+	Groups       int                 `json:"groups"`
+	Evaluated    int                 `json:"evaluated"`
+	Iterations   int64               `json:"iterations,omitempty"`
+	Solver       string              `json:"solver"`
+	Cached       bool                `json:"cached"`
+}
+
+func modelAnalysisDTO(a *chainmodel.Analysis) ModelAnalysisDTO {
+	return ModelAnalysisDTO{
+		TimeInA:        a.TimeInA,
+		TimeInB:        a.TimeInB,
+		SojournsA:      a.SojournsA,
+		SojournsB:      a.SojournsB,
+		Absorption:     a.Absorption,
+		HitProbability: a.HitProbability,
+	}
+}
+
+// sojournCount clamps and bounds the per-request sojourn count.
+func (s *Server) sojournCount(requested int) (int, error) {
+	if requested < 1 {
+		requested = 1
+	}
+	if requested > s.maxSojourns {
+		return 0, fmt.Errorf("sojourns %d exceeds the server limit %d", requested, s.maxSojourns)
+	}
+	return requested, nil
+}
+
+// checkStateCount bounds one cell's state space before any allocation.
+func (s *Server) checkStateCount(fam chainmodel.Family, cell chainmodel.Cell) (int, error) {
+	states, err := fam.StateCount(cell)
+	if err != nil {
+		return 0, err
+	}
+	if states > s.maxStates {
+		return 0, fmt.Errorf("cell %s has %d states, server limit is %d", fam.CellKey(cell), states, s.maxStates)
+	}
+	return states, nil
+}
+
+// modelCellKey is the canonical cache/singleflight key of one
+// non-default-family cell request. The family's CellKey renders the
+// parameters exactly (hex floats), so value-equal requests share a key.
+func modelCellKey(fam chainmodel.Family, cell chainmodel.Cell, dist string, sojourns int, solver matrix.SolverConfig) string {
+	return fmt.Sprintf("cell|m=%s|%s|a=%s|n=%d|s=%s|tol=%s|it=%d",
+		fam.Name(), fam.CellKey(cell), dist, sojourns, solver.Kind,
+		strconv.FormatFloat(solver.Tol, 'x', -1, 64), solver.MaxIter)
+}
+
+// modelPlanKey canonicalizes a non-default-family sweep for caching:
+// the joined per-cell keys can run long for big grids, so they are
+// hashed (the model name and options stay in the clear for debugging).
+func modelPlanKey(fam chainmodel.Family, cells []chainmodel.Cell, dist string, sojourns int, solver matrix.SolverConfig) string {
+	h := sha256.New()
+	for _, cell := range cells {
+		h.Write([]byte(fam.CellKey(cell)))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("sweep|m=%s|h=%s|a=%s|n=%d|s=%s|tol=%s|it=%d",
+		fam.Name(), hex.EncodeToString(h.Sum(nil)), dist, sojourns, solver.Kind,
+		strconv.FormatFloat(solver.Tol, 'x', -1, 64), solver.MaxIter)
+}
+
+// handleModelAnalyze serves /v1/analyze for a non-default family. The
+// raw body is handed to the family's cell parser; req carries the
+// shared fields already decoded.
+func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endpoint string, fam chainmodel.Family, body []byte, req CellRequest) {
+	cell, err := fam.ParseCell(body)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	dist, err := fam.ParseDist(req.Distribution)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	sojourns, err := s.sojournCount(req.Sojourns)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := s.checkStateCount(fam, cell); err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := s.requestSolver(req.Solver)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	key := modelCellKey(fam, cell, dist, sojourns, solver)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := cached.(ModelAnalyzeResponse)
+		resp.Cached = true
+		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		s.metrics.evaluation(fam.Name())
+		tables, err := fam.NewShared([]chainmodel.Cell{cell})
+		if err != nil {
+			return nil, err
+		}
+		inst, err := fam.Build(tables, cell, solver, s.pool)
+		if err != nil {
+			return nil, err
+		}
+		a, err := chainmodel.Analyze(inst, dist, sojourns)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.solve(a.Solver)
+		resp := ModelAnalyzeResponse{
+			Model:        fam.Name(),
+			Params:       fam.CellDTO(cell),
+			Distribution: dist,
+			Sojourns:     sojourns,
+			States:       inst.NumStates(),
+			Solver:       solver.Kind,
+			Analysis:     modelAnalysisDTO(a),
+		}
+		s.cache.Put(key, resp, analysisWeight(sojourns))
+		return resp, nil
+	})
+	if shared {
+		s.metrics.singleflightShared.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, endpoint, http.StatusOK, val.(ModelAnalyzeResponse))
+}
+
+// handleModelSweep serves /v1/sweep for a non-default family: the
+// family parses its own grid out of the raw body and the model-agnostic
+// amortized evaluator runs it with warm-start lanes.
+func (s *Server) handleModelSweep(w http.ResponseWriter, r *http.Request, endpoint string, fam chainmodel.Family, body []byte, req SweepRequest) {
+	cells, err := fam.ParsePlan(body)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if len(cells) > s.maxCells {
+		s.writeError(w, r, endpoint, http.StatusBadRequest,
+			fmt.Errorf("grid has %d cells, server limit is %d", len(cells), s.maxCells))
+		return
+	}
+	for _, cell := range cells {
+		if _, err := s.checkStateCount(fam, cell); err != nil {
+			s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+			return
+		}
+	}
+	dist, err := fam.ParseDist(req.Distribution)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	sojourns, err := s.sojournCount(req.Sojourns)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := s.requestSolver(req.Solver)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	key := modelPlanKey(fam, cells, dist, sojourns, solver)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := cached.(ModelSweepResponse)
+		resp.Cached = true
+		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	val, err, shared := s.flights.Do(key, func() (any, error) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		s.metrics.evaluation(fam.Name())
+		// Background context for the same reason as the default-family
+		// sweep: followers and the cache consume the shared result.
+		rs, err := sweep.EvaluateModel(context.Background(), sweep.ModelPlan{
+			Family:   fam,
+			Cells:    cells,
+			Dist:     dist,
+			Sojourns: sojourns,
+		}, sweep.ModelOptions{
+			Pool:      s.pool,
+			BuildPool: s.pool,
+			Solver:    solver,
+			WarmStart: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := ModelSweepResponse{
+			Model:        fam.Name(),
+			Distribution: dist,
+			Sojourns:     sojourns,
+			Cells:        make([]ModelSweepCellDTO, len(rs.Cells)),
+			Groups:       rs.Groups,
+			Evaluated:    rs.Evaluated,
+			Iterations:   rs.Iterations,
+			Solver:       solver.Kind,
+		}
+		for i, cell := range rs.Cells {
+			resp.Cells[i] = ModelSweepCellDTO{
+				Index:      cell.Index,
+				Params:     fam.CellDTO(cell.Cell),
+				States:     cell.States,
+				Transient:  cell.Transient,
+				Shared:     cell.Shared,
+				Iterations: cell.Iterations,
+				Analysis:   modelAnalysisDTO(cell.Analysis),
+			}
+			if !cell.Shared {
+				s.metrics.solve(cell.Analysis.Solver)
+			}
+		}
+		s.cache.Put(key, resp, int64(len(rs.Cells))*analysisWeight(sojourns))
+		return resp, nil
+	})
+	if shared {
+		s.metrics.singleflightShared.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, endpoint, http.StatusOK, val.(ModelSweepResponse))
+}

@@ -19,10 +19,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
+	// Registers the built-in second model family (APT compromise chain)
+	// so every server instance can serve it by name.
+	_ "targetedattacks/internal/aptchain"
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
@@ -161,7 +166,10 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// CellRequest is the /v1/analyze request body: one model cell.
+// CellRequest is the /v1/analyze request body: one model cell. The
+// parameter fields c..nu belong to the default targeted-attack family;
+// other families read their own parameters from the same body (see
+// Model).
 type CellRequest struct {
 	C            int     `json:"c"`
 	Delta        int     `json:"delta"`
@@ -175,6 +183,10 @@ type CellRequest struct {
 	// matrix.SolverKinds; "" keeps the server default). Tolerances stay
 	// the server's — only the backend changes.
 	Solver string `json:"solver,omitempty"`
+	// Model selects the registered model family ("" means
+	// "targeted-attack", the paper model). Unknown names are a client
+	// error listing the registered families.
+	Model string `json:"model,omitempty"`
 }
 
 // SweepRequest is the /v1/sweep request body: one axis expression per
@@ -191,6 +203,9 @@ type SweepRequest struct {
 	// Solver overrides the server's backend for this request, as in
 	// CellRequest.
 	Solver string `json:"solver,omitempty"`
+	// Model selects the registered model family, as in CellRequest;
+	// other families declare their own axis fields in the same body.
+	Model string `json:"model,omitempty"`
 }
 
 // AnalysisDTO is the wire form of a core.Analysis.
@@ -295,11 +310,25 @@ func (s *Server) requestSolver(kind string) (matrix.SolverConfig, error) {
 	return sc, nil
 }
 
+// resolveFamily maps the wire model name to a registered family; the
+// empty name selects the default (paper) family. Unknown names are a
+// client error listing the registry, mirroring the solver override.
+func resolveFamily(name string) (chainmodel.Family, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	fam, ok := chainmodel.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("model %q: one of %s required", name, strings.Join(chainmodel.Names(), ", "))
+	}
+	return fam, nil
+}
+
 // canonicalCellKey is the canonical cache/singleflight key of one cell
 // request: strconv formats are exact for float64, so two requests with
 // byte-different but value-equal JSON (e.g. 0.50 vs 0.5) share a key.
+// The model name leads the key, so no two families can collide.
 func canonicalCellKey(p core.Params, dist core.InitialDistribution, sojourns int, solver matrix.SolverConfig) string {
-	return fmt.Sprintf("cell|C=%d|D=%d|K=%d|mu=%s|d=%s|nu=%s|a=%d|n=%d|s=%s|tol=%s|it=%d",
+	return fmt.Sprintf("cell|m=%s|C=%d|D=%d|K=%d|mu=%s|d=%s|nu=%s|a=%d|n=%d|s=%s|tol=%s|it=%d",
+		chainmodel.DefaultFamily,
 		p.C, p.Delta, p.K,
 		strconv.FormatFloat(p.Mu, 'x', -1, 64),
 		strconv.FormatFloat(p.D, 'x', -1, 64),
@@ -314,9 +343,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req CellRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	fam, err := resolveFamily(req.Model)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if fam.Name() != chainmodel.DefaultFamily {
+		// Non-default families go through the model-agnostic path; the
+		// family reads its own parameters from the raw body.
+		s.handleModelAnalyze(w, r, endpoint, fam, body, req)
 		return
 	}
 	p := core.Params{C: req.C, Delta: req.Delta, K: req.K, Mu: req.Mu, D: req.D, Nu: req.Nu}
@@ -359,7 +404,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	val, err, shared := s.flights.Do(key, func() (any, error) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		s.metrics.evaluations.Add(1)
+		s.metrics.evaluation(chainmodel.DefaultFamily)
 		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(s.pool))
 		if err != nil {
 			return nil, err
@@ -394,9 +439,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	fam, err := resolveFamily(req.Model)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if fam.Name() != chainmodel.DefaultFamily {
+		s.handleModelSweep(w, r, endpoint, fam, body, req)
 		return
 	}
 	plan, err := s.planFromRequest(req)
@@ -421,7 +480,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	val, err, shared := s.flights.Do(key, func() (any, error) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		s.metrics.evaluations.Add(1)
+		s.metrics.evaluation(chainmodel.DefaultFamily)
 		// The evaluation is shared: singleflight followers and the LRU
 		// cache consume its result, so it must not die with the leader
 		// request's connection — run it on a background context. Warm
@@ -556,10 +615,11 @@ func ParseFloatsOrDefault(expr string, def []float64) ([]float64, error) {
 	return sweep.ParseFloats(expr)
 }
 
-// canonicalPlanKey canonicalizes a sweep plan for caching.
+// canonicalPlanKey canonicalizes a sweep plan for caching. As in
+// canonicalCellKey, the model name leads the key.
 func canonicalPlanKey(plan sweep.Plan, solver matrix.SolverConfig) string {
 	var b strings.Builder
-	b.WriteString("sweep")
+	b.WriteString("sweep|m=" + chainmodel.DefaultFamily)
 	writeInts := func(tag string, vs []int) {
 		b.WriteString("|" + tag + "=")
 		for i, v := range vs {

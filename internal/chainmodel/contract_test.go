@@ -1,0 +1,207 @@
+package chainmodel_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	// The contract runs over every registered family: import them all.
+	_ "targetedattacks/internal/aptchain"
+	"targetedattacks/internal/chainmodel"
+	_ "targetedattacks/internal/core"
+	"targetedattacks/internal/matrix"
+)
+
+// representativeCells maps each registered family to a few analyze
+// request bodies the contract test builds instances from. Adding a
+// model family requires adding its cells here — the test fails loudly
+// otherwise, so no family ships without contract coverage.
+var representativeCells = map[string][]string{
+	"targeted-attack": {
+		`{"c":7,"delta":7,"k":1,"mu":0.2,"d":0.9,"nu":0.1}`,
+		`{"c":9,"delta":6,"k":4,"mu":0.35,"d":0.5,"nu":0.4}`,
+	},
+	"apt-compromise": {
+		`{"n":6,"theta":0.5,"phi":0.4,"rho":0.3,"detect":0.7}`,
+		`{"n":10,"theta":0.9,"phi":0.1,"rho":0,"detect":0.2}`,
+	},
+}
+
+// TestFamilyContract is the model-level contract every registered
+// family must satisfy: parse its own cells, build instances whose
+// transition matrices pass the stochasticity contract (transient rows
+// sum to 1 within 1e-12, absorbing rows exact self-loops), declare
+// comparable planner keys, and analyze end-to-end with absorption
+// probabilities partitioning the mass.
+func TestFamilyContract(t *testing.T) {
+	fams := chainmodel.Families()
+	if len(fams) < 2 {
+		t.Fatalf("registry holds %d families, want the paper model and at least one more", len(fams))
+	}
+	for _, fam := range fams {
+		fam := fam
+		t.Run(fam.Name(), func(t *testing.T) {
+			raws, ok := representativeCells[fam.Name()]
+			if !ok {
+				t.Fatalf("no representative cells for family %q — add them to representativeCells", fam.Name())
+			}
+			if fam.Description() == "" {
+				t.Error("Description must be non-empty")
+			}
+			dists := fam.Dists()
+			if len(dists) == 0 {
+				t.Fatal("Dists must name at least one initial distribution")
+			}
+			if def, err := fam.ParseDist(""); err != nil || def != dists[0] {
+				t.Errorf("ParseDist(\"\") = (%q, %v), want the default %q", def, err, dists[0])
+			}
+			if _, err := fam.ParseDist("no-such-distribution"); err == nil {
+				t.Error("ParseDist must reject unknown names")
+			}
+			seenKeys := make(map[string]bool)
+			for _, raw := range raws {
+				cell, err := fam.ParseCell(json.RawMessage(raw))
+				if err != nil {
+					t.Fatalf("ParseCell(%s): %v", raw, err)
+				}
+				key := fam.CellKey(cell)
+				if key == "" || seenKeys[key] {
+					t.Fatalf("CellKey(%s) = %q, want unique non-empty keys", raw, key)
+				}
+				seenKeys[key] = true
+				// Planner keys must be comparable: using them as map keys
+				// panics otherwise.
+				_ = map[any]bool{fam.GroupKey(cell): true}
+				_ = map[any]bool{fam.LaneKey(cell): true}
+				shared, err := fam.NewShared([]chainmodel.Cell{cell})
+				if err != nil {
+					t.Fatalf("NewShared(%s): %v", raw, err)
+				}
+				sig, err := fam.Signature(shared, cell)
+				if err != nil {
+					t.Fatalf("Signature(%s): %v", raw, err)
+				}
+				_ = map[any]bool{sig: true}
+				inst, err := fam.Build(shared, cell, matrix.SolverConfig{Kind: "dense"}, nil)
+				if err != nil {
+					t.Fatalf("Build(%s): %v", raw, err)
+				}
+				states, err := fam.StateCount(cell)
+				if err != nil || states != inst.NumStates() {
+					t.Errorf("StateCount(%s) = (%d, %v), instance has %d states", raw, states, err, inst.NumStates())
+				}
+				if inst.NumTransient() <= 0 || inst.NumTransient() >= inst.NumStates() {
+					t.Errorf("%s: %d transient of %d states, want a proper split", raw, inst.NumTransient(), inst.NumStates())
+				}
+				if err := chainmodel.ValidateInstance(inst, chainmodel.DefaultStochasticityTol); err != nil {
+					t.Errorf("stochasticity contract (%s): %v", raw, err)
+				}
+				if len(inst.CleanClasses()) == 0 {
+					t.Errorf("%s: CleanClasses is empty", raw)
+				}
+				for _, dist := range dists {
+					a, err := chainmodel.Analyze(inst, dist, 2)
+					if err != nil {
+						t.Fatalf("Analyze(%s, %s): %v", raw, dist, err)
+					}
+					var mass float64
+					for _, v := range a.Absorption {
+						mass += v
+					}
+					// Absorption probabilities come out of linear solves, so
+					// slow chains (small δ) keep more conditioning error than
+					// the 1e-12 matrix contract; 1e-9 matches the
+					// sparse-vs-dense equivalence tolerance.
+					if math.Abs(mass-1) > 1e-9 {
+						t.Errorf("%s/%s: absorption mass %v, want 1", raw, dist, mass)
+					}
+					if a.HitProbability < 0 || a.HitProbability > 1 {
+						t.Errorf("%s/%s: hit probability %v outside [0,1]", raw, dist, a.HitProbability)
+					}
+					if a.TimeInA < 0 || a.TimeInB < 0 {
+						t.Errorf("%s/%s: negative expected times (%v, %v)", raw, dist, a.TimeInA, a.TimeInB)
+					}
+					if len(a.SojournsA) != 2 || len(a.SojournsB) != 2 {
+						t.Errorf("%s/%s: sojourn batches sized (%d, %d), want 2", raw, dist, len(a.SojournsA), len(a.SojournsB))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryLookup: name resolution, the default family, and the
+// sorted name list the serving layer embeds in its errors.
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := chainmodel.Lookup(""); !ok {
+		t.Fatal("empty name must resolve to the default family")
+	}
+	fam, ok := chainmodel.Lookup(chainmodel.DefaultFamily)
+	if !ok || fam.Name() != chainmodel.DefaultFamily {
+		t.Fatalf("Lookup(%q) = (%v, %v)", chainmodel.DefaultFamily, fam, ok)
+	}
+	if _, ok := chainmodel.Lookup("no-such-family"); ok {
+		t.Error("unknown names must not resolve")
+	}
+	names := chainmodel.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, f := range chainmodel.Families() {
+		seen[f.Name()] = true
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Errorf("family %q listed but not returned by Families()", name)
+		}
+	}
+}
+
+// TestValidateStochasticityRejects: the contract checker must catch the
+// defects it exists for.
+func TestValidateStochasticityRejects(t *testing.T) {
+	build := func(rows [][]struct {
+		j int
+		v float64
+	}) *matrix.CSR {
+		rb := matrix.NewRowBuilder(len(rows))
+		for _, row := range rows {
+			for _, e := range row {
+				if err := rb.Add(e.j, e.v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rb.EndRow()
+		}
+		m, err := matrix.ConcatRows(len(rows), rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	type e = struct {
+		j int
+		v float64
+	}
+	transient := func(i int) bool { return i == 0 }
+	ok := build([][]e{{{0, 0.5}, {1, 0.5}}, {{1, 1}}})
+	if err := chainmodel.ValidateStochasticity(ok, transient, 0); err != nil {
+		t.Fatalf("well-formed chain rejected: %v", err)
+	}
+	for name, m := range map[string]*matrix.CSR{
+		"leaky transient row": build([][]e{{{0, 0.5}, {1, 0.4}}, {{1, 1}}}),
+		"negative entry":      build([][]e{{{0, 1.5}, {1, -0.5}}, {{1, 1}}}),
+		"absorbing non-self":  build([][]e{{{0, 0.5}, {1, 0.5}}, {{0, 1}}}),
+		"absorbing partial":   build([][]e{{{0, 0.5}, {1, 0.5}}, {{1, 0.5}, {0, 0.5}}}),
+	} {
+		if err := chainmodel.ValidateStochasticity(m, transient, 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if err := chainmodel.ValidateStochasticity(nil, transient, 0); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}

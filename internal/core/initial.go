@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"targetedattacks/internal/combin"
 )
@@ -80,6 +81,32 @@ func (d InitialDistribution) String() string {
 		return "β"
 	default:
 		return fmt.Sprintf("InitialDistribution(%d)", int(d))
+	}
+}
+
+// Name is the ASCII wire name of the distribution ("delta", "beta"), as
+// used by the chainmodel family interface and the HTTP API.
+func (d InitialDistribution) Name() string {
+	switch d {
+	case DistributionDelta:
+		return "delta"
+	case DistributionBeta:
+		return "beta"
+	default:
+		return fmt.Sprintf("InitialDistribution(%d)", int(d))
+	}
+}
+
+// ParseDistributionName maps a wire name (or the paper's Greek letter)
+// to the enum; the empty string selects δ, the paper's default.
+func ParseDistributionName(name string) (InitialDistribution, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "delta", "δ":
+		return DistributionDelta, nil
+	case "beta", "β":
+		return DistributionBeta, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q (want \"delta\" or \"beta\")", name)
 	}
 }
 

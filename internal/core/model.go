@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/markov"
 	"targetedattacks/internal/matrix"
 )
@@ -136,52 +137,38 @@ func (m *Model) AnalyzeWarm(alpha []float64, nSojourns int, ws *WarmStart) (*Ana
 }
 
 // analyzeChain runs every closed-form relation on an assembled chain.
+// The whole sequence — E(T_S), E(T_P), the lockstep sojourn recursions
+// (relations (7) and (8) in one pass), absorption probabilities, and
+// "ever polluted" as the complement of a safe all-S absorption — lives
+// in the generic chainmodel.AnalyzeChain; this wrapper only renames its
+// model-free fields into the paper's vocabulary.
 func analyzeChain(ch *markov.Chain, nSojourns int) (*Analysis, error) {
-	ets, err := ch.ExpectedTotalTimeInA()
+	a, err := chainmodel.AnalyzeChain(ch, cleanClassNames(), nSojourns)
 	if err != nil {
-		return nil, fmt.Errorf("core: E(T_S): %w", err)
+		return nil, err
 	}
-	etp, err := ch.ExpectedTotalTimeInB()
-	if err != nil {
-		return nil, fmt.Errorf("core: E(T_P): %w", err)
-	}
-	// The safe and polluted recursions advance in lockstep, batching
-	// their left solves per block (relations (7) and (8) in one pass).
-	ss, ps, err := ch.SuccessiveSojournsBoth(nSojourns)
-	if err != nil {
-		return nil, fmt.Errorf("core: sojourns: %w", err)
-	}
-	abs, err := ch.AbsorptionProbabilities()
-	if err != nil {
-		return nil, fmt.Errorf("core: absorption: %w", err)
-	}
-	// "Ever polluted" counts transient polluted visits AND direct
-	// absorptions into a polluted class (a safe cluster can merge
-	// straight into A^m_P when the maintenance of its final departure
-	// promotes a malicious spare): complement of dying safely without
-	// ever leaving S.
-	clean, err := ch.AbsorbedWithinA(ClassNameSafeMerge, ClassNameSafeSplit)
-	if err != nil {
-		return nil, fmt.Errorf("core: pollution probability: %w", err)
-	}
-	hit := 1 - clean
-	// Clamp float64 round-off at the extremes (e.g. µ = 0 gives
-	// clean = 1 − ulp).
-	if hit < 1e-14 {
-		hit = 0
-	}
-	if hit > 1 {
-		hit = 1
-	}
+	return analysisFromGeneric(a), nil
+}
+
+// cleanClassNames lists the absorbing classes a never-polluted cluster
+// can die into.
+func cleanClassNames() []string {
+	return []string{ClassNameSafeMerge, ClassNameSafeSplit}
+}
+
+// analysisFromGeneric renames a model-free chainmodel.Analysis into the
+// paper's vocabulary (subset A = safe, subset B = polluted). The slices
+// and map are shared, not copied: the generic analysis is single-use.
+func analysisFromGeneric(a *chainmodel.Analysis) *Analysis {
 	return &Analysis{
-		ExpectedSafeTime:     ets,
-		ExpectedPollutedTime: etp,
-		SafeSojourns:         ss,
-		PollutedSojourns:     ps,
-		Absorption:           abs,
-		PollutionProbability: hit,
-		Solver:               ch.SolveStats(),
-	}, nil
+		ExpectedSafeTime:     a.TimeInA,
+		ExpectedPollutedTime: a.TimeInB,
+		SafeSojourns:         a.SojournsA,
+		PollutedSojourns:     a.SojournsB,
+		Absorption:           a.Absorption,
+		PollutionProbability: a.HitProbability,
+		Solver:               a.Solver,
+	}
 }
 
 // AnalyzeNamed is Analyze for one of the paper's named initial

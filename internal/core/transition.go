@@ -1,10 +1,10 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"math"
 
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
@@ -62,12 +62,6 @@ func WithSpace(sp *Space) BuildOption {
 func WithRule1Gains(g *Rule1Gains) BuildOption {
 	return func(c *BuildConfig) { c.Gains = g }
 }
-
-// buildChunkRows is the number of consecutive rows one pool task seals
-// into its own matrix.RowBuilder: large enough to amortize scheduling and
-// builder allocation, small enough to load-balance the ~|Ω|/chunk tasks
-// across workers.
-const buildChunkRows = 512
 
 // BuildTransitionMatrix constructs the exact transition probability matrix
 // M of the cluster Markov chain X over the space Ω(C, ∆), implementing the
@@ -127,35 +121,37 @@ func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, 
 	if err != nil {
 		return nil, nil, err
 	}
-	n := sp.Size()
-	nChunks := (n + buildChunkRows - 1) / buildChunkRows
-	parts := make([]*matrix.RowBuilder, nChunks)
-	err = engine.Ensure(cfg.Pool).Run(context.Background(), nChunks, func(chunk int) error {
-		lo := chunk * buildChunkRows
-		hi := min(lo+buildChunkRows, n)
-		rb := matrix.NewRowBuilder(n)
-		for i := lo; i < hi; i++ {
-			st := sp.At(i)
-			if !sp.Classify(st).Transient() {
-				if err := rb.Add(i, 1); err != nil {
-					return err
-				}
-			} else if err := addTransientRow(rb, sp, p, ker, cfg.Gains, st); err != nil {
-				return fmt.Errorf("building row for state %v: %w", st, err)
-			}
-			rb.EndRow()
-		}
-		parts[chunk] = rb
-		return nil
-	})
+	m, err := chainmodel.BuildMatrix(rowEmitter{sp: sp, p: p, ker: ker, gains: cfg.Gains}, cfg.Pool)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
-	m, err := matrix.ConcatRows(n, parts...)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: assembling transition matrix: %w", err)
-	}
 	return m, sp, nil
+}
+
+// rowEmitter adapts the paper model's state space and Figure 2 row
+// construction to the generic chainmodel build: the chunked parallel
+// pass, absorbing self-loops and row-order assembly all live in
+// chainmodel.BuildMatrix, this emitter only knows how one transient
+// row's probabilities split.
+type rowEmitter struct {
+	sp    *Space
+	p     Params
+	ker   *maintKernel
+	gains *Rule1Gains
+}
+
+func (e rowEmitter) NumStates() int { return e.sp.Size() }
+
+func (e rowEmitter) Transient(i int) bool {
+	return e.sp.Classify(e.sp.At(i)).Transient()
+}
+
+func (e rowEmitter) EmitRow(rb *matrix.RowBuilder, i int) error {
+	st := e.sp.At(i)
+	if err := addTransientRow(rb, e.sp, e.p, e.ker, e.gains, st); err != nil {
+		return fmt.Errorf("building row for state %v: %w", st, err)
+	}
+	return nil
 }
 
 // addTransientRow emits the outgoing probabilities of one transient state

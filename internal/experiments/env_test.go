@@ -34,6 +34,7 @@ var envScenarioContract = map[string]struct {
 	"large":    {usesSolver: true},
 	"huge":     {usesSolver: true},
 	"colossal": {usesSolver: true},
+	"apt":      {usesSolver: true},
 	"swarm":    {usesSolver: true}, // cross-validation solves the analytic chain
 }
 

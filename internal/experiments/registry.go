@@ -244,6 +244,23 @@ func init() {
 		},
 	})
 	Register(Scenario{
+		Key:  "apt",
+		Desc: "APT S7: second model family — multi-stage compromise campaign",
+		Run: func(ctx context.Context, env Env) ([]Artifact, error) {
+			cfg := DefaultAPTConfig()
+			cfg.Solver = env.Solver
+			cfg.BuildPool = env.buildPool()
+			if env.Quick {
+				cfg.Ns = []int{12}
+				cfg.Thetas = []float64{0.5}
+				cfg.Detects = []float64{0.6}
+				cfg.Rhos = []float64{0, 0.5}
+			}
+			t, err := APTCampaign(ctx, env.Pool, cfg)
+			return tableArtifacts("apt_campaign", t, err)
+		},
+	})
+	Register(Scenario{
 		Key:  "swarm",
 		Desc: "Swarm S6: million-peer simulation grid + analytic cross-validation",
 		Run: func(ctx context.Context, env Env) ([]Artifact, error) {

@@ -13,7 +13,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "table1", "table2", "fig4", "fig5",
 		"ablk", "ablnu", "mc", "sys", "lookup", "nusweep", "stress9",
-		"large", "huge", "colossal", "swarm",
+		"large", "huge", "colossal", "apt", "swarm",
 	}
 	keys := Keys()
 	if len(keys) != len(want) {

@@ -2,8 +2,8 @@ package sweep
 
 import (
 	"context"
-	"fmt"
 
+	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
@@ -80,179 +80,76 @@ type ResultSet struct {
 	Iterations int64
 }
 
-// signature identifies a cell's Markov chain up to provable equality:
-// geometry and protocol pin the state space and maintenance kernel, µ
-// and d pin every branch weight, and the Rule 1 gain cut pins the
-// firing set — the only door through which ν enters the matrix. The
-// initial distribution is a function of (C, ∆, µ) and the plan's
-// distribution choice, so two cells with equal signatures have equal
-// chains AND equal α: their Analyses are the same numbers.
-type signature struct {
-	c, delta, k int
-	mu, d       float64
-	cut         int
-}
-
-// group is the shared structure of one (C, ∆) geometry.
-type group struct {
-	space *core.Space
-	// gains maps protocol k to the shared relation (2) table.
-	gains map[int]*core.Rule1Gains
-}
-
-// Evaluate runs the plan and returns one Analysis per cell. Shared
-// structure (state space, maintenance kernel, Rule 1 gains) is built
-// once per (C, ∆) group; provably identical cells are solved once; the
-// remaining distinct chains fan out across opts.Pool. Every cell's
-// numbers are bit-identical to an independent core.Analyze of the same
-// parameters with the same solver.
+// Evaluate runs the plan and returns one Analysis per cell. It is the
+// paper model's view of the model-agnostic EvaluateModel: the family's
+// declared structure reproduces exactly the classic planner — shared
+// state space, maintenance kernel and Rule 1 gains per (C, ∆) group,
+// provably identical cells (equal geometry, µ, d and ν gain cut) solved
+// once, warm-start lanes along (d, ν) at fixed (C, ∆, k, µ) — so every
+// cell's numbers are bit-identical to an independent core.Analyze of
+// the same parameters with the same solver.
 func Evaluate(ctx context.Context, plan Plan, opts Options) (*ResultSet, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	if _, err := opts.Solver.Build(); err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
-	}
 	cells := plan.Cells()
-
-	// Planner pass 1: shared structure per geometry.
-	groups := make(map[[2]int]*group)
-	for _, p := range cells {
-		key := [2]int{p.C, p.Delta}
-		g, ok := groups[key]
-		if !ok {
-			sp, err := core.NewSpace(p.C, p.Delta)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %w", err)
-			}
-			g = &group{space: sp, gains: make(map[int]*core.Rule1Gains)}
-			groups[key] = g
-		}
-		if _, ok := g.gains[p.K]; !ok {
-			gains, err := core.ComputeRule1Gains(p)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %w", err)
-			}
-			g.gains[p.K] = gains
-		}
-	}
-
-	// Planner pass 2: deduplicate cells into equivalence classes. The
-	// leader of a class is its lowest cell index; classes keep plan
-	// order, so the evaluation schedule is deterministic.
-	type class struct {
-		leader  int
-		members []int
-	}
-	classOf := make(map[signature]int)
-	var classes []class
+	mcells := make([]chainmodel.Cell, len(cells))
 	for i, p := range cells {
-		g := groups[[2]int{p.C, p.Delta}]
-		sig := signature{c: p.C, delta: p.Delta, k: p.K, mu: p.Mu, d: p.D, cut: g.gains[p.K].CutIndex(p.Nu)}
-		ci, ok := classOf[sig]
-		if !ok {
-			ci = len(classes)
-			classOf[sig] = ci
-			classes = append(classes, class{leader: i})
-		}
-		classes[ci].members = append(classes[ci].members, i)
+		mcells[i] = p
 	}
-
-	// Planner pass 3: lanes. Without warm starting every class is its
-	// own lane — the schedule (and arithmetic) of the classic evaluator.
-	// With warm starting, consecutive classes whose leaders share
-	// (C, ∆, k, µ) form one lane: the plan enumerates d (then ν)
-	// innermost, so a lane walks the d axis in small steps and each
-	// chain's solves can seed from the previous chain's converged
-	// vectors. Lanes are a fixed partition of the classes, so fanning
-	// lanes (instead of classes) across the pool keeps results
-	// independent of the worker count.
-	var lanes [][]int
-	for ci := range classes {
-		if opts.WarmStart && ci > 0 {
-			prev := cells[classes[ci-1].leader]
-			cur := cells[classes[ci].leader]
-			if prev.C == cur.C && prev.Delta == cur.Delta && prev.K == cur.K && prev.Mu == cur.Mu {
-				lanes[len(lanes)-1] = append(lanes[len(lanes)-1], ci)
-				continue
-			}
-		}
-		lanes = append(lanes, []int{ci})
+	var onCell func(ModelCellResult)
+	if opts.OnCell != nil {
+		onCell = func(mc ModelCellResult) { opts.OnCell(paperCellResult(mc)) }
 	}
-
-	// Evaluation pass: one model build + solve per class, lanes fanned
-	// across the pool; results land in per-cell slots (classes own
-	// disjoint cell sets), so accumulation is order-independent.
-	results := make([]CellResult, len(cells))
-	err := engine.Ensure(opts.Pool).Run(ctx, len(lanes), func(li int) error {
-		var ws *core.WarmStart
-		for _, ci := range lanes[li] {
-			cl := classes[ci]
-			p := cells[cl.leader]
-			g := groups[[2]int{p.C, p.Delta}]
-			m, err := core.NewWithSolver(p, opts.Solver,
-				core.WithSpace(g.space),
-				core.WithRule1Gains(g.gains[p.K]),
-				core.WithBuildPool(opts.BuildPool),
-			)
-			if err != nil {
-				return fmt.Errorf("cell %v: %w", p, err)
-			}
-			a, rec, err := m.AnalyzeNamedWarm(plan.Dist, plan.sojourns(), ws)
-			if err != nil {
-				return fmt.Errorf("cell %v: %w", p, err)
-			}
-			if opts.WarmStart {
-				ws = rec
-			}
-			for _, i := range cl.members {
-				pi := cells[i]
-				res := CellResult{
-					Index:      i,
-					Params:     pi,
-					States:     g.space.Size(),
-					Transient:  g.space.TransientCount(),
-					Rule1Fires: g.gains[pi.K].CountFires(pi.Nu),
-					Shared:     i != cl.leader,
-					Analysis:   a,
-				}
-				if res.Shared {
-					res.Analysis = cloneAnalysis(a)
-				} else {
-					res.Iterations = a.Solver.Iterations
-				}
-				results[i] = res
-				if opts.OnCell != nil {
-					opts.OnCell(res)
-				}
-			}
-		}
-		return nil
+	mrs, err := EvaluateModel(ctx, ModelPlan{
+		Family:   core.Family{},
+		Cells:    mcells,
+		Dist:     plan.Dist.Name(),
+		Sojourns: plan.sojourns(),
+	}, ModelOptions{
+		Pool:      opts.Pool,
+		BuildPool: opts.BuildPool,
+		Solver:    opts.Solver,
+		WarmStart: opts.WarmStart,
+		OnCell:    onCell,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
+		return nil, err
 	}
 	rs := &ResultSet{
-		Plan:      plan,
-		Cells:     results,
-		Groups:    len(groups),
-		Evaluated: len(classes),
+		Plan:       plan,
+		Cells:      make([]CellResult, len(mrs.Cells)),
+		Groups:     mrs.Groups,
+		Evaluated:  mrs.Evaluated,
+		Iterations: mrs.Iterations,
 	}
-	for i := range results {
-		rs.Iterations += results[i].Iterations
+	for i, mc := range mrs.Cells {
+		rs.Cells[i] = paperCellResult(mc)
 	}
 	return rs, nil
 }
 
-// cloneAnalysis gives a sharing cell its own copy, so callers may mutate
-// per-cell results independently.
-func cloneAnalysis(a *core.Analysis) *core.Analysis {
-	b := *a
-	b.SafeSojourns = append([]float64(nil), a.SafeSojourns...)
-	b.PollutedSojourns = append([]float64(nil), a.PollutedSojourns...)
-	b.Absorption = make(map[string]float64, len(a.Absorption))
-	for k, v := range a.Absorption {
-		b.Absorption[k] = v
+// paperCellResult renames a generic cell result into the paper model's
+// vocabulary and derives Rule1Fires from the group's shared gain table.
+func paperCellResult(mc ModelCellResult) CellResult {
+	p := mc.Cell.(core.Params)
+	tables := mc.SharedTables.(*core.SweepTables)
+	return CellResult{
+		Index:      mc.Index,
+		Params:     p,
+		States:     mc.States,
+		Transient:  mc.Transient,
+		Rule1Fires: tables.Gains(p.K).CountFires(p.Nu),
+		Shared:     mc.Shared,
+		Iterations: mc.Iterations,
+		Analysis: &core.Analysis{
+			ExpectedSafeTime:     mc.Analysis.TimeInA,
+			ExpectedPollutedTime: mc.Analysis.TimeInB,
+			SafeSojourns:         mc.Analysis.SojournsA,
+			PollutedSojourns:     mc.Analysis.SojournsB,
+			Absorption:           mc.Analysis.Absorption,
+			PollutionProbability: mc.Analysis.HitProbability,
+			Solver:               mc.Analysis.Solver,
+		},
 	}
-	return &b
 }
