@@ -6,6 +6,7 @@ import (
 	// Registers the APT compromise-chain family so ModelFamilies and
 	// LookupModelFamily see every built-in model.
 	_ "targetedattacks/internal/aptchain"
+	"targetedattacks/internal/attackd"
 	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/core"
@@ -239,6 +240,21 @@ func AnalyzeModel(inst ModelInstance, dist string, sojourns int) (*ModelAnalysis
 func EvaluateModelSweep(ctx context.Context, plan ModelSweepPlan, opts ModelSweepOptions) (*ModelSweepResult, error) {
 	return sweep.EvaluateModel(ctx, plan, opts)
 }
+
+// AttackServer is the HTTP serving layer behind cmd/attackd: an LRU
+// result cache and singleflight deduplication in front of the sweep
+// evaluators, with NDJSON streaming (Accept: application/x-ndjson or
+// ?stream=1 on the grid endpoints) and an async job API (/v1/jobs).
+type AttackServer = attackd.Server
+
+// AttackServerConfig configures NewAttackServer; the zero value uses
+// the cmd/attackd defaults.
+type AttackServerConfig = attackd.Config
+
+// NewAttackServer builds the serving layer for embedding: mount its
+// Handler() on any mux, and call DrainJobs during shutdown so running
+// async jobs finish before the process exits.
+func NewAttackServer(cfg AttackServerConfig) (*AttackServer, error) { return attackd.New(cfg) }
 
 // ParseIntAxis parses a sweep axis over integers: a comma list ("7,9")
 // or an inclusive lo:hi[:step] range ("10:50:10").

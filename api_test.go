@@ -3,7 +3,10 @@ package targetedattacks
 import (
 	"context"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"slices"
+	"strings"
 	"testing"
 )
 
@@ -212,5 +215,26 @@ func TestFacadeParallelBuild(t *testing.T) {
 	}
 	if !slices.Contains(ScenarioKeys(), "huge") {
 		t.Error("huge scenario missing from facade listing")
+	}
+}
+
+func TestFacadeAttackServer(t *testing.T) {
+	srv, err := NewAttackServer(AttackServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"c":7,"delta":7,"k":1,"mu":0.2,"d":0.9,"nu":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze through the facade: status %d", resp.StatusCode)
+	}
+	if err := srv.DrainJobs(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
 	}
 }

@@ -8,7 +8,7 @@
 //	attackd [-addr :8080] [-workers 0] [-solver bicgstab|gs|ilu|dense|auto]
 //	        [-tol 1e-12] [-cache 4096] [-maxcells 4096] [-maxstates 200000]
 //	        [-maxsojourns 1024] [-maxsimcells 256] [-maxsimevents 16777216]
-//	        [-shutdown-timeout 10s]
+//	        [-maxjobs 64] [-jobttl 15m] [-shutdown-timeout 10s]
 //
 // Endpoints:
 //
@@ -18,19 +18,31 @@
 //	POST /v1/simsweep a simulation grid: {"strategies":"paper,passive",
 //	                             "mu":"0.1,0.2","sizes":"2000","events":2000,
 //	                             "replicas":2,"seed":7}
+//	POST /v1/jobs     async submit: any sweep/simsweep body plus
+//	                  {"kind":"sweep"|"simsweep"} → 202 with a job ID
+//	GET  /v1/jobs     list known jobs
+//	GET  /v1/jobs/{id}         poll state and cells done/total
+//	GET  /v1/jobs/{id}/result  fetch (or ?stream=1) a finished result
+//	DELETE /v1/jobs/{id}       cancel the evaluation
 //	GET  /healthz     liveness
 //	GET  /metrics     Prometheus text: requests, cache hit rate, in-flight,
 //	                  solver iterations and sparse-to-dense fallbacks,
-//	                  simulation evaluations and simulated events
+//	                  simulation evaluations and simulated events, streamed
+//	                  cells and job states
 //
-// Both POST bodies accept an optional "solver" field overriding the
-// server's backend for that request (one of the -solver kinds). Sweep
-// evaluations warm-start neighboring grid cells' iterative solves; the
-// response reports the iterations spent.
+// The grid endpoints stream NDJSON — one cell per line as it is
+// computed, then a {"summary":{...}} line — when the request carries
+// `Accept: application/x-ndjson` or `?stream=1`.
+//
+// POST bodies accept optional "solver", "tol", "max_iter" and
+// "workers" fields overriding the server's defaults for that request.
+// Sweep evaluations warm-start neighboring grid cells' iterative
+// solves; the response reports the iterations spent.
 //
 // Axis expressions accept comma lists ("0.1,0.2") and inclusive
 // lo:hi:step ranges ("0.5:0.9:0.1"). SIGINT/SIGTERM drain in-flight
-// requests for up to -shutdown-timeout before the process exits.
+// requests and running jobs for up to -shutdown-timeout before the
+// process exits.
 package main
 
 import (
@@ -78,6 +90,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		maxSojourns = fs.Int("maxsojourns", attackd.DefaultMaxSojourns, "maximum sojourn expectations per request")
 		maxSimCells = fs.Int("maxsimcells", attackd.DefaultMaxSimCells, "maximum grid cells per simulation-sweep request")
 		maxSimEvts  = fs.Int64("maxsimevents", attackd.DefaultMaxSimEventBudget, "maximum cells×replicas×events per simulation-sweep request")
+		maxJobs     = fs.Int("maxjobs", attackd.DefaultMaxJobs, "maximum async jobs held in memory (negative disables the job API)")
+		jobTTL      = fs.Duration("jobttl", attackd.DefaultJobTTL, "how long finished jobs stay pollable")
 		drain       = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +106,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		MaxSojourns:       *maxSojourns,
 		MaxSimCells:       *maxSimCells,
 		MaxSimEventBudget: *maxSimEvts,
+		MaxJobs:           *maxJobs,
+		JobTTL:            *jobTTL,
 	})
 	if err != nil {
 		return err
@@ -117,6 +133,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	// In-flight async jobs share the drain budget: they finish (and stay
+	// pollable until the process exits) rather than dying mid-grid.
+	if err := srv.DrainJobs(drainCtx); err != nil {
+		return fmt.Errorf("draining jobs: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

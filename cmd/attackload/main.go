@@ -1,0 +1,366 @@
+// Command attackload drives synthetic traffic at an attackd server and
+// reports latency percentiles per request kind plus the server's cache
+// hit rate over the run. It is the load harness for sizing attackd
+// deployments and for catching serving-layer regressions (streaming,
+// caching, singleflight) under concurrency.
+//
+// Usage:
+//
+//	attackload [-addr http://host:8080] [-qps 50] [-duration 5s]
+//	           [-mix analyze=60,sweep=20,stream=15,simsweep=5]
+//	           [-variants 8] [-inflight 16] [-seed 1]
+//
+// With no -addr, an in-process attackd server is started and torn down
+// around the run — the zero-setup mode CI smokes use.
+//
+// The generator is open-loop at -qps with at most -inflight requests
+// outstanding; ticks that would exceed the in-flight cap are counted as
+// dropped rather than queued, so a saturated server shows up as drops
+// and fat tails instead of a silently stretched run. Request parameters
+// are drawn from -variants distinct values per axis, so repeats hit the
+// server's result cache at a rate the report surfaces (from
+// attackd_cache_hits_total / attackd_cache_misses_total deltas).
+//
+// Kinds: analyze (one cell), sweep (a 4-cell grid), stream (the same
+// grid over NDJSON, drained line by line), simsweep (one simulated
+// cell).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"targetedattacks/internal/attackd"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "attackload:", err)
+		os.Exit(1)
+	}
+}
+
+// kinds orders the report; mix weights refer to these names.
+var kinds = []string{"analyze", "sweep", "stream", "simsweep"}
+
+// request is one unit of generated work, fully determined before its
+// goroutine launches so the shared RNG stays on the pacing loop.
+type request struct {
+	kind string
+	mu   float64
+	d    float64
+	seed int64
+}
+
+// result is one completed request's measurement.
+type result struct {
+	kind    string
+	latency time.Duration
+	err     error
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("attackload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "attackd base URL (empty = start an in-process server)")
+		qps      = fs.Float64("qps", 50, "target request rate")
+		duration = fs.Duration("duration", 5*time.Second, "how long to generate load")
+		mixSpec  = fs.String("mix", "analyze=60,sweep=20,stream=15,simsweep=5", "kind=weight traffic mix")
+		variants = fs.Int("variants", 8, "distinct parameter values per axis (smaller = more cache hits)")
+		inflight = fs.Int("inflight", 16, "maximum outstanding requests")
+		seed     = fs.Int64("seed", 1, "RNG seed for the traffic pattern")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *qps <= 0 {
+		return fmt.Errorf("-qps must be positive, got %g", *qps)
+	}
+	if *variants < 1 {
+		return fmt.Errorf("-variants must be at least 1, got %d", *variants)
+	}
+	if *inflight < 1 {
+		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := attackd.New(attackd.Config{})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(out, "attackload: in-process server at %s\n", base)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	before, err := cacheCounters(base)
+	if err != nil {
+		return fmt.Errorf("reading /metrics before the run: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	results := make(chan result, 4096)
+	sem := make(chan struct{}, *inflight)
+	var wg sync.WaitGroup
+	var sent, dropped int
+	interval := time.Duration(float64(time.Second) / *qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	start := time.Now()
+
+pace:
+	for {
+		select {
+		case <-ctx.Done():
+			break pace
+		case <-deadline:
+			break pace
+		case <-ticker.C:
+			req := request{
+				kind: pickKind(rng, mix),
+				mu:   0.05 * float64(1+rng.Intn(*variants)),
+				d:    0.5 + 0.05*float64(rng.Intn(*variants)),
+				seed: int64(1 + rng.Intn(*variants)),
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				dropped++ // over the in-flight cap: shed, don't queue
+				continue
+			}
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				err := fire(base, req)
+				results <- result{kind: req.kind, latency: time.Since(t0), err: err}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	lat := make(map[string][]time.Duration)
+	var failures []error
+	for r := range results {
+		if r.err != nil {
+			failures = append(failures, fmt.Errorf("%s: %w", r.kind, r.err))
+			continue
+		}
+		lat[r.kind] = append(lat[r.kind], r.latency)
+	}
+
+	fmt.Fprintf(out, "attackload: %d requests in %.1fs (%.1f req/s), %d dropped, %d errors\n",
+		sent, elapsed.Seconds(), float64(sent)/elapsed.Seconds(), dropped, len(failures))
+	for _, kind := range kinds {
+		ds := lat[kind]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Fprintf(out, "  %-8s n=%-5d p50=%-10s p90=%-10s p99=%s\n",
+			kind, len(ds), percentile(ds, 0.50), percentile(ds, 0.90), percentile(ds, 0.99))
+	}
+	after, err := cacheCounters(base)
+	if err != nil {
+		return fmt.Errorf("reading /metrics after the run: %w", err)
+	}
+	hits, misses := after.hits-before.hits, after.misses-before.misses
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(out, "  cache    %d hits / %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(total))
+	}
+	for i, err := range failures {
+		if i == 3 {
+			fmt.Fprintf(out, "  ... and %d more errors\n", len(failures)-3)
+			break
+		}
+		fmt.Fprintf(out, "  error: %v\n", err)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d requests failed", len(failures), sent)
+	}
+	return nil
+}
+
+// parseMix turns "analyze=60,sweep=20" into cumulative weights over the
+// known kinds.
+func parseMix(spec string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not kind=weight", part)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q must be a non-negative integer", weight)
+		}
+		known := false
+		for _, k := range kinds {
+			if k == name {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown mix kind %q (kinds: %s)", name, strings.Join(kinds, ", "))
+		}
+		mix[name] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return mix, nil
+}
+
+func pickKind(rng *rand.Rand, mix map[string]int) string {
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	r := rng.Intn(total)
+	for _, k := range kinds {
+		if r -= mix[k]; r < 0 {
+			return k
+		}
+	}
+	return kinds[0]
+}
+
+// fire issues one request and drains its response; any non-2xx status
+// is an error.
+func fire(base string, req request) error {
+	switch req.kind {
+	case "analyze":
+		body := fmt.Sprintf(`{"c":7,"delta":7,"k":1,"mu":%.4f,"d":%.4f,"nu":0.1}`, req.mu, req.d)
+		return post(base+"/v1/analyze", body)
+	case "sweep":
+		return post(base+"/v1/sweep", sweepBody(req))
+	case "stream":
+		return stream(base+"/v1/sweep?stream=1", sweepBody(req))
+	case "simsweep":
+		body := fmt.Sprintf(`{"mu":"%.4f","d":"%.4f","sizes":"64","events":200,"replicas":1,"seed":%d}`,
+			req.mu, req.d, req.seed)
+		return post(base+"/v1/simsweep", body)
+	}
+	return fmt.Errorf("unknown kind %q", req.kind)
+}
+
+// sweepBody is a 4-cell grid around the request's (µ, d) point.
+func sweepBody(req request) string {
+	return fmt.Sprintf(`{"c":"7","delta":"7","k":"1","mu":"%.4f,%.4f","d":"%.4f,%.4f","nu":"0.1"}`,
+		req.mu, req.mu+0.01, req.d, req.d+0.01)
+}
+
+func post(url, body string) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// stream posts an NDJSON request and drains it line by line, checking
+// the protocol's shape: at least one cell line, then a summary line.
+func stream(url, body string) error {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lines := 0
+	var last []byte
+	for sc.Scan() {
+		lines++
+		last = append(last[:0], sc.Bytes()...)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines < 2 || !bytes.Contains(last, []byte(`"summary"`)) {
+		return fmt.Errorf("stream ended after %d lines without a summary", lines)
+	}
+	return nil
+}
+
+type counters struct{ hits, misses int64 }
+
+// cacheCounters scrapes the two cache counters from /metrics.
+func cacheCounters(base string) (counters, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return counters{}, err
+	}
+	defer resp.Body.Close()
+	var c counters
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "attackd_cache_hits_total "); ok {
+			c.hits, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		}
+		if v, ok := strings.CutPrefix(line, "attackd_cache_misses_total "); ok {
+			c.misses, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		}
+	}
+	return c, sc.Err()
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx].Round(10 * time.Microsecond)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSmokeInProcess drives the whole harness against an in-process
+// server for half a second and checks the report's shape. Low qps keeps
+// this tractable on a single-CPU CI box.
+func TestLoadSmokeInProcess(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-qps", "30", "-duration", "500ms", "-seed", "7",
+		"-variants", "3", "-mix", "analyze=50,sweep=25,stream=15,simsweep=10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"requests in", "p50=", "p99=", "0 errors"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// With 3 variants per axis the pattern repeats inside 500ms, so the
+	// cache line must appear and show at least one hit.
+	if !strings.Contains(report, "cache") {
+		t.Errorf("report missing the cache line:\n%s", report)
+	}
+}
+
+// TestLoadBadFlags: flag validation fails fast, before any traffic.
+func TestLoadBadFlags(t *testing.T) {
+	ctx := context.Background()
+	cases := [][]string{
+		{"-qps", "0"},
+		{"-qps", "-3"},
+		{"-variants", "0"},
+		{"-inflight", "0"},
+		{"-mix", "analyze"},
+		{"-mix", "analyze=x"},
+		{"-mix", "juggle=50"},
+		{"-mix", "analyze=0,sweep=0"},
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+// TestParseMix: the accepted grammar and its weights.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("analyze=3, sweep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["analyze"] != 3 || mix["sweep"] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+}

@@ -103,9 +103,13 @@
 //     request's "model" field selects one, unknown names get a 400
 //     listing the registry — with an LRU result cache keyed by
 //     canonical parameters (model name included), singleflight
-//     deduplication of concurrent identical requests, /healthz,
-//     Prometheus-format /metrics with per-model evaluation counters,
-//     and graceful drain on SIGINT/SIGTERM.
+//     deduplication of concurrent identical requests, NDJSON streaming
+//     of grids (one cell per line as it is computed, via ?stream=1 or
+//     Accept: application/x-ndjson), an async job API (/v1/jobs:
+//     submit, poll progress, fetch or stream results, cancel),
+//     /healthz, Prometheus-format /metrics with per-model evaluation
+//     counters, and graceful drain (requests and jobs) on
+//     SIGINT/SIGTERM. cmd/attackload is its load harness.
 //
 //   - A Monte-Carlo simulator of the same chain for cross-validation.
 //
@@ -184,8 +188,9 @@
 //		})
 //
 // Or serve it: `go run ./cmd/attackd` starts the HTTP layer
-// (POST /v1/analyze, POST /v1/sweep, /healthz, /metrics; the "model"
-// request field selects any registered family).
+// (POST /v1/analyze, POST /v1/sweep — buffered, streamed as NDJSON, or
+// async via /v1/jobs — plus /healthz and /metrics; the "model" request
+// field selects any registered family).
 //
 // See the examples/ directory for runnable programs and cmd/paperrepro
 // for the harness that regenerates every table and figure of the paper.

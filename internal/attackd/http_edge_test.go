@@ -1,0 +1,275 @@
+package attackd
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"targetedattacks/internal/core"
+)
+
+// TestOversizedBody413: a body past the 1 MiB cap is the client's
+// error in the 413 sense, on every POST endpoint.
+func TestOversizedBody413(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	huge := []byte(`{"pad":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`)
+	for _, endpoint := range []string{"/v1/analyze", "/v1/sweep", "/v1/simsweep", "/v1/jobs"} {
+		resp, err := http.Post(ts.URL+endpoint, "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatalf("%s: %v", endpoint, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body: status=%d, want 413", endpoint, resp.StatusCode)
+		}
+	}
+	// A body inside the cap but invalid JSON stays a plain 400.
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status=%d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed: every endpoint rejects wrong methods with 405
+// and the RFC-required Allow header — including the read-only GET
+// endpoints, which used to accept POST.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		endpoint, method, allow string
+	}{
+		{"/v1/analyze", http.MethodGet, "POST"},
+		{"/v1/sweep", http.MethodDelete, "POST"},
+		{"/v1/simsweep", http.MethodGet, "POST"},
+		{"/healthz", http.MethodPost, "GET"},
+		{"/metrics", http.MethodPost, "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.endpoint, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status=%d, want 405", tc.method, tc.endpoint, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow=%q, want %q", tc.method, tc.endpoint, got, tc.allow)
+		}
+	}
+}
+
+// TestUnknownModel400: an unregistered family name is a client error
+// listing the registry, on both cell and grid endpoints.
+func TestUnknownModel400(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, endpoint := range []string{"/v1/analyze", "/v1/sweep"} {
+		code, msg := postJSON[errorResponse](t, ts.URL+endpoint, map[string]any{"model": "no-such-family"})
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status=%d, want 400", endpoint, code)
+		}
+		if !strings.Contains(msg.Error, "no-such-family") || !strings.Contains(msg.Error, "targeted-attack") {
+			t.Errorf("%s: error %q must name the bad model and list the registry", endpoint, msg.Error)
+		}
+	}
+}
+
+// TestStateCountInt64: |Ω| is computed in int64. C = ∆ = 1600 is the
+// regression geometry — its count overflows 32-bit int (≈ 2.05e9) and
+// used to wrap negative there, sliding under the state limit.
+func TestStateCountInt64(t *testing.T) {
+	if got := stateCount(core.Params{C: 7, Delta: 7}); got != 288 {
+		t.Errorf("stateCount(7,7) = %d, want 288", got)
+	}
+	const c, d = 1701, 1701 // C+1, ∆+1
+	want := int64(c) * (int64(d) * int64(d+1) / 2)
+	if want <= math.MaxInt32 {
+		t.Fatalf("test geometry too small to catch 32-bit overflow: %d", want)
+	}
+	if got := stateCount(core.Params{C: 1700, Delta: 1700}); got != want {
+		t.Errorf("stateCount(1700,1700) = %d, want %d", got, want)
+	}
+	// Far past every cap the count saturates instead of wrapping.
+	if got := stateCount(core.Params{C: math.MaxInt32, Delta: math.MaxInt32}); got != math.MaxInt64 {
+		t.Errorf("stateCount(MaxInt32,MaxInt32) = %d, want saturation at MaxInt64", got)
+	}
+	if got := stateCount(core.Params{C: -5, Delta: -5}); got != 0 {
+		t.Errorf("stateCount(-5,-5) = %d, want 0 for degenerate geometry", got)
+	}
+	// End to end: the absurd geometry is rejected, not wrapped around the
+	// limit.
+	ts := newTestServer(t, Config{})
+	code, msg := postJSON[errorResponse](t, ts.URL+"/v1/analyze",
+		CellRequest{C: 1700, Delta: 1700, K: 1, Mu: 0.2, D: 0.9, Nu: 0.1})
+	if code != http.StatusBadRequest || !strings.Contains(msg.Error, "limit") {
+		t.Errorf("C=∆=1700: status=%d err=%q, want 400 naming the limit", code, msg.Error)
+	}
+}
+
+// TestRequestOverrideValidation: tol/max_iter/workers overrides outside
+// their ranges are client errors.
+func TestRequestOverrideValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	base := paperCell()
+	cases := []struct {
+		name string
+		mut  func(*CellRequest)
+		want string
+	}{
+		{"tol too large", func(r *CellRequest) { r.Tol = 0.9 }, "tol"},
+		{"tol below round-off", func(r *CellRequest) { r.Tol = 1e-20 }, "tol"},
+		{"negative max_iter", func(r *CellRequest) { r.MaxIter = -3 }, "max_iter"},
+		{"max_iter too large", func(r *CellRequest) { r.MaxIter = maxRequestIter + 1 }, "max_iter"},
+		{"negative workers", func(r *CellRequest) { r.Workers = -2 }, "workers"},
+		{"workers too large", func(r *CellRequest) { r.Workers = maxRequestWorkers + 1 }, "workers"},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mut(&req)
+		code, msg := postJSON[errorResponse](t, ts.URL+"/v1/analyze", req)
+		if code != http.StatusBadRequest || !strings.Contains(msg.Error, tc.want) {
+			t.Errorf("%s: status=%d err=%q, want 400 naming %q", tc.name, code, msg.Error, tc.want)
+		}
+	}
+	// The same validation guards the sweep endpoint.
+	code, msg := postJSON[errorResponse](t, ts.URL+"/v1/sweep", map[string]any{
+		"c": "7", "delta": "7", "k": "1", "mu": "0.2", "d": "0.9", "workers": 100000,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(msg.Error, "workers") {
+		t.Errorf("sweep workers: status=%d err=%q", code, msg.Error)
+	}
+}
+
+// TestOverridesEnterCacheKey: tol and max_iter fold into the canonical
+// key — requests at different solver settings never share results —
+// while workers deliberately does not, because results are identical at
+// any pool width.
+func TestOverridesEnterCacheKey(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := paperCell()
+	req.Tol = 1e-8
+	if code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req); code != http.StatusOK || got.Cached {
+		t.Fatalf("first tol=1e-8: status=%d cached=%v", code, got.Cached)
+	}
+	if _, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req); !got.Cached {
+		t.Errorf("repeat tol=1e-8 not cached")
+	}
+	req.Tol = 1e-10
+	if _, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req); got.Cached {
+		t.Errorf("tol=1e-10 shared tol=1e-8's cache entry")
+	}
+	req.Tol = 0
+	req.MaxIter = 777
+	if _, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req); got.Cached {
+		t.Errorf("max_iter=777 shared the default entry")
+	}
+	// workers stays out of the key: a width-4 request hits the entry a
+	// width-1 request populated.
+	fresh := paperCell()
+	fresh.Sojourns = 2 // distinct from the entries above
+	fresh.Workers = 1
+	if code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", fresh); code != http.StatusOK || got.Cached {
+		t.Fatalf("workers=1: status=%d cached=%v", code, got.Cached)
+	}
+	fresh.Workers = 4
+	code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", fresh)
+	if code != http.StatusOK || !got.Cached {
+		t.Errorf("workers=4: status=%d cached=%v, want a hit on the workers=1 entry", code, got.Cached)
+	}
+}
+
+// TestWorkersWidthIndependence: with caching disabled, the same cell
+// evaluated at different pool widths produces identical analyses — the
+// contract that keeps workers out of the cache key.
+func TestWorkersWidthIndependence(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: -1})
+	var analyses []AnalysisDTO
+	for _, workers := range []int{1, 4} {
+		req := paperCell()
+		req.Workers = workers
+		code, got := postJSON[AnalyzeResponse](t, ts.URL+"/v1/analyze", req)
+		if code != http.StatusOK || got.Cached {
+			t.Fatalf("workers=%d: status=%d cached=%v", workers, code, got.Cached)
+		}
+		analyses = append(analyses, got.Analysis)
+	}
+	a, b := analyses[0], analyses[1]
+	if a.ExpectedSafeTime != b.ExpectedSafeTime || a.PollutionProbability != b.PollutionProbability {
+		t.Errorf("width 1 vs 4 diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestMetricsExposesNewCounters: the new stream/job instrumentation
+// renders in the Prometheus exposition.
+func TestMetricsExposesNewCounters(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"attackd_stream_cells_total 0",
+		`attackd_jobs_total{state="submitted"} 0`,
+		`attackd_jobs_total{state="done"} 0`,
+		`attackd_jobs_total{state="failed"} 0`,
+		`attackd_jobs_total{state="canceled"} 0`,
+		"attackd_jobs_active 0",
+		"attackd_singleflight_shared_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSharedFollowerResponse documents the follower contract end to
+// end with the flight group directly: followers return shared=true and
+// leave the miss counter alone (TestConcurrentAnalyzeSingleflight
+// asserts the same over HTTP).
+func TestSharedFollowerResponse(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		s.flights.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			return AnalyzeResponse{States: 1}, nil
+		})
+	}()
+	<-started
+	done := make(chan bool, 1)
+	go func() {
+		_, _, shared := s.flights.Do("k", func() (any, error) { return nil, nil })
+		done <- shared
+	}()
+	// Give the follower time to join the flight before releasing the
+	// leader; if it loses this (generous) race it becomes a leader of its
+	// own and the assertion below catches the false negative.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	if shared := <-done; !shared {
+		t.Errorf("follower Do returned shared=false")
+	}
+}

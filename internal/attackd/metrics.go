@@ -28,6 +28,13 @@ type metrics struct {
 	singleflightShared atomic.Int64
 	inflight           atomic.Int64
 
+	streamCells   atomic.Int64
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsActive    atomic.Int64
+
 	solverIterations     atomic.Int64
 	fallbacksIterCap     atomic.Int64
 	fallbacksBreakdown   atomic.Int64
@@ -144,6 +151,18 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP attackd_singleflight_shared_total Requests that piggybacked on an identical in-flight evaluation.")
 	fmt.Fprintln(w, "# TYPE attackd_singleflight_shared_total counter")
 	fmt.Fprintf(w, "attackd_singleflight_shared_total %d\n", m.singleflightShared.Load())
+	fmt.Fprintln(w, "# HELP attackd_stream_cells_total Cells written to NDJSON streams.")
+	fmt.Fprintln(w, "# TYPE attackd_stream_cells_total counter")
+	fmt.Fprintf(w, "attackd_stream_cells_total %d\n", m.streamCells.Load())
+	fmt.Fprintln(w, "# HELP attackd_jobs_total Async jobs, by terminal-or-submitted state.")
+	fmt.Fprintln(w, "# TYPE attackd_jobs_total counter")
+	fmt.Fprintf(w, "attackd_jobs_total{state=\"submitted\"} %d\n", m.jobsSubmitted.Load())
+	fmt.Fprintf(w, "attackd_jobs_total{state=\"done\"} %d\n", m.jobsCompleted.Load())
+	fmt.Fprintf(w, "attackd_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "attackd_jobs_total{state=\"canceled\"} %d\n", m.jobsCanceled.Load())
+	fmt.Fprintln(w, "# HELP attackd_jobs_active Async jobs currently running.")
+	fmt.Fprintln(w, "# TYPE attackd_jobs_active gauge")
+	fmt.Fprintf(w, "attackd_jobs_active %d\n", m.jobsActive.Load())
 	fmt.Fprintln(w, "# HELP attackd_inflight_evaluations Evaluations currently running.")
 	fmt.Fprintln(w, "# TYPE attackd_inflight_evaluations gauge")
 	fmt.Fprintf(w, "attackd_inflight_evaluations %d\n", m.inflight.Load())

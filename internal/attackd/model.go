@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"targetedattacks/internal/chainmodel"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
 	"targetedattacks/internal/sweep"
 )
@@ -42,8 +43,10 @@ type ModelAnalyzeResponse struct {
 	States       int              `json:"states"`
 	Solver       string           `json:"solver"`
 	Analysis     ModelAnalysisDTO `json:"analysis"`
-	// Cached reports the response was served from the LRU cache.
+	// Cached and Shared report the response's provenance, as in
+	// AnalyzeResponse.
 	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
 }
 
 // ModelSweepCellDTO is one cell of a non-default-family /v1/sweep
@@ -70,6 +73,7 @@ type ModelSweepResponse struct {
 	Iterations   int64               `json:"iterations,omitempty"`
 	Solver       string              `json:"solver"`
 	Cached       bool                `json:"cached"`
+	Shared       bool                `json:"shared,omitempty"`
 }
 
 func modelAnalysisDTO(a *chainmodel.Analysis) ModelAnalysisDTO {
@@ -152,7 +156,12 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	solver, err := s.requestSolver(req.Solver)
+	solver, err := s.requestSolver(req.Solver, req.Tol, req.MaxIter)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	pool, err := s.requestPool(req.Workers)
 	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
@@ -165,8 +174,9 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
 	val, err, shared := s.flights.Do(key, func() (any, error) {
+		// Leader-only miss accounting, as in handleAnalyze.
+		s.metrics.cacheMisses.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(fam.Name())
@@ -174,7 +184,7 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 		if err != nil {
 			return nil, err
 		}
-		inst, err := fam.Build(tables, cell, solver, s.pool)
+		inst, err := fam.Build(tables, cell, solver, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -202,69 +212,63 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, val.(ModelAnalyzeResponse))
+	resp := val.(ModelAnalyzeResponse)
+	resp.Shared = shared
+	s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 }
 
-// handleModelSweep serves /v1/sweep for a non-default family: the
-// family parses its own grid out of the raw body and the model-agnostic
-// amortized evaluator runs it with warm-start lanes.
-func (s *Server) handleModelSweep(w http.ResponseWriter, r *http.Request, endpoint string, fam chainmodel.Family, body []byte, req SweepRequest) {
+// modelSweepEvaluation prepares a non-default-family grid evaluation:
+// the family parses its own grid out of the raw body and the
+// model-agnostic amortized evaluator runs it with warm-start lanes.
+// Buffered, streamed and async-job serving all go through the returned
+// evaluation.
+func (s *Server) modelSweepEvaluation(fam chainmodel.Family, body []byte, req SweepRequest, solver matrix.SolverConfig, pool *engine.Pool) (*evaluation, error) {
 	cells, err := fam.ParsePlan(body)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	if len(cells) > s.maxCells {
-		s.writeError(w, r, endpoint, http.StatusBadRequest,
-			fmt.Errorf("grid has %d cells, server limit is %d", len(cells), s.maxCells))
-		return
+		return nil, fmt.Errorf("grid has %d cells, server limit is %d", len(cells), s.maxCells)
 	}
 	for _, cell := range cells {
 		if _, err := s.checkStateCount(fam, cell); err != nil {
-			s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 	}
 	dist, err := fam.ParseDist(req.Distribution)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	sojourns, err := s.sojournCount(req.Sojourns)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	solver, err := s.requestSolver(req.Solver)
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+	ev := &evaluation{
+		kind:   "sweep",
+		model:  fam.Name(),
+		key:    modelPlanKey(fam, cells, dist, sojourns, solver),
+		cells:  len(cells),
+		solver: solver.Kind,
 	}
-	key := modelPlanKey(fam, cells, dist, sojourns, solver)
-	if cached, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		resp := cached.(ModelSweepResponse)
-		resp.Cached = true
-		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
-		return
-	}
-	s.metrics.cacheMisses.Add(1)
-	val, err, shared := s.flights.Do(key, func() (any, error) {
+	ev.run = func(ctx context.Context, onCell func(any)) (any, error) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(fam.Name())
-		// Background context for the same reason as the default-family
-		// sweep: followers and the cache consume the shared result.
-		rs, err := sweep.EvaluateModel(context.Background(), sweep.ModelPlan{
+		var cb func(sweep.ModelCellResult)
+		if onCell != nil {
+			cb = func(mc sweep.ModelCellResult) { onCell(modelSweepCellDTO(fam, mc)) }
+		}
+		rs, err := sweep.EvaluateModel(ctx, sweep.ModelPlan{
 			Family:   fam,
 			Cells:    cells,
 			Dist:     dist,
 			Sojourns: sojourns,
 		}, sweep.ModelOptions{
-			Pool:      s.pool,
-			BuildPool: s.pool,
+			Pool:      pool,
+			BuildPool: pool,
 			Solver:    solver,
 			WarmStart: true,
+			OnCell:    cb,
 		})
 		if err != nil {
 			return nil, err
@@ -280,28 +284,53 @@ func (s *Server) handleModelSweep(w http.ResponseWriter, r *http.Request, endpoi
 			Solver:       solver.Kind,
 		}
 		for i, cell := range rs.Cells {
-			resp.Cells[i] = ModelSweepCellDTO{
-				Index:      cell.Index,
-				Params:     fam.CellDTO(cell.Cell),
-				States:     cell.States,
-				Transient:  cell.Transient,
-				Shared:     cell.Shared,
-				Iterations: cell.Iterations,
-				Analysis:   modelAnalysisDTO(cell.Analysis),
-			}
+			resp.Cells[i] = modelSweepCellDTO(fam, cell)
 			if !cell.Shared {
 				s.metrics.solve(cell.Analysis.Solver)
 			}
 		}
-		s.cache.Put(key, resp, int64(len(rs.Cells))*analysisWeight(sojourns))
+		s.cache.Put(ev.key, resp, int64(len(rs.Cells))*analysisWeight(sojourns))
 		return resp, nil
-	})
-	if shared {
-		s.metrics.singleflightShared.Add(1)
 	}
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
-		return
+	ev.cellsOf = func(val any) []any {
+		resp := val.(ModelSweepResponse)
+		out := make([]any, len(resp.Cells))
+		for i, c := range resp.Cells {
+			out[i] = c
+		}
+		return out
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, val.(ModelSweepResponse))
+	ev.finish = func(val any, cached, shared bool) any {
+		resp := val.(ModelSweepResponse)
+		resp.Cached, resp.Shared = cached, shared
+		return resp
+	}
+	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+		resp := val.(ModelSweepResponse)
+		return StreamSummary{
+			Cells:      len(resp.Cells),
+			Groups:     resp.Groups,
+			Evaluated:  resp.Evaluated,
+			Iterations: resp.Iterations,
+			Solver:     resp.Solver,
+			Model:      resp.Model,
+			Cached:     cached,
+			Shared:     shared,
+		}
+	}
+	return ev, nil
+}
+
+// modelSweepCellDTO is the wire form of one evaluated model cell,
+// shared by the buffered response and the NDJSON stream.
+func modelSweepCellDTO(fam chainmodel.Family, cell sweep.ModelCellResult) ModelSweepCellDTO {
+	return ModelSweepCellDTO{
+		Index:      cell.Index,
+		Params:     fam.CellDTO(cell.Cell),
+		States:     cell.States,
+		Transient:  cell.Transient,
+		Shared:     cell.Shared,
+		Iterations: cell.Iterations,
+		Analysis:   modelAnalysisDTO(cell.Analysis),
+	}
 }

@@ -10,19 +10,36 @@
 // always run hash-derived fast identities and are bounded by a cell
 // limit and a cells×replicas×events budget; their responses carry no
 // wall-clock fields, so cached replies are byte-identical to fresh ones.
+//
+// Grid endpoints deliver three ways from one pipeline: buffered JSON,
+// NDJSON streaming (Accept: application/x-ndjson or ?stream=1 — one
+// cell line as each cell completes, then a {"summary":{...}} line; see
+// stream.go for the protocol), and async jobs (POST /v1/jobs submits
+// any sweep/simsweep body, GET /v1/jobs/{id} polls cell-level progress,
+// /result fetches or streams the finished response, DELETE cancels;
+// see jobs.go). All three share the cache and singleflight, so a
+// streamed or job-run grid warms the same entries a buffered request
+// would. Requests may override tol, max_iter and workers per call;
+// tol and max_iter enter the cache key, workers deliberately does not
+// (results are bit-identical at any pool width).
+//
 // /healthz and /metrics (Prometheus text format) expose liveness,
-// request counts, cache hit rates, in-flight evaluations and simulated
-// event totals.
+// request counts, cache hit rates (leader-only misses, with
+// singleflight followers counted separately), in-flight evaluations,
+// streamed cells, job states and simulated event totals.
 package attackd
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	// Registers the built-in second model family (APT compromise chain)
 	// so every server instance can serve it by name.
@@ -63,6 +80,13 @@ type Config struct {
 	// events (cells × replicas × events); 0 picks
 	// DefaultMaxSimEventBudget.
 	MaxSimEventBudget int64
+	// MaxJobs bounds the async job store in entries (running plus
+	// retained finished jobs); 0 picks DefaultMaxJobs, negative disables
+	// the job API (submissions are rejected).
+	MaxJobs int
+	// JobTTL is how long a finished job's result stays pollable before
+	// eviction; 0 picks DefaultJobTTL.
+	JobTTL time.Duration
 }
 
 // Serving defaults.
@@ -71,6 +95,20 @@ const (
 	DefaultMaxCells    = 4096
 	DefaultMaxStates   = 200_000
 	DefaultMaxSojourns = 1024
+	// DefaultMaxJobs bounds the async job store; DefaultJobTTL is how
+	// long finished jobs stay pollable.
+	DefaultMaxJobs = 64
+	DefaultJobTTL  = 15 * time.Minute
+	// maxRequestWorkers bounds the per-request "workers" override: wide
+	// enough for any real machine, small enough that a request cannot ask
+	// for a million goroutines.
+	maxRequestWorkers = 256
+	// maxRequestIter bounds the per-request "max_iter" override.
+	maxRequestIter = 10_000_000
+	// minRequestTol floors the per-request "tol" override: a tolerance
+	// below float64 round-off can never converge and would burn the whole
+	// iteration cap on every solve.
+	minRequestTol = 1e-15
 	// maxBodyBytes bounds a request body before JSON decoding — the
 	// first allocation gate an untrusted request hits; axis and grid
 	// limits apply after parsing. 1 MiB fits any legal request with
@@ -102,6 +140,7 @@ type Server struct {
 	cache             *lru
 	flights           *flightGroup
 	metrics           *metrics
+	jobs              *jobStore
 	mux               *http.ServeMux
 }
 
@@ -138,6 +177,14 @@ func New(cfg Config) (*Server, error) {
 	if maxSimEventBudget == 0 {
 		maxSimEventBudget = DefaultMaxSimEventBudget
 	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs == 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	jobTTL := cfg.JobTTL
+	if jobTTL == 0 {
+		jobTTL = DefaultJobTTL
+	}
 	pool := cfg.Pool
 	if pool == nil {
 		pool = engine.New(0) // per-CPU, as the Config doc promises
@@ -153,11 +200,14 @@ func New(cfg Config) (*Server, error) {
 		cache:             newLRU(cacheSize, maxCacheWeight),
 		flights:           newFlightGroup(),
 		metrics:           newMetrics(),
+		jobs:              newJobStore(maxJobs, jobTTL),
 		mux:               http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/simsweep", s.handleSimSweep)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -180,9 +230,19 @@ type CellRequest struct {
 	Distribution string  `json:"distribution,omitempty"` // "delta" (default) or "beta"
 	Sojourns     int     `json:"sojourns,omitempty"`     // default 1
 	// Solver overrides the server's backend for this request (one of
-	// matrix.SolverKinds; "" keeps the server default). Tolerances stay
-	// the server's — only the backend changes.
+	// matrix.SolverKinds; "" keeps the server default).
 	Solver string `json:"solver,omitempty"`
+	// Tol overrides the iterative solver's residual tolerance for this
+	// request (0 keeps the server default). It folds into the canonical
+	// cache key, so requests at different tolerances never share results.
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter overrides the iterative solver's iteration cap (0 keeps
+	// the server default); part of the cache key like Tol.
+	MaxIter int `json:"max_iter,omitempty"`
+	// Workers overrides the evaluation pool width for this request (0
+	// keeps the server pool). Results are bit-identical for any width,
+	// so Workers deliberately stays out of the cache key.
+	Workers int `json:"workers,omitempty"`
 	// Model selects the registered model family ("" means
 	// "targeted-attack", the paper model). Unknown names are a client
 	// error listing the registered families.
@@ -200,9 +260,12 @@ type SweepRequest struct {
 	Nu           string `json:"nu"`
 	Distribution string `json:"distribution,omitempty"`
 	Sojourns     int    `json:"sojourns,omitempty"`
-	// Solver overrides the server's backend for this request, as in
-	// CellRequest.
-	Solver string `json:"solver,omitempty"`
+	// Solver, Tol, MaxIter and Workers override the server's backend,
+	// tolerances and pool width for this request, as in CellRequest.
+	Solver  string  `json:"solver,omitempty"`
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
+	Workers int     `json:"workers,omitempty"`
 	// Model selects the registered model family, as in CellRequest;
 	// other families declare their own axis fields in the same body.
 	Model string `json:"model,omitempty"`
@@ -224,8 +287,11 @@ type AnalyzeResponse struct {
 	States   int         `json:"states"`
 	Solver   string      `json:"solver"`
 	Analysis AnalysisDTO `json:"analysis"`
-	// Cached reports the response was served from the LRU cache.
+	// Cached reports the response was served from the LRU cache; Shared
+	// that it piggybacked on an identical concurrent evaluation
+	// (singleflight follower) without computing or hitting the cache.
 	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
 }
 
 // ParamsDTO is the wire form of core.Params plus the analysis options.
@@ -263,6 +329,10 @@ type SweepResponse struct {
 	Iterations int64  `json:"iterations,omitempty"`
 	Solver     string `json:"solver"`
 	Cached     bool   `json:"cached"`
+	// Shared reports a singleflight-follower response, as in
+	// AnalyzeResponse (per-cell "shared" means ν-dedup, a different
+	// notion).
+	Shared bool `json:"shared,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -271,14 +341,48 @@ type errorResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, "/healthz", http.MethodGet) {
+		return
+	}
 	s.writeJSON(w, r, "/healthz", http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, "/metrics", http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	s.metrics.write(w)
 	s.metrics.request("/metrics", http.StatusOK)
+}
+
+// requireMethod enforces one HTTP method per endpoint: anything else is
+// a 405 carrying the required Allow header (RFC 9110 §15.5.6).
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, endpoint, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+	return false
+}
+
+// readBody drains the request body under the server's size cap. An
+// oversized body is the client's error in the 413 sense — distinguish
+// http.MaxBytesReader's sentinel from plain read failures (400).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, endpoint string) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, r, endpoint, code, fmt.Errorf("reading request: %w", err))
+		return nil, false
+	}
+	return body, true
 }
 
 // parseDistribution maps the wire name to the model's enum.
@@ -293,21 +397,49 @@ func parseDistribution(name string) (core.InitialDistribution, error) {
 	}
 }
 
-// requestSolver resolves a per-request backend override: "" keeps the
-// server's configured solver; any other value replaces the backend kind
-// while inheriting the server's tolerance and iteration cap. Unknown
-// kinds surface as a client error.
-func (s *Server) requestSolver(kind string) (matrix.SolverConfig, error) {
-	kind = strings.ToLower(strings.TrimSpace(kind))
-	if kind == "" {
-		return s.solver, nil
-	}
+// requestSolver resolves the per-request solver overrides: zero values
+// keep the server's configured backend, tolerance and iteration cap;
+// anything else replaces that field after validation. Kind, tol and
+// max_iter are all part of the canonical cache key (via the resulting
+// SolverConfig), so overridden requests never share cached results with
+// differently-configured ones.
+func (s *Server) requestSolver(kind string, tol float64, maxIter int) (matrix.SolverConfig, error) {
 	sc := s.solver
-	sc.Kind = kind
-	if _, err := sc.Build(); err != nil {
-		return sc, fmt.Errorf("solver %q: one of %s required", kind, strings.Join(matrix.SolverKinds(), ", "))
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	if kind != "" {
+		sc.Kind = kind
+		if _, err := sc.Build(); err != nil {
+			return sc, fmt.Errorf("solver %q: one of %s required", kind, strings.Join(matrix.SolverKinds(), ", "))
+		}
+	}
+	if tol != 0 {
+		if math.IsNaN(tol) || tol < minRequestTol || tol > 0.5 {
+			return sc, fmt.Errorf("tol %g: must be in [%g, 0.5]", tol, minRequestTol)
+		}
+		sc.Tol = tol
+	}
+	if maxIter != 0 {
+		if maxIter < 1 || maxIter > maxRequestIter {
+			return sc, fmt.Errorf("max_iter %d: must be in [1, %d]", maxIter, maxRequestIter)
+		}
+		sc.MaxIter = maxIter
 	}
 	return sc, nil
+}
+
+// requestPool resolves the per-request worker override: 0 keeps the
+// server's shared pool, anything else gets a pool of exactly that width
+// (pools are a pair of ints — creating one per request is free). The
+// evaluators are bit-identical for any pool width, so the override never
+// enters a cache key.
+func (s *Server) requestPool(workers int) (*engine.Pool, error) {
+	if workers == 0 {
+		return s.pool, nil
+	}
+	if workers < 0 || workers > maxRequestWorkers {
+		return nil, fmt.Errorf("workers %d: must be in [1, %d]", workers, maxRequestWorkers)
+	}
+	return engine.New(workers), nil
 }
 
 // resolveFamily maps the wire model name to a registered family; the
@@ -339,13 +471,11 @@ func canonicalCellKey(p core.Params, dist core.InitialDistribution, sojourns int
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/v1/analyze"
-	if r.Method != http.MethodPost {
-		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+	body, ok := s.readBody(w, r, endpoint)
+	if !ok {
 		return
 	}
 	var req CellRequest
@@ -387,7 +517,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sojourns %d exceeds the server limit %d", sojourns, s.maxSojourns))
 		return
 	}
-	solver, err := s.requestSolver(req.Solver)
+	solver, err := s.requestSolver(req.Solver, req.Tol, req.MaxIter)
+	if err != nil {
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	pool, err := s.requestPool(req.Workers)
 	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
@@ -400,12 +535,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	// The cache miss is counted inside the flight, so only the leader —
+	// the request that actually evaluates — records one. Followers are
+	// neither hits nor misses; they surface in
+	// attackd_singleflight_shared_total instead.
 	val, err, shared := s.flights.Do(key, func() (any, error) {
+		s.metrics.cacheMisses.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(chainmodel.DefaultFamily)
-		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(s.pool))
+		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(pool))
 		if err != nil {
 			return nil, err
 		}
@@ -430,67 +569,86 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
 		return
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, val.(AnalyzeResponse))
+	resp := val.(AnalyzeResponse)
+	resp.Shared = shared
+	s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/v1/sweep"
-	if r.Method != http.MethodPost {
-		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, ok := s.readBody(w, r, endpoint)
+	if !ok {
+		return
+	}
+	ev, err := s.sweepEvaluationFromBody(body)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
 	}
+	s.serveEvaluation(w, r, endpoint, ev, wantsStream(r))
+}
+
+// sweepEvaluationFromBody parses, bounds and prepares a /v1/sweep body
+// (default or named model family) into a runnable evaluation. Every
+// error is the client's.
+func (s *Server) sweepEvaluationFromBody(body []byte) (*evaluation, error) {
 	var req SweepRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
+		return nil, fmt.Errorf("decoding request: %w", err)
 	}
 	fam, err := resolveFamily(req.Model)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+		return nil, err
+	}
+	solver, err := s.requestSolver(req.Solver, req.Tol, req.MaxIter)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := s.requestPool(req.Workers)
+	if err != nil {
+		return nil, err
 	}
 	if fam.Name() != chainmodel.DefaultFamily {
-		s.handleModelSweep(w, r, endpoint, fam, body, req)
-		return
+		return s.modelSweepEvaluation(fam, body, req, solver, pool)
 	}
 	plan, err := s.planFromRequest(req)
 	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	solver, err := s.requestSolver(req.Solver)
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
-		return
+	return s.sweepEvaluation(plan, solver, pool), nil
+}
+
+// sweepEvaluation prepares a default-family grid evaluation: run
+// computes (and caches) a SweepResponse, streaming each cell's DTO in
+// completion order when onCell is set.
+func (s *Server) sweepEvaluation(plan sweep.Plan, solver matrix.SolverConfig, pool *engine.Pool) *evaluation {
+	ev := &evaluation{
+		kind:   "sweep",
+		model:  chainmodel.DefaultFamily,
+		key:    canonicalPlanKey(plan, solver),
+		cells:  plan.Size(),
+		solver: solver.Kind,
 	}
-	key := canonicalPlanKey(plan, solver)
-	if cached, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		resp := cached.(SweepResponse)
-		resp.Cached = true
-		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
-		return
-	}
-	s.metrics.cacheMisses.Add(1)
-	val, err, shared := s.flights.Do(key, func() (any, error) {
+	ev.run = func(ctx context.Context, onCell func(any)) (any, error) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(chainmodel.DefaultFamily)
-		// The evaluation is shared: singleflight followers and the LRU
-		// cache consume its result, so it must not die with the leader
-		// request's connection — run it on a background context. Warm
-		// starting is always on: serving-grid lanes chain neighboring
-		// cells' solves, and the results stay worker-count independent.
-		rs, err := sweep.Evaluate(context.Background(), plan, sweep.Options{
-			Pool:      s.pool,
-			BuildPool: s.pool,
+		var cb func(sweep.CellResult)
+		if onCell != nil {
+			cb = func(cr sweep.CellResult) { onCell(sweepCellDTO(cr, plan)) }
+		}
+		// Warm starting is always on: serving-grid lanes chain
+		// neighboring cells' solves, and the results stay worker-count
+		// independent.
+		rs, err := sweep.Evaluate(ctx, plan, sweep.Options{
+			Pool:      pool,
+			BuildPool: pool,
 			Solver:    solver,
 			WarmStart: true,
+			OnCell:    cb,
 		})
 		if err != nil {
 			return nil, err
@@ -503,31 +661,56 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Solver:     solver.Kind,
 		}
 		for i, cell := range rs.Cells {
-			resp.Cells[i] = SweepCellDTO{
-				Index:      cell.Index,
-				Params:     paramsDTO(cell.Params, plan.Dist, plan.Sojourns),
-				States:     cell.States,
-				Transient:  cell.Transient,
-				Rule1Fires: cell.Rule1Fires,
-				Shared:     cell.Shared,
-				Iterations: cell.Iterations,
-				Analysis:   analysisDTO(cell.Analysis),
-			}
+			resp.Cells[i] = sweepCellDTO(cell, plan)
 			if !cell.Shared {
 				s.metrics.solve(cell.Analysis.Solver)
 			}
 		}
-		s.cache.Put(key, resp, int64(len(rs.Cells))*analysisWeight(plan.Sojourns))
+		s.cache.Put(ev.key, resp, int64(len(rs.Cells))*analysisWeight(plan.Sojourns))
 		return resp, nil
-	})
-	if shared {
-		s.metrics.singleflightShared.Add(1)
 	}
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
-		return
+	ev.cellsOf = func(val any) []any {
+		resp := val.(SweepResponse)
+		out := make([]any, len(resp.Cells))
+		for i, c := range resp.Cells {
+			out[i] = c
+		}
+		return out
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, val.(SweepResponse))
+	ev.finish = func(val any, cached, shared bool) any {
+		resp := val.(SweepResponse)
+		resp.Cached, resp.Shared = cached, shared
+		return resp
+	}
+	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+		resp := val.(SweepResponse)
+		return StreamSummary{
+			Cells:      len(resp.Cells),
+			Groups:     resp.Groups,
+			Evaluated:  resp.Evaluated,
+			Iterations: resp.Iterations,
+			Solver:     resp.Solver,
+			Cached:     cached,
+			Shared:     shared,
+		}
+	}
+	return ev
+}
+
+// sweepCellDTO is the wire form of one evaluated cell. It is shared by
+// the buffered response and the NDJSON stream, so a streamed line is
+// byte-identical to the same cell in a buffered "cells" array.
+func sweepCellDTO(cell sweep.CellResult, plan sweep.Plan) SweepCellDTO {
+	return SweepCellDTO{
+		Index:      cell.Index,
+		Params:     paramsDTO(cell.Params, plan.Dist, plan.Sojourns),
+		States:     cell.States,
+		Transient:  cell.Transient,
+		Rule1Fires: cell.Rule1Fires,
+		Shared:     cell.Shared,
+		Iterations: cell.Iterations,
+		Analysis:   analysisDTO(cell.Analysis),
+	}
 }
 
 // planFromRequest parses and bounds a sweep request.
@@ -578,15 +761,17 @@ func (s *Server) planFromRequest(req SweepRequest) (sweep.Plan, error) {
 	return plan, nil
 }
 
-// checkGeometry bounds |Ω| without computing it in overflow-prone
-// arithmetic: C and ∆ are each capped by the state limit first (|Ω| is
-// at least C+1 and at least (∆+1)(∆+2)/2), so the closed-form count is
-// evaluated only on values where it cannot overflow.
+// checkGeometry bounds |Ω|. C and ∆ are each capped by the state limit
+// first (|Ω| is at least C+1 and at least (∆+1)(∆+2)/2), and the
+// closed-form count itself is evaluated in saturating int64 arithmetic —
+// on 32-bit platforms the product overflows int long before the
+// pre-caps catch it, which used to let absurd geometries wrap around
+// the limit.
 func (s *Server) checkGeometry(c, delta int) error {
 	if c > s.maxStates || delta > s.maxStates {
 		return fmt.Errorf("C=%d ∆=%d exceeds the server's %d-state limit", c, delta, s.maxStates)
 	}
-	if states := stateCount(core.Params{C: c, Delta: delta}); states > s.maxStates {
+	if states := stateCount(core.Params{C: c, Delta: delta}); states > int64(s.maxStates) {
 		return fmt.Errorf("C=%d ∆=%d has %d states, server limit is %d", c, delta, states, s.maxStates)
 	}
 	return nil
@@ -650,9 +835,28 @@ func canonicalPlanKey(plan sweep.Plan, solver matrix.SolverConfig) string {
 	return b.String()
 }
 
-// stateCount is |Ω| = (C+1)(∆+1)(∆+2)/2 without enumerating the space.
-func stateCount(p core.Params) int {
-	return (p.C + 1) * (p.Delta + 1) * (p.Delta + 2) / 2
+// stateCount is |Ω| = (C+1)(∆+1)(∆+2)/2 without enumerating the space,
+// computed in int64 and saturating at MaxInt64: the product overflows
+// 32-bit int already for C = ∆ ≈ 1600, well inside the default
+// 200 000-state limit's pre-caps on 32-bit platforms.
+func stateCount(p core.Params) int64 {
+	c, d := int64(p.C)+1, int64(p.Delta)+1
+	if c < 1 || d < 1 {
+		// Degenerate geometry; parameter validation rejects it with a
+		// better message than a count could.
+		return 0
+	}
+	// d(d+1)/2 overflows int64 only past d ≈ 4.3e9; the cap below keeps
+	// the triangular number itself exact.
+	const maxTriangular = 3_037_000_498 // floor(sqrt(MaxInt64)) - 1
+	if d > maxTriangular {
+		return math.MaxInt64
+	}
+	tri := d * (d + 1) / 2
+	if c > math.MaxInt64/tri {
+		return math.MaxInt64
+	}
+	return c * tri
 }
 
 func paramsDTO(p core.Params, dist core.InitialDistribution, sojourns int) ParamsDTO {

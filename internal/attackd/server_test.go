@@ -345,8 +345,11 @@ func TestConcurrentAnalyzeSingleflight(t *testing.T) {
 	if hits+sharedCount != total-int64(len(distinct)) {
 		t.Errorf("hits (%d) + shared (%d) = %d, want %d", hits, sharedCount, hits+sharedCount, total-int64(len(distinct)))
 	}
-	if misses != total-hits {
-		t.Errorf("misses = %d, want %d (every non-hit request misses before flying)", misses, total-hits)
+	// Only flight leaders — the requests that actually evaluated — count
+	// as misses; followers are accounted under shared, not misses, so the
+	// hit-rate metric reflects real evaluation work.
+	if misses != int64(len(distinct)) {
+		t.Errorf("misses = %d, want %d (one leader per distinct parameter set)", misses, len(distinct))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"targetedattacks/internal/adversary"
 	"targetedattacks/internal/core"
+	"targetedattacks/internal/engine"
 	"targetedattacks/internal/overlaynet"
 	"targetedattacks/internal/stats"
 	"targetedattacks/internal/sweep"
@@ -63,6 +64,10 @@ type SimSweepRequest struct {
 	StopOnAbsorption bool `json:"stop_on_absorption,omitempty"`
 	// LookupTrials measures end-of-run lookup availability per replica.
 	LookupTrials int `json:"lookup_trials,omitempty"`
+	// Workers overrides the evaluation pool width for this request, as in
+	// SweepRequest (results are replica-seeded, so they are identical for
+	// any width and the override stays out of the cache key).
+	Workers int `json:"workers,omitempty"`
 }
 
 // RunningDTO is the wire form of a stats.Running summary.
@@ -117,40 +122,63 @@ type SimSweepResponse struct {
 	Events   int64        `json:"events"`
 	Replicas int          `json:"replicas"`
 	Cached   bool         `json:"cached"`
+	// Shared reports a singleflight-follower response, as in
+	// SweepResponse.
+	Shared bool `json:"shared,omitempty"`
 }
 
 func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/v1/simsweep"
-	if r.Method != http.MethodPost {
-		s.writeError(w, r, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
-	var req SimSweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	body, ok := s.readBody(w, r, endpoint)
+	if !ok {
 		return
 	}
-	plan, err := s.simPlanFromRequest(req)
+	ev, err := s.simSweepEvaluationFromBody(body)
 	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	key := canonicalSimPlanKey(plan)
-	if cached, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		resp := cached.(SimSweepResponse)
-		resp.Cached = true
-		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
-		return
+	s.serveEvaluation(w, r, endpoint, ev, wantsStream(r))
+}
+
+// simSweepEvaluationFromBody parses and bounds a /v1/simsweep body into
+// a runnable evaluation.
+func (s *Server) simSweepEvaluationFromBody(body []byte) (*evaluation, error) {
+	var req SimSweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
 	}
-	s.metrics.cacheMisses.Add(1)
-	val, err, shared := s.flights.Do(key, func() (any, error) {
+	plan, err := s.simPlanFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := s.requestPool(req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return s.simSweepEvaluation(plan, pool), nil
+}
+
+// simSweepEvaluation prepares a simulation-grid evaluation, serving the
+// buffered, streamed and async-job paths alike.
+func (s *Server) simSweepEvaluation(plan sweep.SimPlan, pool *engine.Pool) *evaluation {
+	ev := &evaluation{
+		kind:  "simsweep",
+		key:   canonicalSimPlanKey(plan),
+		cells: plan.Size(),
+	}
+	ev.run = func(ctx context.Context, onCell func(any)) (any, error) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.simEvaluations.Add(1)
-		// Background context for the same reason as /v1/sweep: followers
-		// and the cache consume the shared result.
-		rs, err := sweep.EvaluateSim(context.Background(), plan, sweep.SimOptions{Pool: s.pool})
+		var cb func(sweep.SimCellResult)
+		if onCell != nil {
+			cb = func(cr sweep.SimCellResult) { onCell(simCellDTO(cr)) }
+		}
+		rs, err := sweep.EvaluateSim(ctx, plan, sweep.SimOptions{Pool: pool, OnCell: cb})
 		if err != nil {
 			return nil, err
 		}
@@ -164,17 +192,33 @@ func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.simEvents.Add(resp.Events)
 		// A simulation entry retains a fixed-size summary per cell.
-		s.cache.Put(key, resp, int64(len(rs.Cells))*32)
+		s.cache.Put(ev.key, resp, int64(len(rs.Cells))*32)
 		return resp, nil
-	})
-	if shared {
-		s.metrics.singleflightShared.Add(1)
 	}
-	if err != nil {
-		s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
-		return
+	ev.cellsOf = func(val any) []any {
+		resp := val.(SimSweepResponse)
+		out := make([]any, len(resp.Cells))
+		for i, c := range resp.Cells {
+			out[i] = c
+		}
+		return out
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, val.(SimSweepResponse))
+	ev.finish = func(val any, cached, shared bool) any {
+		resp := val.(SimSweepResponse)
+		resp.Cached, resp.Shared = cached, shared
+		return resp
+	}
+	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+		resp := val.(SimSweepResponse)
+		return StreamSummary{
+			Cells:    len(resp.Cells),
+			Replicas: resp.Replicas,
+			Events:   resp.Events,
+			Cached:   cached,
+			Shared:   shared,
+		}
+	}
+	return ev
 }
 
 // simPlanFromRequest parses and bounds a simulation-sweep request.

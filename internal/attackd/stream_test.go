@@ -1,0 +1,308 @@
+package attackd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// startNDJSON posts body to url with streaming negotiated via the
+// Accept header and returns the live response.
+func startNDJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status = %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	return resp
+}
+
+// drainNDJSON reads a whole stream, returning the raw cell lines
+// (newline-trimmed) and the decoded summary terminator.
+func drainNDJSON(t *testing.T, body io.Reader) ([][]byte, StreamSummary) {
+	t.Helper()
+	var cells [][]byte
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		// Cell lines always carry more than one top-level field (sim
+		// cells even have their own "summary"); the terminator and the
+		// in-band error envelope are single-key objects.
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(line, &fields); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if raw, ok := fields["error"]; ok && len(fields) == 1 {
+			t.Fatalf("stream reported error: %s", raw)
+		}
+		if raw, ok := fields["summary"]; ok && len(fields) == 1 {
+			var summary StreamSummary
+			if err := json.Unmarshal(raw, &summary); err != nil {
+				t.Fatalf("bad summary line %q: %v", line, err)
+			}
+			if sc.Scan() {
+				t.Fatalf("data after summary line: %q", sc.Bytes())
+			}
+			return cells, summary
+		}
+		cells = append(cells, line)
+	}
+	t.Fatalf("stream ended without a summary line (read %d cells, err %v)", len(cells), sc.Err())
+	return nil, StreamSummary{}
+}
+
+// sortByIndex orders raw cell lines by their "index" field (streams
+// deliver completion order; buffered responses are plan order).
+func sortByIndex(t *testing.T, lines [][]byte) {
+	t.Helper()
+	idx := func(line []byte) int {
+		var c struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal(line, &c); err != nil {
+			t.Fatalf("bad cell line %q: %v", line, err)
+		}
+		return c.Index
+	}
+	sort.Slice(lines, func(a, b int) bool { return idx(lines[a]) < idx(lines[b]) })
+}
+
+// sweep16Body is a 16-cell default-family grid.
+func sweep16Body() map[string]any {
+	return map[string]any{
+		"c": "7", "delta": "7", "k": "1",
+		"mu": "0.1,0.2,0.3,0.4", "d": "0.6,0.7,0.8,0.9", "nu": "0.1",
+	}
+}
+
+// TestStreamFirstCellArrivesEarly is the streaming acceptance test: a
+// 256-cell serial sweep must deliver its first NDJSON cell while the
+// evaluation is still in flight — observed by reading one line off the
+// live stream and then catching attackd_inflight_evaluations at 1 on
+// /metrics before draining the rest.
+func TestStreamFirstCellArrivesEarly(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	mu := make([]string, 16)
+	d := make([]string, 16)
+	for i := range mu {
+		mu[i] = fmt.Sprintf("%.2f", 0.05*float64(i+1))
+		d[i] = fmt.Sprintf("%.2f", 0.05*float64(i+1))
+	}
+	body := map[string]any{
+		// C = ∆ = 16 is 2601 states per cell — heavy enough that one
+		// worker grinding the 256 cells serially leaves the evaluation in
+		// flight for long after the first line lands, so the /metrics
+		// probe below cannot race it.
+		"c": "16", "delta": "16", "k": "1",
+		"mu": strings.Join(mu, ","), "d": strings.Join(d, ","), "nu": "0.1",
+		"workers": 1,
+	}
+	resp := startNDJSON(t, ts.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first stream line: %v", err)
+	}
+	var cell SweepCellDTO
+	if err := json.Unmarshal(first, &cell); err != nil {
+		t.Fatalf("first line %q is not a cell: %v", first, err)
+	}
+	if cell.States == 0 {
+		t.Fatalf("first cell is empty: %+v", cell)
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(metricsText), "attackd_inflight_evaluations 1") {
+		t.Errorf("first cell arrived but the evaluation is not in flight:\n%s",
+			metricsText)
+	}
+	cells, summary := drainNDJSON(t, br)
+	if got := len(cells) + 1; got != 256 {
+		t.Errorf("streamed %d cells, want 256", got)
+	}
+	if summary.Cells != 256 || summary.Evaluated != 256 || summary.Solver != "bicgstab" || summary.Cached {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+// TestStreamMatchesBuffered: the streamed cell lines are byte-identical
+// to the buffered endpoint's "cells" array, in both directions — a
+// fresh stream populates the cache for a buffered hit, and a buffered
+// evaluation's cached cells replay onto a later stream.
+func TestStreamMatchesBuffered(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := sweep16Body()
+
+	resp := startNDJSON(t, ts.URL+"/v1/sweep", body)
+	lines, summary := drainNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 16 || summary.Cached || summary.Shared {
+		t.Fatalf("fresh stream: %d cells, summary %+v", len(lines), summary)
+	}
+	sortByIndex(t, lines)
+
+	// The buffered request must now hit the cache the stream populated.
+	raw, _ := json.Marshal(body)
+	hr, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var buffered struct {
+		Cells  []json.RawMessage `json:"cells"`
+		Cached bool              `json:"cached"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK || !buffered.Cached {
+		t.Fatalf("buffered after stream: status=%d cached=%v, want 200/true", hr.StatusCode, buffered.Cached)
+	}
+	if len(buffered.Cells) != len(lines) {
+		t.Fatalf("buffered %d cells, streamed %d", len(buffered.Cells), len(lines))
+	}
+	for i, line := range lines {
+		if !bytes.Equal(line, bytes.TrimSpace(buffered.Cells[i])) {
+			t.Fatalf("cell %d differs:\nstream:   %s\nbuffered: %s", i, line, buffered.Cells[i])
+		}
+	}
+
+	// Reverse direction: a cached stream replays the same bytes, in plan
+	// order, flagged cached.
+	resp = startNDJSON(t, ts.URL+"/v1/sweep", body)
+	replay, summary := drainNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if !summary.Cached {
+		t.Errorf("replayed stream summary not cached: %+v", summary)
+	}
+	for i, line := range replay {
+		if !bytes.Equal(line, lines[i]) {
+			t.Fatalf("replayed cell %d differs:\nreplay: %s\nfresh:  %s", i, line, lines[i])
+		}
+	}
+}
+
+// TestStreamQueryParam: ?stream=1 negotiates NDJSON without the Accept
+// header.
+func TestStreamQueryParam(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	raw, _ := json.Marshal(sweep16Body())
+	resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	cells, summary := drainNDJSON(t, resp.Body)
+	if len(cells) != 16 || summary.Cells != 16 {
+		t.Errorf("cells=%d summary=%+v", len(cells), summary)
+	}
+}
+
+// TestStreamModelSweep: NDJSON on a named model family, same cache
+// round-trip as the default family.
+func TestStreamModelSweep(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := map[string]any{
+		"model": "apt-compromise",
+		"n":     "6", "theta": "0.5", "phi": "0.4", "rho": "0,0.2,0.4", "detect": "0.6,0.8",
+	}
+	resp := startNDJSON(t, ts.URL+"/v1/sweep", body)
+	lines, summary := drainNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 6 || summary.Model != "apt-compromise" || summary.Cached {
+		t.Fatalf("model stream: %d cells, summary %+v", len(lines), summary)
+	}
+	sortByIndex(t, lines)
+	raw, _ := json.Marshal(body)
+	hr, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var buffered struct {
+		Cells  []json.RawMessage `json:"cells"`
+		Cached bool              `json:"cached"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !buffered.Cached {
+		t.Fatalf("buffered model sweep after stream not cached")
+	}
+	for i, line := range lines {
+		if !bytes.Equal(line, bytes.TrimSpace(buffered.Cells[i])) {
+			t.Fatalf("model cell %d differs:\nstream:   %s\nbuffered: %s", i, line, buffered.Cells[i])
+		}
+	}
+}
+
+// TestStreamSimSweep: NDJSON on /v1/simsweep matches its buffered
+// response cell for cell.
+func TestStreamSimSweep(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := map[string]any{
+		"mu": "0.2,0.4", "d": "0.9", "sizes": "64,128",
+		"events": 200, "replicas": 2, "seed": 7,
+	}
+	resp := startNDJSON(t, ts.URL+"/v1/simsweep", body)
+	lines, summary := drainNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 4 || summary.Cells != 4 || summary.Replicas != 2 || summary.Events <= 0 {
+		t.Fatalf("sim stream: %d cells, summary %+v", len(lines), summary)
+	}
+	sortByIndex(t, lines)
+	raw, _ := json.Marshal(body)
+	hr, err := http.Post(ts.URL+"/v1/simsweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var buffered struct {
+		Cells  []json.RawMessage `json:"cells"`
+		Cached bool              `json:"cached"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !buffered.Cached {
+		t.Fatal("buffered simsweep after stream not cached")
+	}
+	for i, line := range lines {
+		if !bytes.Equal(line, bytes.TrimSpace(buffered.Cells[i])) {
+			t.Fatalf("sim cell %d differs:\nstream:   %s\nbuffered: %s", i, line, buffered.Cells[i])
+		}
+	}
+}
