@@ -9,6 +9,8 @@
 //	        [-tol 1e-12] [-cache 4096] [-maxcells 4096] [-maxstates 200000]
 //	        [-maxsojourns 1024] [-maxsimcells 256] [-maxsimevents 16777216]
 //	        [-maxjobs 64] [-jobttl 15m] [-shutdown-timeout 10s]
+//	        [-log-level info] [-log-format text|json] [-slowreq 1s]
+//	        [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -43,16 +45,25 @@
 // lo:hi:step ranges ("0.5:0.9:0.1"). SIGINT/SIGTERM drain in-flight
 // requests and running jobs for up to -shutdown-timeout before the
 // process exits.
+//
+// Observability: every request is traced (W3C traceparent in and out;
+// opt into a per-stage timing breakdown with "timings": true in any
+// analysis or sweep body), /metrics carries request- and stage-latency
+// histograms plus Go runtime gauges, requests slower than -slowreq log
+// their span tree at warn level, and -debug-addr exposes net/http/pprof
+// and /debug/vars on a second, private listener.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +73,7 @@ import (
 	"targetedattacks/internal/attackd"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 )
 
 func main() {
@@ -93,8 +105,20 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		maxJobs     = fs.Int("maxjobs", attackd.DefaultMaxJobs, "maximum async jobs held in memory (negative disables the job API)")
 		jobTTL      = fs.Duration("jobttl", attackd.DefaultJobTTL, "how long finished jobs stay pollable")
 		drain       = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat   = fs.String("log-format", "text", "log encoding: text or json")
+		slowReq     = fs.Duration("slowreq", attackd.DefaultSlowRequest, "log requests slower than this at warn level, with their span tree")
+		debugAddr   = fs.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/vars (keep it private)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
 		return err
 	}
 	srv, err := attackd.New(attackd.Config{
@@ -108,6 +132,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		MaxSimEventBudget: *maxSimEvts,
 		MaxJobs:           *maxJobs,
 		JobTTL:            *jobTTL,
+		Logger:            logger,
+		SlowRequest:       *slowReq,
 	})
 	if err != nil {
 		return err
@@ -115,6 +141,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(out, "attackd: debug listener (pprof, expvar) on %s\n", dln.Addr())
+		go http.Serve(dln, debugMux()) //nolint:errcheck // dies with the process
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(out, "attackd: listening on %s\n", ln.Addr())
@@ -143,4 +178,19 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	return nil
+}
+
+// debugMux wires the runtime-introspection handlers that the default
+// ServeMux would have picked up had attackd used it: pprof profiles and
+// the expvar JSON dump. They live on their own listener so profiling
+// endpoints are never reachable through the public -addr.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"targetedattacks/internal/attackd"
+	"targetedattacks/internal/obs"
 )
 
 func main() {
@@ -117,7 +119,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	base = strings.TrimSuffix(base, "/")
 
-	before, err := cacheCounters(base)
+	before, err := scrape(base)
 	if err != nil {
 		return fmt.Errorf("reading /metrics before the run: %w", err)
 	}
@@ -189,14 +191,18 @@ pace:
 		fmt.Fprintf(out, "  %-8s n=%-5d p50=%-10s p90=%-10s p99=%s\n",
 			kind, len(ds), percentile(ds, 0.50), percentile(ds, 0.90), percentile(ds, 0.99))
 	}
-	after, err := cacheCounters(base)
+	after, err := scrape(base)
 	if err != nil {
 		return fmt.Errorf("reading /metrics after the run: %w", err)
 	}
-	hits, misses := after.hits-before.hits, after.misses-before.misses
+	hits := counterValue(after, "attackd_cache_hits_total") - counterValue(before, "attackd_cache_hits_total")
+	misses := counterValue(after, "attackd_cache_misses_total") - counterValue(before, "attackd_cache_misses_total")
 	if total := hits + misses; total > 0 {
-		fmt.Fprintf(out, "  cache    %d hits / %d misses (%.1f%% hit rate)\n",
-			hits, misses, 100*float64(hits)/float64(total))
+		fmt.Fprintf(out, "  cache    %.0f hits / %.0f misses (%.1f%% hit rate)\n",
+			hits, misses, 100*hits/total)
+	}
+	if err := reportServerHistograms(out, before, after); err != nil {
+		return err
 	}
 	for i, err := range failures {
 		if i == 3 {
@@ -334,27 +340,96 @@ func stream(url, body string) error {
 	return nil
 }
 
-type counters struct{ hits, misses int64 }
-
-// cacheCounters scrapes the two cache counters from /metrics.
-func cacheCounters(base string) (counters, error) {
+// scrape fetches and parses the server's full /metrics exposition. A
+// server that predates the histogram families fails here with a clear
+// hint rather than reporting empty quantiles.
+func scrape(base string) (map[string]*obs.MetricFamily, error) {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
-		return counters{}, err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	var c counters
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if v, ok := strings.CutPrefix(line, "attackd_cache_hits_total "); ok {
-			c.hits, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
-		}
-		if v, ok := strings.CutPrefix(line, "attackd_cache_misses_total "); ok {
-			c.misses, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing /metrics: %w", err)
+	}
+	for _, name := range []string{
+		"attackd_cache_hits_total",
+		"attackd_cache_misses_total",
+		"attackd_request_duration_seconds",
+		"attackd_stage_duration_seconds",
+	} {
+		if fams[name] == nil {
+			return nil, fmt.Errorf("/metrics has no %q family — is the server an attackd build without latency histograms?", name)
 		}
 	}
-	return c, sc.Err()
+	return fams, nil
+}
+
+// counterValue reads an unlabeled counter; 0 when absent.
+func counterValue(fams map[string]*obs.MetricFamily, name string) float64 {
+	f := fams[name]
+	if f == nil {
+		return 0
+	}
+	for _, p := range f.Points {
+		if len(p.Labels) == 0 {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// reportServerHistograms prints the server-side latency quantiles that
+// accrued between the two scrapes: per endpoint from the request
+// histogram, per evaluation stage from the stage histogram. These are
+// the server's own measurements, so they exclude client and network
+// time — comparing them with the client-side percentiles above
+// separates serving cost from transport cost.
+func reportServerHistograms(out io.Writer, before, after map[string]*obs.MetricFamily) error {
+	report := func(family, labelKey, header string) error {
+		for _, key := range obs.LabelValues(after[family], labelKey) {
+			match := map[string]string{labelKey: key}
+			b, err := obs.ExtractHistogram(before, family, match)
+			if err != nil {
+				// The label appeared during the run; delta against zero.
+				b = obs.HistogramSnapshot{}
+			}
+			a, err := obs.ExtractHistogram(after, family, match)
+			if err != nil {
+				return fmt.Errorf("reading %s{%s=%q}: %w", family, labelKey, key, err)
+			}
+			d := a
+			if len(b.Bounds) != 0 {
+				if d, err = a.Sub(b); err != nil {
+					return fmt.Errorf("delta of %s{%s=%q}: %w", family, labelKey, key, err)
+				}
+			}
+			n := d.Counts[len(d.Counts)-1]
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %s %-10s n=%-5d p50=%-10s p90=%-10s p99=%s\n",
+				header, key, n, promDuration(d.Quantile(0.50)), promDuration(d.Quantile(0.90)), promDuration(d.Quantile(0.99)))
+		}
+		return nil
+	}
+	fmt.Fprintln(out, "server-side (from /metrics histogram deltas):")
+	if err := report("attackd_request_duration_seconds", "endpoint", "endpoint"); err != nil {
+		return err
+	}
+	return report("attackd_stage_duration_seconds", "stage", "stage   ")
+}
+
+// promDuration renders a histogram quantile (seconds) as a duration.
+func promDuration(seconds float64) string {
+	if math.IsNaN(seconds) {
+		return "-"
+	}
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {

@@ -111,6 +111,18 @@
 //     counters, and graceful drain (requests and jobs) on
 //     SIGINT/SIGTERM. cmd/attackload is its load harness.
 //
+//   - The observability core beneath the serving layer (internal/obs):
+//     a dependency-free package providing lock-free log-spaced latency
+//     histograms with Prometheus text rendering and a strict exposition
+//     parser for self-checks, a request-scoped trace abstraction (W3C
+//     traceparent ingest and propagation, in-process spans, per-stage
+//     aggregation) threaded through context.Context, and trace-aware
+//     log/slog construction. The numeric layers accept an optional
+//     Observer so the serving path can attribute time to parse, cache,
+//     space, kernel, matrix, plan, build, solve, simulate and encode
+//     stages; tracing is pay-for-use, costing a nil check when no trace
+//     rides the context.
+//
 //   - A Monte-Carlo simulator of the same chain for cross-validation.
 //
 //   - A full discrete-event simulation of the overlay system itself:

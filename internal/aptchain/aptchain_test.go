@@ -157,16 +157,16 @@ func TestAbsorptionSanity(t *testing.T) {
 
 func TestValidateRejectsBadParams(t *testing.T) {
 	for name, p := range map[string]Params{
-		"tiny n":    {N: 1, Theta: 0.5, Phi: 0.5, Detect: 0.5},
-		"zero θ":    {N: 4, Theta: 0, Phi: 0.5, Detect: 0.5},
-		"big θ":     {N: 4, Theta: 1.5, Phi: 0.5, Detect: 0.5},
-		"zero φ":    {N: 4, Theta: 0.5, Phi: 0, Detect: 0.5},
-		"ρ = 1":     {N: 4, Theta: 0.5, Phi: 0.5, Rho: 1, Detect: 0.5},
-		"zero δ":    {N: 4, Theta: 0.5, Phi: 0.5, Detect: 0},
-		"NaN θ":     {N: 4, Theta: math.NaN(), Phi: 0.5, Detect: 0.5},
-		"neg ρ":     {N: 4, Theta: 0.5, Phi: 0.5, Rho: -0.1, Detect: 0.5},
-		"inf δ":     {N: 4, Theta: 0.5, Phi: 0.5, Detect: math.Inf(1)},
-		"big δ":     {N: 4, Theta: 0.5, Phi: 0.5, Detect: 1.01},
+		"tiny n": {N: 1, Theta: 0.5, Phi: 0.5, Detect: 0.5},
+		"zero θ": {N: 4, Theta: 0, Phi: 0.5, Detect: 0.5},
+		"big θ":  {N: 4, Theta: 1.5, Phi: 0.5, Detect: 0.5},
+		"zero φ": {N: 4, Theta: 0.5, Phi: 0, Detect: 0.5},
+		"ρ = 1":  {N: 4, Theta: 0.5, Phi: 0.5, Rho: 1, Detect: 0.5},
+		"zero δ": {N: 4, Theta: 0.5, Phi: 0.5, Detect: 0},
+		"NaN θ":  {N: 4, Theta: math.NaN(), Phi: 0.5, Detect: 0.5},
+		"neg ρ":  {N: 4, Theta: 0.5, Phi: 0.5, Rho: -0.1, Detect: 0.5},
+		"inf δ":  {N: 4, Theta: 0.5, Phi: 0.5, Detect: math.Inf(1)},
+		"big δ":  {N: 4, Theta: 0.5, Phi: 0.5, Detect: 1.01},
 	} {
 		if err := (p).Validate(); err == nil {
 			t.Errorf("%s: %v accepted", name, p)

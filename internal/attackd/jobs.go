@@ -7,12 +7,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"targetedattacks/internal/obs"
 )
 
 // The async job API: POST /v1/jobs submits any sweep or simulation-sweep
@@ -46,6 +49,9 @@ type JobStatus struct {
 	CellsDone  int    `json:"cells_done"`
 	CellsTotal int    `json:"cells_total"`
 	Error      string `json:"error,omitempty"`
+	// TraceID correlates the job with the submitting request's trace (a
+	// child trace: same 32-hex trace ID, its own spans).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobSubmitResponse is the POST /v1/jobs response body.
@@ -69,19 +75,26 @@ type job struct {
 	cellsDone atomic.Int64
 	cancel    context.CancelFunc
 	created   time.Time
+	// tr is the job's own trace — a child of the submitting request's
+	// trace (same trace ID), so the evaluation's spans record under the
+	// job rather than racing the submit response. Nil for jobs built
+	// outside the HTTP path (tests).
+	tr *obs.Trace
 
-	// state, err, result, cached and finished change exactly once, under
-	// the store lock, when the evaluation goroutine completes.
+	// state, err, result, cached, timings and finished change exactly
+	// once, under the store lock, when the evaluation goroutine
+	// completes.
 	state    string
 	err      string
 	result   any
 	cached   bool
+	timings  *TimingsDTO
 	finished time.Time
 	done     chan struct{}
 }
 
 func (j *job) status() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:         j.id,
 		Kind:       j.ev.kind,
 		Model:      j.ev.model,
@@ -90,6 +103,10 @@ func (j *job) status() JobStatus {
 		CellsTotal: j.ev.cells,
 		Error:      j.err,
 	}
+	if j.tr != nil {
+		st.TraceID = j.tr.TraceID()
+	}
+	return st
 }
 
 // jobStore is the bounded in-memory job registry. Finished jobs stay
@@ -194,7 +211,7 @@ func (st *jobStore) list() []JobStatus {
 }
 
 // finish records the evaluation goroutine's outcome exactly once.
-func (st *jobStore) finish(j *job, val any, cached bool, err error) {
+func (st *jobStore) finish(j *job, val any, cached bool, err error, tm *TimingsDTO) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	switch {
@@ -202,6 +219,7 @@ func (st *jobStore) finish(j *job, val any, cached bool, err error) {
 		j.state = JobDone
 		j.result = val
 		j.cached = cached
+		j.timings = tm
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 	default:
@@ -293,12 +311,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request, endpoin
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job outlives the submit request, so it gets a child trace:
+	// same trace ID (for cross-request correlation), its own spans.
+	tr := obs.NewChildTrace(obs.TraceFromContext(r.Context()))
+	ctx, cancel := context.WithCancel(obs.ContextWithTrace(context.Background(), tr))
 	j := &job{
 		id:      newJobID(),
 		ev:      ev,
 		cancel:  cancel,
 		created: s.jobs.now(),
+		tr:      tr,
 		state:   JobRunning,
 		done:    make(chan struct{}),
 	}
@@ -321,10 +343,14 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	defer s.jobs.wg.Done()
 	defer j.cancel()
 	defer s.metrics.jobsActive.Add(-1)
+	root, ctx := obs.StartSpan(ctx, "job")
 	var val any
 	var err error
 	cached := false
-	if hit, ok := s.cache.Get(j.ev.key); ok {
+	cacheSpan, _ := obs.StartSpan(ctx, "cache")
+	hit, ok := s.cache.Get(j.ev.key)
+	cacheSpan.End()
+	if ok {
 		s.metrics.cacheHits.Add(1)
 		val, cached = hit, true
 		j.cellsDone.Store(int64(j.ev.cells))
@@ -332,7 +358,15 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.metrics.cacheMisses.Add(1)
 		val, err = j.ev.run(ctx, func(any) { j.cellsDone.Add(1) })
 	}
-	s.jobs.finish(j, val, cached, err)
+	root.End()
+	var tm *TimingsDTO
+	if j.ev.timings && err == nil {
+		tm = timingsFromTrace(j.tr)
+	}
+	s.jobs.finish(j, val, cached, err, tm)
+	if j.tr != nil {
+		s.metrics.observeStages(j.tr.Stages(), "job")
+	}
 	switch j.state {
 	case JobDone:
 		s.metrics.jobsCompleted.Add(1)
@@ -341,6 +375,14 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	default:
 		s.metrics.jobsFailed.Add(1)
 	}
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "job finished",
+		slog.String("job_id", j.id),
+		slog.String("kind", j.ev.kind),
+		slog.String("state", j.state),
+		slog.Int("cells", int(j.cellsDone.Load())),
+		slog.Bool("cached", cached),
+		slog.Duration("duration", s.jobs.now().Sub(j.created)),
+	)
 }
 
 // handleJobByID serves one job: GET {id} polls status, GET {id}/result
@@ -392,7 +434,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 // NDJSON negotiation as the synchronous endpoints.
 func (s *Server) serveJobResult(w http.ResponseWriter, r *http.Request, endpoint string, j *job) {
 	s.jobs.mu.Lock()
-	state, errMsg, val, cached := j.state, j.err, j.result, j.cached
+	state, errMsg, val, cached, tm := j.state, j.err, j.result, j.cached, j.timings
 	s.jobs.mu.Unlock()
 	switch state {
 	case JobRunning:
@@ -412,8 +454,8 @@ func (s *Server) serveJobResult(w http.ResponseWriter, r *http.Request, endpoint
 			s.metrics.streamCells.Add(1)
 			sw.writeLine(line)
 		}
-		sw.writeLine(streamEnvelope{Summary: j.ev.summarize(val, cached, false)})
+		sw.writeLine(streamEnvelope{Summary: j.ev.summarize(val, cached, false, tm)})
 		return
 	}
-	s.writeJSON(w, r, endpoint, http.StatusOK, j.ev.finish(val, cached, false))
+	s.writeJSON(w, r, endpoint, http.StatusOK, j.ev.finish(val, cached, false, tm))
 }

@@ -81,12 +81,12 @@ func blockedJob(t *testing.T, s *Server, id string) (release func()) {
 	ev.cellsOf = func(val any) []any {
 		return []any{val.(SweepResponse).Cells[0]}
 	}
-	ev.finish = func(val any, cached, shared bool) any {
+	ev.finish = func(val any, cached, shared bool, tm *TimingsDTO) any {
 		resp := val.(SweepResponse)
 		resp.Cached, resp.Shared = cached, shared
 		return resp
 	}
-	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+	ev.summarize = func(val any, cached, shared bool, tm *TimingsDTO) StreamSummary {
 		return StreamSummary{Cells: 1, Cached: cached, Shared: shared}
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -8,17 +8,85 @@ import (
 	"sync/atomic"
 
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 )
 
-// metrics is the server's instrumentation: monotonically increasing
-// counters plus an in-flight gauge, rendered in the Prometheus text
-// exposition format by /metrics. Everything is lock-free on the hot
-// path; the requests map takes a mutex only on a new (endpoint, code)
-// pair.
+// commonCodes are the status codes the handlers actually emit; each
+// gets a fixed atomic slot per endpoint, so counting a request is two
+// read-only map/array lookups plus one atomic add — no lock, no
+// allocation, no formatting. Codes outside this list (none today) fall
+// back to a sync.Map.
+var commonCodes = [...]int{200, 202, 400, 404, 405, 409, 410, 413, 500, 503}
+
+func commonCodeIndex(code int) int {
+	for i, c := range commonCodes {
+		if c == code {
+			return i
+		}
+	}
+	return -1
+}
+
+// endpointStats is one endpoint's request counters.
+type endpointStats struct {
+	common [len(commonCodes)]atomic.Int64
+	rare   sync.Map // int (status code) -> *atomic.Int64
+}
+
+func (e *endpointStats) count(code int) {
+	if i := commonCodeIndex(code); i >= 0 {
+		e.common[i].Add(1)
+		return
+	}
+	if c, ok := e.rare.Load(code); ok {
+		c.(*atomic.Int64).Add(1)
+		return
+	}
+	c, _ := e.rare.LoadOrStore(code, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+}
+
+// codes returns the endpoint's non-zero (code, count) pairs sorted by
+// code, for rendering.
+func (e *endpointStats) codes() ([]int, []int64) {
+	byCode := make(map[int]int64)
+	for i, c := range commonCodes {
+		if v := e.common[i].Load(); v > 0 {
+			byCode[c] = v
+		}
+	}
+	e.rare.Range(func(k, v any) bool {
+		byCode[k.(int)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	codes := make([]int, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	counts := make([]int64, len(codes))
+	for i, c := range codes {
+		counts[i] = byCode[c]
+	}
+	return codes, counts
+}
+
+// knownEndpoints are the mux's routes (with /v1/jobs/{id} standing in
+// for per-job paths); their stats blocks are preallocated so the
+// request hot path reads an immutable map.
+var knownEndpoints = []string{
+	"/healthz", "/metrics", "/v1/analyze", "/v1/jobs", "/v1/jobs/{id}", "/v1/simsweep", "/v1/sweep",
+}
+
+// metrics is the server's instrumentation: monotonic counters, an
+// in-flight gauge, and latency histograms, rendered in Prometheus text
+// exposition format by /metrics. Every hot-path update is lock-free:
+// known endpoints hit preallocated atomic slots, unknown endpoints and
+// model names go through sync.Map.
 type metrics struct {
-	mu         sync.Mutex
-	requests   map[string]*atomic.Int64 // key: endpoint + "\x00" + status code
-	modelEvals map[string]*atomic.Int64 // key: model family name
+	endpoints      map[string]*endpointStats // immutable after newMetrics
+	extraEndpoints sync.Map                  // string -> *endpointStats
+	modelEvals     sync.Map                  // string (family) -> *atomic.Int64
 
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
@@ -39,6 +107,24 @@ type metrics struct {
 	fallbacksIterCap     atomic.Int64
 	fallbacksBreakdown   atomic.Int64
 	fallbacksUnspecified atomic.Int64
+
+	// reqDur observes end-to-end request latency by endpoint; stageDur
+	// observes per-request aggregated stage durations (parse, cache,
+	// space, plan, build, solve, ...) by stage.
+	reqDur   *obs.HistogramVec
+	stageDur *obs.HistogramVec
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		endpoints: make(map[string]*endpointStats, len(knownEndpoints)),
+		reqDur:    obs.NewHistogramVec(obs.DefaultLatencyBuckets),
+		stageDur:  obs.NewHistogramVec(obs.DefaultLatencyBuckets),
+	}
+	for _, ep := range knownEndpoints {
+		m.endpoints[ep] = &endpointStats{}
+	}
+	return m
 }
 
 // solve accounts one evaluation's linear-solver work: cumulative
@@ -59,63 +145,69 @@ func (m *metrics) solve(st matrix.SolveStats) {
 	}
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests:   make(map[string]*atomic.Int64),
-		modelEvals: make(map[string]*atomic.Int64),
-	}
-}
-
 // evaluation counts one computed evaluation, total and per model family.
 func (m *metrics) evaluation(model string) {
 	m.evaluations.Add(1)
-	m.mu.Lock()
-	c, ok := m.modelEvals[model]
-	if !ok {
-		c = new(atomic.Int64)
-		m.modelEvals[model] = c
+	if c, ok := m.modelEvals.Load(model); ok {
+		c.(*atomic.Int64).Add(1)
+		return
 	}
-	m.mu.Unlock()
-	c.Add(1)
+	c, _ := m.modelEvals.LoadOrStore(model, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
 }
 
 // request counts one served request.
 func (m *metrics) request(endpoint string, code int) {
-	key := fmt.Sprintf("%s\x00%d", endpoint, code)
-	m.mu.Lock()
-	c, ok := m.requests[key]
-	if !ok {
-		c = new(atomic.Int64)
-		m.requests[key] = c
+	if e, ok := m.endpoints[endpoint]; ok {
+		e.count(code)
+		return
 	}
-	m.mu.Unlock()
-	c.Add(1)
+	if e, ok := m.extraEndpoints.Load(endpoint); ok {
+		e.(*endpointStats).count(code)
+		return
+	}
+	e, _ := m.extraEndpoints.LoadOrStore(endpoint, &endpointStats{})
+	e.(*endpointStats).count(code)
+}
+
+// observeRequest records one request's end-to-end latency.
+func (m *metrics) observeRequest(endpoint string, seconds float64) {
+	m.reqDur.With(endpoint).Observe(seconds)
+}
+
+// observeStages records a trace's per-stage aggregates into the stage
+// histogram (the trace's own root stage, if named, should be excluded
+// by the caller via skip).
+func (m *metrics) observeStages(stages map[string]obs.StageStat, skip string) {
+	for stage, st := range stages {
+		if stage == skip {
+			continue
+		}
+		m.stageDur.With(stage).Observe(st.Duration.Seconds())
+	}
 }
 
 // write renders the metrics in Prometheus text format.
 func (m *metrics) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP attackd_requests_total Requests served, by endpoint and status code.")
 	fmt.Fprintln(w, "# TYPE attackd_requests_total counter")
-	m.mu.Lock()
-	keys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
+	eps := make([]string, 0, len(m.endpoints))
+	byName := make(map[string]*endpointStats, len(m.endpoints))
+	for ep, e := range m.endpoints {
+		eps = append(eps, ep)
+		byName[ep] = e
 	}
-	sort.Strings(keys)
-	counters := make([]*atomic.Int64, len(keys))
-	for i, k := range keys {
-		counters[i] = m.requests[k]
-	}
-	m.mu.Unlock()
-	for i, k := range keys {
-		var endpoint, code string
-		for j := 0; j < len(k); j++ {
-			if k[j] == '\x00' {
-				endpoint, code = k[:j], k[j+1:]
-				break
-			}
+	m.extraEndpoints.Range(func(k, v any) bool {
+		eps = append(eps, k.(string))
+		byName[k.(string)] = v.(*endpointStats)
+		return true
+	})
+	sort.Strings(eps)
+	for _, ep := range eps {
+		codes, counts := byName[ep].codes()
+		for i, code := range codes {
+			fmt.Fprintf(w, "attackd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, code, counts[i])
 		}
-		fmt.Fprintf(w, "attackd_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, counters[i].Load())
 	}
 	fmt.Fprintln(w, "# HELP attackd_cache_hits_total Result-cache hits.")
 	fmt.Fprintln(w, "# TYPE attackd_cache_hits_total counter")
@@ -128,19 +220,16 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "attackd_evaluations_total %d\n", m.evaluations.Load())
 	fmt.Fprintln(w, "# HELP attackd_model_evaluations_total Model evaluations actually computed, by model family.")
 	fmt.Fprintln(w, "# TYPE attackd_model_evaluations_total counter")
-	m.mu.Lock()
-	models := make([]string, 0, len(m.modelEvals))
-	for k := range m.modelEvals {
-		models = append(models, k)
-	}
+	var models []string
+	modelCounters := make(map[string]int64)
+	m.modelEvals.Range(func(k, v any) bool {
+		models = append(models, k.(string))
+		modelCounters[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	sort.Strings(models)
-	modelCounters := make([]*atomic.Int64, len(models))
-	for i, k := range models {
-		modelCounters[i] = m.modelEvals[k]
-	}
-	m.mu.Unlock()
-	for i, k := range models {
-		fmt.Fprintf(w, "attackd_model_evaluations_total{model=%q} %d\n", k, modelCounters[i].Load())
+	for _, k := range models {
+		fmt.Fprintf(w, "attackd_model_evaluations_total{model=%q} %d\n", k, modelCounters[k])
 	}
 	fmt.Fprintln(w, "# HELP attackd_sim_evaluations_total Simulation sweeps actually executed.")
 	fmt.Fprintln(w, "# TYPE attackd_sim_evaluations_total counter")
@@ -174,4 +263,9 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"iteration_cap\"} %d\n", m.fallbacksIterCap.Load())
 	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"breakdown\"} %d\n", m.fallbacksBreakdown.Load())
 	fmt.Fprintf(w, "attackd_solver_fallbacks_total{reason=\"unspecified\"} %d\n", m.fallbacksUnspecified.Load())
+	m.reqDur.WriteProm(w, "attackd_request_duration_seconds",
+		"End-to-end request latency, by endpoint.", "endpoint")
+	m.stageDur.WriteProm(w, "attackd_stage_duration_seconds",
+		"Per-request pipeline stage time (aggregated across parallel lanes), by stage.", "stage")
+	obs.WriteRuntimeMetrics(w, "attackd_go_")
 }

@@ -1,0 +1,38 @@
+package attackd
+
+import "testing"
+
+// The request/evaluation counters sit on every handler's hot path;
+// these parallel benchmarks guard the lock-free two-level scheme
+// against contention regressions (the old implementation took a mutex
+// and fmt.Sprintf'd a key per request).
+
+func BenchmarkMetricsRequest(b *testing.B) {
+	m := newMetrics()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.request("/v1/sweep", 200)
+		}
+	})
+}
+
+func BenchmarkMetricsRequestRareCode(b *testing.B) {
+	m := newMetrics()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.request("/v1/sweep", 418)
+		}
+	})
+}
+
+func BenchmarkMetricsEvaluation(b *testing.B) {
+	m := newMetrics()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.evaluation("targeted-attack")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 	"targetedattacks/internal/sweep"
 )
 
@@ -47,6 +48,8 @@ type ModelAnalyzeResponse struct {
 	// AnalyzeResponse.
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared,omitempty"`
+	// Timings is the opt-in per-stage breakdown, as in AnalyzeResponse.
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // ModelSweepCellDTO is one cell of a non-default-family /v1/sweep
@@ -74,6 +77,7 @@ type ModelSweepResponse struct {
 	Solver       string              `json:"solver"`
 	Cached       bool                `json:"cached"`
 	Shared       bool                `json:"shared,omitempty"`
+	Timings      *TimingsDTO         `json:"timings,omitempty"`
 }
 
 func modelAnalysisDTO(a *chainmodel.Analysis) ModelAnalysisDTO {
@@ -167,31 +171,52 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 		return
 	}
 	key := modelCellKey(fam, cell, dist, sojourns, solver)
-	if cached, ok := s.cache.Get(key); ok {
+	// timings snapshots the request's trace at delivery time when the
+	// request opted in; cached values stay timing-free.
+	timings := func() *TimingsDTO {
+		if !req.Timings {
+			return nil
+		}
+		return timingsFromTrace(obs.TraceFromContext(r.Context()))
+	}
+	cacheSpan, _ := obs.StartSpan(r.Context(), "cache")
+	cached, hit := s.cache.Get(key)
+	cacheSpan.End()
+	if hit {
 		s.metrics.cacheHits.Add(1)
 		resp := cached.(ModelAnalyzeResponse)
 		resp.Cached = true
+		resp.Timings = timings()
 		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 		return
 	}
+	ctx := obs.Detach(r.Context())
 	val, err, shared := s.flights.Do(key, func() (any, error) {
 		// Leader-only miss accounting, as in handleAnalyze.
 		s.metrics.cacheMisses.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(fam.Name())
+		buildSpan, _ := obs.StartSpan(ctx, "build")
 		tables, err := fam.NewShared([]chainmodel.Cell{cell})
 		if err != nil {
+			buildSpan.End()
 			return nil, err
 		}
 		inst, err := fam.Build(tables, cell, solver, pool)
+		buildSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		solveSpan, _ := obs.StartSpan(ctx, "solve")
 		a, err := chainmodel.Analyze(inst, dist, sojourns)
 		if err != nil {
+			solveSpan.End()
 			return nil, err
 		}
+		solveSpan.SetAttr("backend", a.Solver.Backend)
+		solveSpan.SetAttrInt("iterations", a.Solver.Iterations)
+		solveSpan.End()
 		s.metrics.solve(a.Solver)
 		resp := ModelAnalyzeResponse{
 			Model:        fam.Name(),
@@ -214,6 +239,7 @@ func (s *Server) handleModelAnalyze(w http.ResponseWriter, r *http.Request, endp
 	}
 	resp := val.(ModelAnalyzeResponse)
 	resp.Shared = shared
+	resp.Timings = timings()
 	s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 }
 
@@ -244,11 +270,12 @@ func (s *Server) modelSweepEvaluation(fam chainmodel.Family, body []byte, req Sw
 		return nil, err
 	}
 	ev := &evaluation{
-		kind:   "sweep",
-		model:  fam.Name(),
-		key:    modelPlanKey(fam, cells, dist, sojourns, solver),
-		cells:  len(cells),
-		solver: solver.Kind,
+		kind:    "sweep",
+		model:   fam.Name(),
+		key:     modelPlanKey(fam, cells, dist, sojourns, solver),
+		cells:   len(cells),
+		solver:  solver.Kind,
+		timings: req.Timings,
 	}
 	ev.run = func(ctx context.Context, onCell func(any)) (any, error) {
 		s.metrics.inflight.Add(1)
@@ -300,12 +327,13 @@ func (s *Server) modelSweepEvaluation(fam chainmodel.Family, body []byte, req Sw
 		}
 		return out
 	}
-	ev.finish = func(val any, cached, shared bool) any {
+	ev.finish = func(val any, cached, shared bool, tm *TimingsDTO) any {
 		resp := val.(ModelSweepResponse)
 		resp.Cached, resp.Shared = cached, shared
+		resp.Timings = tm
 		return resp
 	}
-	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+	ev.summarize = func(val any, cached, shared bool, tm *TimingsDTO) StreamSummary {
 		resp := val.(ModelSweepResponse)
 		return StreamSummary{
 			Cells:      len(resp.Cells),
@@ -316,6 +344,7 @@ func (s *Server) modelSweepEvaluation(fam chainmodel.Family, body []byte, req Sw
 			Model:      resp.Model,
 			Cached:     cached,
 			Shared:     shared,
+			Timings:    tm,
 		}
 	}
 	return ev, nil

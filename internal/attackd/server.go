@@ -27,6 +27,16 @@
 // request counts, cache hit rates (leader-only misses, with
 // singleflight followers counted separately), in-flight evaluations,
 // streamed cells, job states and simulated event totals.
+//
+// Observability rides internal/obs: every request runs inside a trace
+// (inbound W3C traceparent adopted and echoed, fresh crypto/rand IDs
+// otherwise), handlers open per-stage spans, and after each response
+// the middleware feeds the request- and stage-latency histograms on
+// /metrics and emits a structured log line — at warn level with the
+// full span tree when the request exceeded Config.SlowRequest. Any
+// analysis or sweep body may opt into a "timings" response breakdown
+// with "timings": true; breakdowns are attached at delivery time so
+// cached values stay byte-identical.
 package attackd
 
 import (
@@ -35,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -48,6 +59,7 @@ import (
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 	"targetedattacks/internal/sweep"
 )
 
@@ -87,6 +99,15 @@ type Config struct {
 	// JobTTL is how long a finished job's result stays pollable before
 	// eviction; 0 picks DefaultJobTTL.
 	JobTTL time.Duration
+	// Logger receives the server's structured logs (per-request debug
+	// lines, slow-request warnings, job completions); nil uses
+	// slog.Default(). Wrap it with obs.NewLogger to get trace IDs
+	// stamped on every record.
+	Logger *slog.Logger
+	// SlowRequest is the latency beyond which a completed request logs
+	// its span tree at Warn level; 0 picks DefaultSlowRequest, negative
+	// disables slow-request logging.
+	SlowRequest time.Duration
 }
 
 // Serving defaults.
@@ -99,6 +120,10 @@ const (
 	// long finished jobs stay pollable.
 	DefaultMaxJobs = 64
 	DefaultJobTTL  = 15 * time.Minute
+	// DefaultSlowRequest is the slow-request log threshold: long enough
+	// that routine traffic stays quiet, short enough to catch a
+	// colossal sweep monopolizing the process.
+	DefaultSlowRequest = time.Second
 	// maxRequestWorkers bounds the per-request "workers" override: wide
 	// enough for any real machine, small enough that a request cannot ask
 	// for a million goroutines.
@@ -142,6 +167,8 @@ type Server struct {
 	metrics           *metrics
 	jobs              *jobStore
 	mux               *http.ServeMux
+	logger            *slog.Logger
+	slowReq           time.Duration
 }
 
 // New builds a Server from cfg.
@@ -189,6 +216,14 @@ func New(cfg Config) (*Server, error) {
 	if pool == nil {
 		pool = engine.New(0) // per-CPU, as the Config doc promises
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	slowReq := cfg.SlowRequest
+	if slowReq == 0 {
+		slowReq = DefaultSlowRequest
+	}
 	s := &Server{
 		pool:              pool,
 		solver:            solver,
@@ -202,6 +237,8 @@ func New(cfg Config) (*Server, error) {
 		metrics:           newMetrics(),
 		jobs:              newJobStore(maxJobs, jobTTL),
 		mux:               http.NewServeMux(),
+		logger:            logger,
+		slowReq:           slowReq,
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
@@ -213,8 +250,97 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the root HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root HTTP handler: the API mux wrapped in the
+// observability middleware (trace ingest/propagation, latency
+// histograms, per-request and slow-request logs).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// instrument wraps next with the per-request observability envelope:
+// it ingests (or mints) the W3C traceparent, opens the root "request"
+// span, echoes the traceparent back so clients can correlate, and —
+// once the handler returns — feeds the request-duration and
+// per-stage histograms and emits the request log (Warn with the full
+// span tree past the slow threshold, Debug otherwise).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("traceparent"))
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		root, ctx := obs.StartSpan(ctx, "request")
+		w.Header().Set("traceparent", tr.Traceparent(root))
+		endpoint := normalizeEndpoint(r.URL.Path)
+
+		next.ServeHTTP(w, r.WithContext(ctx))
+
+		root.End()
+		total := tr.Elapsed()
+		s.metrics.observeRequest(endpoint, total.Seconds())
+		s.metrics.observeStages(tr.Stages(), "request")
+
+		if s.slowReq > 0 && total >= s.slowReq {
+			s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.Duration("duration", total),
+				slog.String("spans", tr.SpanTree()))
+		} else {
+			s.logger.LogAttrs(ctx, slog.LevelDebug, "request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.Duration("duration", total))
+		}
+	})
+}
+
+// normalizeEndpoint maps a request path to its histogram label,
+// collapsing per-job paths so IDs cannot explode the label set.
+func normalizeEndpoint(path string) string {
+	switch path {
+	case "/v1/analyze", "/v1/sweep", "/v1/simsweep", "/v1/jobs", "/healthz", "/metrics":
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		return "/v1/jobs/{id}"
+	}
+	return "other"
+}
+
+// TimingsDTO is the opt-in per-request timing breakdown attached to
+// responses when the request sets "timings": true. StagesMS aggregates
+// span durations by stage; with a parallel pool the build/solve stages
+// sum lane CPU time, so with workers=1 the stages partition the wall
+// clock. TotalMS is the trace's elapsed time when the response was
+// assembled (encoding and write happen after, so the request-duration
+// histogram observation is slightly larger).
+type TimingsDTO struct {
+	TraceID     string             `json:"trace_id"`
+	TotalMS     float64            `json:"total_ms"`
+	StagesMS    map[string]float64 `json:"stages_ms"`
+	StageCounts map[string]int     `json:"stage_counts,omitempty"`
+}
+
+// timingsFromTrace snapshots tr into a wire DTO; nil for a nil trace.
+func timingsFromTrace(tr *obs.Trace) *TimingsDTO {
+	if tr == nil {
+		return nil
+	}
+	dto := &TimingsDTO{
+		TraceID:     tr.TraceID(),
+		TotalMS:     float64(tr.Elapsed()) / float64(time.Millisecond),
+		StagesMS:    make(map[string]float64),
+		StageCounts: make(map[string]int),
+	}
+	for stage, st := range tr.Stages() {
+		// The root stages ("request" on the sync path, "job" on the async
+		// one) span everything else; keeping them out lets stages_ms sum
+		// to roughly total_ms.
+		if stage == "request" || stage == "job" {
+			continue
+		}
+		dto.StagesMS[stage] = float64(st.Duration) / float64(time.Millisecond)
+		dto.StageCounts[stage] = st.Count
+	}
+	return dto
+}
 
 // CellRequest is the /v1/analyze request body: one model cell. The
 // parameter fields c..nu belong to the default targeted-attack family;
@@ -247,6 +373,10 @@ type CellRequest struct {
 	// "targeted-attack", the paper model). Unknown names are a client
 	// error listing the registered families.
 	Model string `json:"model,omitempty"`
+	// Timings asks for a per-stage timing breakdown in the response;
+	// timings never enter the cache (a cached reply carries the current
+	// request's parse/cache stages, not the original evaluation's).
+	Timings bool `json:"timings,omitempty"`
 }
 
 // SweepRequest is the /v1/sweep request body: one axis expression per
@@ -269,6 +399,8 @@ type SweepRequest struct {
 	// Model selects the registered model family, as in CellRequest;
 	// other families declare their own axis fields in the same body.
 	Model string `json:"model,omitempty"`
+	// Timings asks for a per-stage timing breakdown, as in CellRequest.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // AnalysisDTO is the wire form of a core.Analysis.
@@ -292,6 +424,9 @@ type AnalyzeResponse struct {
 	// (singleflight follower) without computing or hitting the cache.
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared,omitempty"`
+	// Timings is the opt-in per-stage breakdown (see TimingsDTO); it is
+	// attached per response, never cached.
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // ParamsDTO is the wire form of core.Params plus the analysis options.
@@ -333,6 +468,9 @@ type SweepResponse struct {
 	// AnalyzeResponse (per-cell "shared" means ν-dedup, a different
 	// notion).
 	Shared bool `json:"shared,omitempty"`
+	// Timings is the opt-in per-stage breakdown, attached per response
+	// and never cached.
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -474,12 +612,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
+	parseSpan, _ := obs.StartSpan(r.Context(), "parse")
 	body, ok := s.readBody(w, r, endpoint)
 	if !ok {
+		parseSpan.End()
 		return
 	}
 	var req CellRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	err := json.Unmarshal(body, &req)
+	parseSpan.End()
+	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -528,10 +670,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canonicalCellKey(p, dist, sojourns, solver)
-	if cached, ok := s.cache.Get(key); ok {
+	tr := obs.TraceFromContext(r.Context())
+	cacheSpan, _ := obs.StartSpan(r.Context(), "cache")
+	cached, hit := s.cache.Get(key)
+	cacheSpan.End()
+	if hit {
 		s.metrics.cacheHits.Add(1)
 		resp := cached.(AnalyzeResponse)
 		resp.Cached = true
+		if req.Timings {
+			resp.Timings = timingsFromTrace(tr)
+		}
 		s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 		return
 	}
@@ -539,19 +688,32 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// the request that actually evaluates — records one. Followers are
 	// neither hits nor misses; they surface in
 	// attackd_singleflight_shared_total instead.
+	ctx := r.Context()
 	val, err, shared := s.flights.Do(key, func() (any, error) {
 		s.metrics.cacheMisses.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		s.metrics.evaluation(chainmodel.DefaultFamily)
-		m, err := core.NewWithSolver(p, solver, core.WithBuildPool(pool))
+		// The leader's trace observes the fine build decomposition
+		// (space, kernel, matrix) plus the solve; followers only carry
+		// their own parse/cache stages.
+		buildOpts := []core.BuildOption{core.WithBuildPool(pool)}
+		if ltr := obs.TraceFromContext(ctx); ltr != nil {
+			buildOpts = append(buildOpts, core.WithObserver(ltr))
+		}
+		m, err := core.NewWithSolver(p, solver, buildOpts...)
 		if err != nil {
 			return nil, err
 		}
+		solveSpan, _ := obs.StartSpan(ctx, "solve")
 		a, err := m.AnalyzeNamed(dist, sojourns)
 		if err != nil {
+			solveSpan.End()
 			return nil, err
 		}
+		solveSpan.SetAttr("backend", a.Solver.Backend)
+		solveSpan.SetAttrInt("iterations", a.Solver.Iterations)
+		solveSpan.End()
 		s.metrics.solve(a.Solver)
 		resp := AnalyzeResponse{
 			Params:   paramsDTO(p, dist, sojourns),
@@ -571,6 +733,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := val.(AnalyzeResponse)
 	resp.Shared = shared
+	if req.Timings {
+		resp.Timings = timingsFromTrace(tr)
+	}
 	s.writeJSON(w, r, endpoint, http.StatusOK, resp)
 }
 
@@ -579,11 +744,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
+	parseSpan, _ := obs.StartSpan(r.Context(), "parse")
 	body, ok := s.readBody(w, r, endpoint)
 	if !ok {
+		parseSpan.End()
 		return
 	}
 	ev, err := s.sweepEvaluationFromBody(body)
+	parseSpan.End()
 	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
@@ -618,7 +786,9 @@ func (s *Server) sweepEvaluationFromBody(body []byte) (*evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.sweepEvaluation(plan, solver, pool), nil
+	ev := s.sweepEvaluation(plan, solver, pool)
+	ev.timings = req.Timings
+	return ev, nil
 }
 
 // sweepEvaluation prepares a default-family grid evaluation: run
@@ -677,12 +847,13 @@ func (s *Server) sweepEvaluation(plan sweep.Plan, solver matrix.SolverConfig, po
 		}
 		return out
 	}
-	ev.finish = func(val any, cached, shared bool) any {
+	ev.finish = func(val any, cached, shared bool, tm *TimingsDTO) any {
 		resp := val.(SweepResponse)
 		resp.Cached, resp.Shared = cached, shared
+		resp.Timings = tm
 		return resp
 	}
-	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+	ev.summarize = func(val any, cached, shared bool, tm *TimingsDTO) StreamSummary {
 		resp := val.(SweepResponse)
 		return StreamSummary{
 			Cells:      len(resp.Cells),
@@ -692,6 +863,7 @@ func (s *Server) sweepEvaluation(plan sweep.Plan, solver matrix.SolverConfig, po
 			Solver:     resp.Solver,
 			Cached:     cached,
 			Shared:     shared,
+			Timings:    tm,
 		}
 	}
 	return ev
@@ -884,7 +1056,8 @@ func analysisDTO(a *core.Analysis) AnalysisDTO {
 	}
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, _ *http.Request, endpoint string, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, endpoint string, code int, v any) {
+	encSpan, _ := obs.StartSpan(r.Context(), "encode")
 	// Encode before committing the status: an encoding failure (e.g. a
 	// non-encodable float) must surface as a 500, not a 200 with a
 	// truncated body.
@@ -896,6 +1069,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, _ *http.Request, endpoint stri
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(append(body, '\n'))
+	encSpan.End()
 	s.metrics.request(endpoint, code)
 }
 

@@ -11,6 +11,7 @@ import (
 	"targetedattacks/internal/adversary"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/obs"
 	"targetedattacks/internal/overlaynet"
 	"targetedattacks/internal/stats"
 	"targetedattacks/internal/sweep"
@@ -68,6 +69,10 @@ type SimSweepRequest struct {
 	// SweepRequest (results are replica-seeded, so they are identical for
 	// any width and the override stays out of the cache key).
 	Workers int `json:"workers,omitempty"`
+	// Timings opts the response into a per-stage timing breakdown, as in
+	// SweepRequest. The breakdown is attached at delivery time, so cached
+	// entries stay byte-identical.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // RunningDTO is the wire form of a stats.Running summary.
@@ -125,6 +130,8 @@ type SimSweepResponse struct {
 	// Shared reports a singleflight-follower response, as in
 	// SweepResponse.
 	Shared bool `json:"shared,omitempty"`
+	// Timings is the opt-in per-stage breakdown, as in SweepResponse.
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {
@@ -132,11 +139,14 @@ func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, endpoint, http.MethodPost) {
 		return
 	}
+	parseSpan, _ := obs.StartSpan(r.Context(), "parse")
 	body, ok := s.readBody(w, r, endpoint)
 	if !ok {
+		parseSpan.End()
 		return
 	}
 	ev, err := s.simSweepEvaluationFromBody(body)
+	parseSpan.End()
 	if err != nil {
 		s.writeError(w, r, endpoint, http.StatusBadRequest, err)
 		return
@@ -159,7 +169,9 @@ func (s *Server) simSweepEvaluationFromBody(body []byte) (*evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.simSweepEvaluation(plan, pool), nil
+	ev := s.simSweepEvaluation(plan, pool)
+	ev.timings = req.Timings
+	return ev, nil
 }
 
 // simSweepEvaluation prepares a simulation-grid evaluation, serving the
@@ -203,12 +215,13 @@ func (s *Server) simSweepEvaluation(plan sweep.SimPlan, pool *engine.Pool) *eval
 		}
 		return out
 	}
-	ev.finish = func(val any, cached, shared bool) any {
+	ev.finish = func(val any, cached, shared bool, tm *TimingsDTO) any {
 		resp := val.(SimSweepResponse)
 		resp.Cached, resp.Shared = cached, shared
+		resp.Timings = tm
 		return resp
 	}
-	ev.summarize = func(val any, cached, shared bool) StreamSummary {
+	ev.summarize = func(val any, cached, shared bool, tm *TimingsDTO) StreamSummary {
 		resp := val.(SimSweepResponse)
 		return StreamSummary{
 			Cells:    len(resp.Cells),
@@ -216,6 +229,7 @@ func (s *Server) simSweepEvaluation(plan sweep.SimPlan, pool *engine.Pool) *eval
 			Events:   resp.Events,
 			Cached:   cached,
 			Shared:   shared,
+			Timings:  tm,
 		}
 	}
 	return ev

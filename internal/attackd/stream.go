@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"targetedattacks/internal/obs"
 )
 
 // This file is the streaming half of the serving layer. Every grid
@@ -45,6 +47,11 @@ type evaluation struct {
 	// solver is the wire name of the linear-solver backend ("" for
 	// simulation sweeps).
 	solver string
+	// timings reports that the request opted into a per-stage timing
+	// breakdown; the breakdown itself is computed at delivery time from
+	// the request's trace and attached to a response copy, so cached
+	// values stay timing-free (and byte-identical across hits).
+	timings bool
 	// run computes the response (flags unset) and stores it in the LRU.
 	// When onCell is non-nil it receives each finished cell's DTO in
 	// completion order, from evaluator goroutines.
@@ -52,11 +59,11 @@ type evaluation struct {
 	// cellsOf lists a finished response's cell DTOs in plan order, for
 	// replaying a cached or singleflight-shared result onto a stream.
 	cellsOf func(val any) []any
-	// finish stamps the response's Cached/Shared flags for buffered
-	// delivery.
-	finish func(val any, cached, shared bool) any
+	// finish stamps the response's Cached/Shared flags (and the opt-in
+	// timings, which may be nil) for buffered delivery.
+	finish func(val any, cached, shared bool, tm *TimingsDTO) any
 	// summarize renders the stream's terminating summary line.
-	summarize func(val any, cached, shared bool) StreamSummary
+	summarize func(val any, cached, shared bool, tm *TimingsDTO) StreamSummary
 }
 
 // StreamSummary is the final line of an NDJSON stream, wrapped as
@@ -80,6 +87,9 @@ type StreamSummary struct {
 	// buffered responses.
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared,omitempty"`
+	// Timings is the opt-in per-stage breakdown, as in the buffered
+	// responses.
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // streamEnvelope wraps the summary line.
@@ -143,7 +153,19 @@ func (nw *ndjsonWriter) writeLine(v any) {
 // Completed evaluations populate the LRU (inside ev.run), so a stream
 // warms the cache for later buffered requests and vice versa.
 func (s *Server) serveEvaluation(w http.ResponseWriter, r *http.Request, endpoint string, ev *evaluation, stream bool) {
-	if cached, ok := s.cache.Get(ev.key); ok {
+	tr := obs.TraceFromContext(r.Context())
+	// timings snapshots the request's trace at delivery time when the
+	// request opted in; nil otherwise, which every consumer tolerates.
+	timings := func() *TimingsDTO {
+		if !ev.timings {
+			return nil
+		}
+		return timingsFromTrace(tr)
+	}
+	cacheSpan, _ := obs.StartSpan(r.Context(), "cache")
+	cached, hit := s.cache.Get(ev.key)
+	cacheSpan.End()
+	if hit {
 		s.metrics.cacheHits.Add(1)
 		if stream {
 			sw := s.startStream(w, endpoint)
@@ -151,22 +173,26 @@ func (s *Server) serveEvaluation(w http.ResponseWriter, r *http.Request, endpoin
 				s.metrics.streamCells.Add(1)
 				sw.writeLine(line)
 			}
-			sw.writeLine(streamEnvelope{Summary: ev.summarize(cached, true, false)})
+			sw.writeLine(streamEnvelope{Summary: ev.summarize(cached, true, false, timings())})
 			return
 		}
-		s.writeJSON(w, r, endpoint, http.StatusOK, ev.finish(cached, true, false))
+		s.writeJSON(w, r, endpoint, http.StatusOK, ev.finish(cached, true, false, timings()))
 		return
 	}
+	// Evaluations run on a detached context: singleflight followers and
+	// the LRU cache consume the shared result, so it must not die with
+	// the leader request's connection. Detaching keeps the leader's
+	// trace, so its spans (plan, build, solve, ...) still land in the
+	// request's breakdown; a follower's trace only ever carries its own
+	// parse/cache stages.
+	runCtx := obs.Detach(r.Context())
 	if !stream {
 		val, err, shared := s.flights.Do(ev.key, func() (any, error) {
 			// Only the leader — the request that actually evaluates —
 			// counts a cache miss; followers surface in
 			// attackd_singleflight_shared_total instead.
 			s.metrics.cacheMisses.Add(1)
-			// Background context: singleflight followers and the LRU
-			// cache consume the shared result, so it must not die with
-			// the leader request's connection.
-			return ev.run(context.Background(), nil)
+			return ev.run(runCtx, nil)
 		})
 		if shared {
 			s.metrics.singleflightShared.Add(1)
@@ -175,7 +201,7 @@ func (s *Server) serveEvaluation(w http.ResponseWriter, r *http.Request, endpoin
 			s.writeError(w, r, endpoint, http.StatusInternalServerError, err)
 			return
 		}
-		s.writeJSON(w, r, endpoint, http.StatusOK, ev.finish(val, false, shared))
+		s.writeJSON(w, r, endpoint, http.StatusOK, ev.finish(val, false, shared, timings()))
 		return
 	}
 	// Streaming: the 200 and headers commit before evaluation so the
@@ -183,7 +209,7 @@ func (s *Server) serveEvaluation(w http.ResponseWriter, r *http.Request, endpoin
 	sw := s.startStream(w, endpoint)
 	val, err, shared := s.flights.Do(ev.key, func() (any, error) {
 		s.metrics.cacheMisses.Add(1)
-		return ev.run(context.Background(), func(line any) {
+		return ev.run(runCtx, func(line any) {
 			s.metrics.streamCells.Add(1)
 			sw.writeLine(line)
 		})
@@ -206,5 +232,5 @@ func (s *Server) serveEvaluation(w http.ResponseWriter, r *http.Request, endpoin
 			sw.writeLine(line)
 		}
 	}
-	sw.writeLine(streamEnvelope{Summary: ev.summarize(val, false, shared)})
+	sw.writeLine(streamEnvelope{Summary: ev.summarize(val, false, shared, timings())})
 }

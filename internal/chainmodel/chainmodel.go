@@ -27,10 +27,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/markov"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 )
 
 // RowEmitter enumerates a chain's states and emits the sparse transition
@@ -63,6 +65,17 @@ const buildChunkRows = 512
 // column indices and values — is bit-identical for any pool width.
 // Absorbing states receive an exact self-loop.
 func BuildMatrix(em RowEmitter, pool *engine.Pool) (*matrix.CSR, error) {
+	return BuildMatrixObserved(em, pool, nil)
+}
+
+// BuildMatrixObserved is BuildMatrix reporting the wall-clock duration
+// of the whole build as stage "matrix" to o (nil reports nothing). The
+// produced matrix is byte-identical to BuildMatrix's.
+func BuildMatrixObserved(em RowEmitter, pool *engine.Pool, o obs.Observer) (*matrix.CSR, error) {
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	n := em.NumStates()
 	nChunks := (n + buildChunkRows - 1) / buildChunkRows
 	parts := make([]*matrix.RowBuilder, nChunks)
@@ -89,6 +102,9 @@ func BuildMatrix(em RowEmitter, pool *engine.Pool) (*matrix.CSR, error) {
 	m, err := matrix.ConcatRows(n, parts...)
 	if err != nil {
 		return nil, fmt.Errorf("chainmodel: assembling transition matrix: %w", err)
+	}
+	if o != nil {
+		o.Observe("matrix", time.Since(t0))
 	}
 	return m, nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/combin"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 )
 
 // Event probabilities of the model: join and leave events are
@@ -31,6 +33,10 @@ type BuildConfig struct {
 	// must match the parameters' (C, ∆, k). Matrices built against a
 	// table are bit-identical to the direct path.
 	Gains *Rule1Gains
+	// Observer, when non-nil, receives the duration of each build phase
+	// ("space", "kernel", "matrix"). A nil observer adds no timing calls
+	// to the build path.
+	Observer obs.Observer
 }
 
 // BuildOption mutates a BuildConfig.
@@ -51,6 +57,15 @@ func WithBuildPool(pool *engine.Pool) BuildOption {
 // rejects a space whose geometry does not match the parameters.
 func WithSpace(sp *Space) BuildOption {
 	return func(c *BuildConfig) { c.Space = sp }
+}
+
+// WithObserver reports the duration of each matrix-construction phase
+// — state-space enumeration ("space", skipped when WithSpace supplies
+// one), the memoized maintenance kernel lookup ("kernel"), and the
+// row-parallel matrix assembly ("matrix") — to o, typically an
+// obs.Trace carried by the serving layer. A nil o is a no-op.
+func WithObserver(o obs.Observer) BuildOption {
+	return func(c *BuildConfig) { c.Observer = o }
 }
 
 // WithRule1Gains consults a precomputed relation (2) table (see
@@ -108,24 +123,43 @@ func BuildTransitionMatrix(p Params, opts ...BuildOption) (*matrix.CSR, *Space, 
 				sp.c, sp.delta, p.C, p.Delta)
 		}
 	} else {
+		t0 := phaseStart(cfg.Observer)
 		var err error
 		if sp, err = NewSpace(p.C, p.Delta); err != nil {
 			return nil, nil, err
 		}
+		phaseEnd(cfg.Observer, "space", t0)
 	}
 	if cfg.Gains != nil && !cfg.Gains.matches(p) {
 		return nil, nil, fmt.Errorf("core: WithRule1Gains table (C=%d, ∆=%d, k=%d) does not match params (C=%d, ∆=%d, k=%d)",
 			cfg.Gains.c, cfg.Gains.delta, cfg.Gains.k, p.C, p.Delta, p.K)
 	}
+	t0 := phaseStart(cfg.Observer)
 	ker, err := kernelFor(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := chainmodel.BuildMatrix(rowEmitter{sp: sp, p: p, ker: ker, gains: cfg.Gains}, cfg.Pool)
+	phaseEnd(cfg.Observer, "kernel", t0)
+	m, err := chainmodel.BuildMatrixObserved(rowEmitter{sp: sp, p: p, ker: ker, gains: cfg.Gains}, cfg.Pool, cfg.Observer)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	return m, sp, nil
+}
+
+// phaseStart/phaseEnd bracket a build phase only when someone is
+// listening, keeping the unobserved path free of clock reads.
+func phaseStart(o obs.Observer) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func phaseEnd(o obs.Observer, stage string, t0 time.Time) {
+	if o != nil {
+		o.Observe(stage, time.Since(t0))
+	}
 }
 
 // rowEmitter adapts the paper model's state space and Figure 2 row

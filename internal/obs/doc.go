@@ -1,0 +1,29 @@
+// Package obs is the dependency-free observability core shared by the
+// serving stack (attackd), the sweep engine, and the model layers.
+//
+// It deliberately depends on nothing but the standard library so that
+// leaf packages (core, chainmodel, sweep) can import it without cycles
+// and without dragging HTTP or encoding concerns into numeric code.
+// Three small facilities live here:
+//
+//   - Histograms: lock-free log-spaced latency histograms
+//     (atomic bucket counters, CAS-accumulated float sum) rendered in
+//     Prometheus text exposition format, plus a strict parser for that
+//     format (ParseProm) and quantile estimation from cumulative bucket
+//     snapshots, so load generators and tests can consume exactly what
+//     the server exposes.
+//
+//   - Traces: a request-scoped Trace carries a W3C trace-context ID
+//     (ingested from a `traceparent` header when present, minted from
+//     crypto/rand otherwise) through context.Context. StartSpan opens
+//     in-process spans (name, start, duration, string attrs) that
+//     aggregate into named stages; Trace implements Observer so lower
+//     layers can report stage durations without knowing about spans.
+//
+//   - Logging: NewLogger builds a log/slog logger (text or JSON) whose
+//     handler injects the current trace ID from the context into every
+//     record, so one grep by trace_id collects a request's full story.
+//
+// The package never spawns goroutines and holds no global state beyond
+// what callers wire up; everything is safe for concurrent use.
+package obs

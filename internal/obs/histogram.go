@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// ExponentialBuckets returns n upper bounds starting at start and
+// multiplying by factor: start, start*factor, ..., start*factor^(n-1).
+// The implicit +Inf bucket is not included.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefaultLatencyBuckets spans 100µs to ~52s doubling each step — wide
+// enough for both sub-millisecond cache hits and colossal sweeps.
+var DefaultLatencyBuckets = ExponentialBuckets(100e-6, 2, 20)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe
+// with no locks: bucket counters are atomic and the sum is a
+// CAS-accumulated float64. Bounds are upper bounds in ascending order;
+// an implicit +Inf bucket catches the overflow.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The bounds slice is not copied and must not be mutated.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns the histogram's cumulative bucket counts (one per
+// bound plus the +Inf bucket), sum, and count. The snapshot is not
+// atomic across buckets, but bucket counts never decrease, so the
+// result is always a valid (possibly slightly torn) exposition.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Count = h.total.Load()
+	s.Sum = h.Sum()
+	return s
+}
+
+// HistogramVec is a histogram family keyed by one label value, e.g.
+// request duration by endpoint. Children are created on first use and
+// live forever; lookups on the hot path are a single sync.Map read.
+type HistogramVec struct {
+	bounds []float64
+	m      sync.Map // string -> *Histogram
+}
+
+// NewHistogramVec builds a family whose children share bounds.
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	return &HistogramVec{bounds: bounds}
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(label string) *Histogram {
+	if h, ok := v.m.Load(label); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.m.LoadOrStore(label, NewHistogram(v.bounds))
+	return h.(*Histogram)
+}
+
+// WriteProm renders the family in Prometheus text exposition format
+// under the given metric name, with each child labeled
+// labelName="<value>". Children are emitted in sorted label order.
+func (v *HistogramVec) WriteProm(w io.Writer, name, help, labelName string) {
+	type child struct {
+		label string
+		h     *Histogram
+	}
+	var children []child
+	v.m.Range(func(k, val any) bool {
+		children = append(children, child{k.(string), val.(*Histogram)})
+		return true
+	})
+	sort.Slice(children, func(i, j int) bool { return children[i].label < children[j].label })
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, c := range children {
+		s := c.h.Snapshot()
+		for i, b := range s.Bounds {
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, labelName, c.label, formatBound(b), s.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n",
+			name, labelName, c.label, s.Counts[len(s.Counts)-1])
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n",
+			name, labelName, c.label, strconv.FormatFloat(s.Sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelName, c.label, s.Count)
+	}
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// HistogramSnapshot is a point-in-time view of cumulative bucket
+// counts; Counts has one entry per bound plus a final +Inf entry.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Sub returns the bucket-wise delta a - b, for computing what happened
+// between two scrapes. The snapshots must share bounds.
+func (a HistogramSnapshot) Sub(b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: snapshot shapes differ (%d vs %d buckets)", len(a.Counts), len(b.Counts))
+	}
+	d := HistogramSnapshot{
+		Bounds: a.Bounds,
+		Counts: make([]uint64, len(a.Counts)),
+		Sum:    a.Sum - b.Sum,
+		Count:  a.Count - b.Count,
+	}
+	for i := range a.Counts {
+		if a.Counts[i] < b.Counts[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: bucket %d went backwards (%d -> %d)", i, b.Counts[i], a.Counts[i])
+		}
+		d.Counts[i] = a.Counts[i] - b.Counts[i]
+	}
+	return d, nil
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from cumulative
+// bucket counts with linear interpolation inside the landing bucket,
+// the same estimator Prometheus's histogram_quantile uses. Values in
+// the +Inf bucket clamp to the highest finite bound. Returns NaN for
+// an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	n := s.Counts[len(s.Counts)-1]
+	if n == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(n)
+	idx := sort.Search(len(s.Counts), func(i int) bool { return float64(s.Counts[i]) >= rank })
+	if idx >= len(s.Bounds) {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lower, lowerCount := 0.0, uint64(0)
+	if idx > 0 {
+		lower = s.Bounds[idx-1]
+		lowerCount = s.Counts[idx-1]
+	}
+	width := float64(s.Counts[idx] - lowerCount)
+	if width == 0 {
+		return s.Bounds[idx]
+	}
+	return lower + (s.Bounds[idx]-lower)*(rank-float64(lowerCount))/width
+}

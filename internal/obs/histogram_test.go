@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.002, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 3, 4, 6} // cumulative: <=1ms, <=10ms, <=100ms, +Inf
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if got, want := s.Sum, 0.0005+0.001+0.002+0.05+0.5+2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if math.Abs(h.Sum()-workers*per*0.001) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), workers*per*0.001)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if len(DefaultLatencyBuckets) != 20 || DefaultLatencyBuckets[0] != 100e-6 {
+		t.Fatalf("unexpected default buckets: %v", DefaultLatencyBuckets)
+	}
+}
+
+func TestHistogramVecPromRoundTrip(t *testing.T) {
+	v := NewHistogramVec([]float64{0.01, 0.1})
+	v.With("/v1/sweep").Observe(0.05)
+	v.With("/v1/sweep").Observe(0.005)
+	v.With("/v1/analyze").Observe(0.5)
+
+	var b strings.Builder
+	v.WriteProm(&b, "test_duration_seconds", "Test latency.", "endpoint")
+	fams, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v\n%s", err, b.String())
+	}
+	snap, err := ExtractHistogram(fams, "test_duration_seconds", map[string]string{"endpoint": "/v1/sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 2 || snap.Counts[len(snap.Counts)-1] != 2 {
+		t.Fatalf("sweep series count = %d (%v), want 2", snap.Count, snap.Counts)
+	}
+	if math.Abs(snap.Sum-0.055) > 1e-12 {
+		t.Fatalf("sweep series sum = %v, want 0.055", snap.Sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	// 100 observations uniform in the (0.1, 0.2] bucket.
+	s := HistogramSnapshot{
+		Bounds: []float64{0.1, 0.2, 0.4},
+		Counts: []uint64{0, 100, 100, 100},
+	}
+	if got := s.Quantile(0.5); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.15", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-0.199) > 1e-9 {
+		t.Errorf("p99 = %v, want 0.199", got)
+	}
+	// Observations in +Inf clamp to the top finite bound.
+	inf := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 10}}
+	if got := inf.Quantile(0.9); got != 1 {
+		t.Errorf("+Inf quantile = %v, want 1", got)
+	}
+	empty := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{5, 9}, Sum: 12, Count: 9}
+	b := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{2, 4}, Sum: 5, Count: 4}
+	d, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Counts[0] != 3 || d.Counts[1] != 5 || d.Sum != 7 || d.Count != 5 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if _, err := b.Sub(a); err == nil {
+		t.Fatal("expected error for backwards counters")
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerInjectsTraceID(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	lg.InfoContext(ctx, "evaluated", "cells", 64)
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, b.String())
+	}
+	if rec["trace_id"] != tr.TraceID() {
+		t.Fatalf("trace_id = %v, want %s", rec["trace_id"], tr.TraceID())
+	}
+	if rec["cells"] != float64(64) {
+		t.Fatalf("cells attr lost: %v", rec)
+	}
+
+	b.Reset()
+	lg.Info("no ctx")
+	if strings.Contains(b.String(), "trace_id") {
+		t.Fatalf("trace_id stamped without a trace: %q", b.String())
+	}
+}
+
+func TestLoggerWithAttrsKeepsInjection(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "text", slog.LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	lg.With("component", "jobs").WithGroup("g").DebugContext(ctx, "tick")
+	if !strings.Contains(b.String(), tr.TraceID()) {
+		t.Fatalf("derived logger lost trace injection: %q", b.String())
+	}
+}
+
+func TestLoggerLevelAndFormatValidation(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	var b strings.Builder
+	lg, _ := NewLogger(&b, "text", slog.LevelWarn)
+	lg.Info("hidden")
+	if b.Len() != 0 {
+		t.Fatalf("info leaked past warn level: %q", b.String())
+	}
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "WARN": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one sample line of a text exposition.
+type MetricPoint struct {
+	Name   string // full sample name, e.g. foo_bucket
+	Labels map[string]string
+	Value  float64
+}
+
+// MetricFamily groups the samples declared under one # TYPE block.
+type MetricFamily struct {
+	Name   string
+	Help   string
+	Type   string // counter, gauge, histogram, summary, untyped
+	Points []MetricPoint
+}
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseProm parses a Prometheus text exposition strictly: metric and
+// label names must be well-formed, label values properly quoted,
+// values parseable floats, each TYPE declared at most once, and every
+// sample must belong to a declared family (histogram samples may use
+// the _bucket/_sum/_count suffixes). This is deliberately stricter
+// than Prometheus itself so the self-check test catches malformed
+// output before a real scraper ever sees it.
+func ParseProm(r io.Reader) (map[string]*MetricFamily, error) {
+	fams := make(map[string]*MetricFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		p, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, p.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no declared # TYPE family", lineNo, p.Name)
+		}
+		fam.Points = append(fam.Points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parseComment(line string, fams map[string]*MetricFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &MetricFamily{Name: name}
+			fams[name] = f
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		if !promTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &MetricFamily{Name: name}
+			fams[name] = f
+		}
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if len(f.Points) > 0 {
+			return fmt.Errorf("TYPE for %q declared after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its declared family, allowing
+// the histogram/summary component suffixes.
+func familyFor(fams map[string]*MetricFamily, sample string) *MetricFamily {
+	if f, ok := fams[sample]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (MetricPoint, error) {
+	p := MetricPoint{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	p.Name = line[:i]
+	if !validMetricName(p.Name) {
+		return p, fmt.Errorf("invalid metric name %q", p.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, p.Labels)
+		if err != nil {
+			return p, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return p, fmt.Errorf("expected value (and optional timestamp) after %q", p.Name)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return p, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block %q", s)
+		}
+		name := s[start:i]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("truncated escape in label %q", name)
+				}
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in label %q", s[i], name)
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value for %q", name)
+		}
+		i++ // closing '"'
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+	}
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractHistogram reconstructs one labeled series of a histogram
+// family as a HistogramSnapshot. match gives the label values that
+// identify the series (le is handled internally); points carrying
+// extra labels beyond match+le are rejected to avoid silently mixing
+// series.
+func ExtractHistogram(fams map[string]*MetricFamily, name string, match map[string]string) (HistogramSnapshot, error) {
+	var snap HistogramSnapshot
+	f := fams[name]
+	if f == nil {
+		return snap, fmt.Errorf("obs: metrics have no family %q", name)
+	}
+	if f.Type != "histogram" {
+		return snap, fmt.Errorf("obs: family %q has type %q, want histogram", name, f.Type)
+	}
+	matches := func(labels map[string]string, extra int) bool {
+		if len(labels) != len(match)+extra {
+			return false
+		}
+		for k, v := range match {
+			if labels[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	type bkt struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bkt
+	haveSum, haveCount := false, false
+	for _, p := range f.Points {
+		switch p.Name {
+		case name + "_bucket":
+			if !matches(p.Labels, 1) {
+				continue
+			}
+			le, err := parsePromValue(p.Labels["le"])
+			if err != nil {
+				return snap, fmt.Errorf("obs: bad le %q in %s", p.Labels["le"], name)
+			}
+			buckets = append(buckets, bkt{le, uint64(p.Value)})
+		case name + "_sum":
+			if matches(p.Labels, 0) {
+				snap.Sum = p.Value
+				haveSum = true
+			}
+		case name + "_count":
+			if matches(p.Labels, 0) {
+				snap.Count = uint64(p.Value)
+				haveCount = true
+			}
+		}
+	}
+	if len(buckets) == 0 {
+		return snap, fmt.Errorf("obs: no %s_bucket samples match %v", name, match)
+	}
+	if !haveSum || !haveCount {
+		return snap, fmt.Errorf("obs: %s series %v missing _sum or _count", name, match)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if !math.IsInf(buckets[len(buckets)-1].le, 1) {
+		return snap, fmt.Errorf("obs: %s series %v has no +Inf bucket", name, match)
+	}
+	var prev uint64
+	for i, b := range buckets {
+		if i > 0 && b.le <= buckets[i-1].le {
+			return snap, fmt.Errorf("obs: %s series %v has duplicate le %v", name, match, b.le)
+		}
+		if b.cum < prev {
+			return snap, fmt.Errorf("obs: %s series %v buckets not cumulative", name, match)
+		}
+		prev = b.cum
+		if !math.IsInf(b.le, 1) {
+			snap.Bounds = append(snap.Bounds, b.le)
+		}
+		snap.Counts = append(snap.Counts, b.cum)
+	}
+	return snap, nil
+}
+
+// LabelValues lists the distinct values of one label key across a
+// family's samples, sorted — e.g. all stages seen by the stage
+// histogram.
+func LabelValues(f *MetricFamily, key string) []string {
+	seen := make(map[string]bool)
+	for _, p := range f.Points {
+		if v, ok := p.Labels[key]; ok {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

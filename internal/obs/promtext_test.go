@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{endpoint="/v1/sweep",code="200"} 12
+http_requests_total{endpoint="/v1/analyze",code="400"} 1
+
+# HELP up Whether the server is up.
+# TYPE up gauge
+up 1
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 3
+latency_seconds_bucket{le="0.2"} 5
+latency_seconds_bucket{le="+Inf"} 6
+latency_seconds_sum 0.9
+latency_seconds_count 6
+`
+
+func TestParsePromValid(t *testing.T) {
+	fams, err := ParseProm(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fams["http_requests_total"]
+	if c == nil || c.Type != "counter" || len(c.Points) != 2 {
+		t.Fatalf("counter family = %+v", c)
+	}
+	if c.Points[0].Labels["endpoint"] != "/v1/sweep" || c.Points[0].Value != 12 {
+		t.Fatalf("point = %+v", c.Points[0])
+	}
+	snap, err := ExtractHistogram(fams, "latency_seconds", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 6 || len(snap.Bounds) != 2 || snap.Counts[2] != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if p50 := snap.Quantile(0.5); math.Abs(p50-0.1) > 1e-9 {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample":    "foo 1\n",
+		"bad metric name":      "# TYPE 9foo counter\n9foo 1\n",
+		"unknown type":         "# TYPE foo widget\n",
+		"duplicate TYPE":       "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"type after samples":   "# HELP foo x\nfoo 1\n# TYPE foo counter\n",
+		"bad label name":       "# TYPE foo counter\nfoo{9bad=\"x\"} 1\n",
+		"unquoted label value": "# TYPE foo counter\nfoo{a=x} 1\n",
+		"unterminated labels":  "# TYPE foo counter\nfoo{a=\"x\" 1\n",
+		"duplicate label":      "# TYPE foo counter\nfoo{a=\"x\",a=\"y\"} 1\n",
+		"bad escape":           "# TYPE foo counter\nfoo{a=\"\\t\"} 1\n",
+		"bad value":            "# TYPE foo counter\nfoo one\n",
+		"reserved label":       "# TYPE foo counter\nfoo{__name__=\"x\"} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, in)
+		}
+	}
+}
+
+func TestParsePromLabelEscapes(t *testing.T) {
+	in := "# TYPE foo counter\nfoo{path=\"a\\\\b\\\"c\\nd\"} 2\n"
+	fams, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fams["foo"].Points[0].Labels["path"]
+	if got != "a\\b\"c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestExtractHistogramErrors(t *testing.T) {
+	fams, err := ParseProm(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractHistogram(fams, "missing", nil); err == nil {
+		t.Error("expected error for missing family")
+	}
+	if _, err := ExtractHistogram(fams, "up", nil); err == nil {
+		t.Error("expected error for non-histogram family")
+	}
+	if _, err := ExtractHistogram(fams, "latency_seconds", map[string]string{"zone": "a"}); err == nil {
+		t.Error("expected error when no series matches")
+	}
+	// Missing +Inf bucket is rejected.
+	noInf := "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"
+	f2, err := ParseProm(strings.NewReader(noInf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractHistogram(f2, "h", nil); err == nil {
+		t.Error("expected error for missing +Inf bucket")
+	}
+}
+
+func TestLabelValues(t *testing.T) {
+	fams, err := ParseProm(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := LabelValues(fams["http_requests_total"], "endpoint")
+	if len(got) != 2 || got[0] != "/v1/analyze" || got[1] != "/v1/sweep" {
+		t.Fatalf("label values = %v", got)
+	}
+}

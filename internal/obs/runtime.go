@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+)
+
+// WriteRuntimeMetrics renders Go runtime health gauges (goroutines,
+// heap, GC) in Prometheus text format under the given metric-name
+// prefix, e.g. prefix "attackd_go_" yields attackd_go_goroutines.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s%s %s\n", prefix, name, help)
+		fmt.Fprintf(w, "# TYPE %s%s gauge\n", prefix, name)
+		fmt.Fprintf(w, "%s%s %s\n", prefix, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s%s %s\n", prefix, name, help)
+		fmt.Fprintf(w, "# TYPE %s%s counter\n", prefix, name)
+		fmt.Fprintf(w, "%s%s %s\n", prefix, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	gauge("goroutines", "Current number of goroutines.", float64(runtime.NumGoroutine()))
+	gauge("heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	gauge("heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	counter("gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	counter("gcs_total", "Number of completed GC cycles.", float64(ms.NumGC))
+}

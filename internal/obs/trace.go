@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Observer receives stage durations. Trace implements it, so numeric
+// layers (core, chainmodel) can report phase timings through a
+// one-method interface without knowing about spans or contexts.
+type Observer interface {
+	Observe(stage string, d time.Duration)
+}
+
+// maxSpans bounds the per-trace span log so a 4096-cell sweep cannot
+// grow an unbounded tree; stages keep aggregating past the cap.
+const maxSpans = 256
+
+// StageStat aggregates all spans (and Observe calls) of one stage.
+type StageStat struct {
+	Duration time.Duration
+	Count    int
+}
+
+type spanRecord struct {
+	name   string
+	id     string
+	parent string
+	start  time.Duration // offset from trace start
+	dur    time.Duration
+	attrs  []attr
+}
+
+type attr struct{ key, value string }
+
+// Trace is the per-request trace: a W3C-compatible trace ID plus the
+// spans and stage aggregates recorded under it. All methods are safe
+// for concurrent use (sweep lanes record spans from pool workers).
+type Trace struct {
+	traceID string
+	start   time.Time
+
+	mu      sync.Mutex
+	spans   []spanRecord
+	stages  map[string]*StageStat
+	dropped int
+}
+
+// NewTrace builds a trace from an incoming W3C traceparent header
+// value; when the header is empty or malformed it mints a fresh
+// crypto/rand trace ID. The returned trace is never nil.
+func NewTrace(traceparent string) *Trace {
+	id, _, ok := parseTraceparent(traceparent)
+	if !ok {
+		id = randHex(16)
+	}
+	return &Trace{traceID: id, start: time.Now(), stages: make(map[string]*StageStat)}
+}
+
+// NewChildTrace builds a fresh trace sharing parent's trace ID, for
+// work (async jobs) that outlives the request that recorded parent.
+// A nil parent yields a fresh trace.
+func NewChildTrace(parent *Trace) *Trace {
+	if parent == nil {
+		return NewTrace("")
+	}
+	return &Trace{traceID: parent.traceID, start: time.Now(), stages: make(map[string]*StageStat)}
+}
+
+// TraceID returns the 32-hex-digit trace ID.
+func (t *Trace) TraceID() string { return t.traceID }
+
+// Elapsed returns time since the trace started.
+func (t *Trace) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Observe records a stage duration with no span tree entry beyond a
+// flat leaf; it satisfies Observer for the numeric layers.
+func (t *Trace) Observe(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(spanRecord{name: stage, start: time.Since(t.start) - d, dur: d})
+}
+
+func (t *Trace) record(r spanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stages[r.name]
+	if st == nil {
+		st = &StageStat{}
+		t.stages[r.name] = st
+	}
+	st.Duration += r.dur
+	st.Count++
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, r)
+	} else {
+		t.dropped++
+	}
+}
+
+// Stages returns a copy of the per-stage aggregates.
+func (t *Trace) Stages() map[string]StageStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]StageStat, len(t.stages))
+	for k, v := range t.stages {
+		out[k] = *v
+	}
+	return out
+}
+
+// SpanTree renders the recorded spans as a compact one-line tree:
+// name=dur{attrs}[children...], siblings space-separated, for
+// slow-request logs. Dropped spans are noted at the end.
+func (t *Trace) SpanTree() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	spans := make([]spanRecord, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	children := make(map[string][]int)
+	known := make(map[string]bool)
+	for _, s := range spans {
+		if s.id != "" {
+			known[s.id] = true
+		}
+	}
+	var roots []int
+	for i, s := range spans {
+		if s.parent != "" && known[s.parent] {
+			children[s.parent] = append(children[s.parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var b strings.Builder
+	var render func(idx int)
+	render = func(idx int) {
+		s := spans[idx]
+		b.WriteString(s.name)
+		b.WriteByte('=')
+		b.WriteString(formatDur(s.dur))
+		if len(s.attrs) > 0 {
+			b.WriteByte('{')
+			for i, a := range s.attrs {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(a.key)
+				b.WriteByte('=')
+				b.WriteString(a.value)
+			}
+			b.WriteByte('}')
+		}
+		if kids := children[s.id]; s.id != "" && len(kids) > 0 {
+			b.WriteByte('[')
+			for i, k := range kids {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				render(k)
+			}
+			b.WriteByte(']')
+		}
+	}
+	for i, r := range roots {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		render(r)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(&b, " +%d-dropped", dropped)
+	}
+	return b.String()
+}
+
+func formatDur(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64) + "ms"
+}
+
+// Span is one in-process timed operation. A nil *Span is a valid
+// no-op, so call sites need no trace-presence checks.
+type Span struct {
+	tr     *Trace
+	name   string
+	id     string
+	parent string
+	start  time.Time
+	attrs  []attr
+}
+
+// ID returns the span's 16-hex-digit ID ("" for a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr attaches a string attribute; shown in span-tree logs.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key, value})
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End records the span into its trace. Safe to call once per span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.record(spanRecord{
+		name:   s.name,
+		id:     s.id,
+		parent: s.parent,
+		start:  s.start.Sub(s.tr.start),
+		dur:    time.Since(s.start),
+		attrs:  s.attrs,
+	})
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// ContextWithTrace returns ctx carrying the trace.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// StartSpan opens a span named name under the context's current span
+// (if any) and returns it plus a context in which it is current. With
+// no trace in ctx it returns (nil, ctx): zero-cost when tracing is off.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	t := TraceFromContext(ctx)
+	if t == nil {
+		return nil, ctx
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	s := &Span{tr: t, name: name, id: randHex(8), start: time.Now()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s, context.WithValue(ctx, spanKey, s)
+}
+
+// Detach returns a fresh context (no deadline, no cancellation)
+// carrying ctx's trace and current span. Evaluations run detached from
+// request cancellation so singleflight followers can share the result;
+// Detach keeps their spans attributed to the leader's trace.
+func Detach(ctx context.Context) context.Context {
+	out := context.Background()
+	if t := TraceFromContext(ctx); t != nil {
+		out = context.WithValue(out, traceKey, t)
+	}
+	if sp, ok := ctx.Value(spanKey).(*Span); ok {
+		out = context.WithValue(out, spanKey, sp)
+	}
+	return out
+}
+
+// Traceparent renders a W3C traceparent header value for propagating
+// this trace downstream; span names the current span ("" mints the
+// 16-hex parent-id randomly, as required for a valid header).
+func (t *Trace) Traceparent(span *Span) string {
+	id := span.ID()
+	if id == "" {
+		id = randHex(8)
+	}
+	return "00-" + t.traceID + "-" + id + "-01"
+}
+
+// parseTraceparent validates a W3C trace-context header:
+// version "-" trace-id(32 hex) "-" parent-id(16 hex) "-" flags(2 hex),
+// rejecting all-zero IDs and the reserved version ff.
+func parseTraceparent(h string) (traceID, parentID string, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return "", "", false
+	}
+	ver, tid, pid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return "", "", false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return "", "", false
+	}
+	if len(tid) != 32 || !isLowerHex(tid) || allZero(tid) {
+		return "", "", false
+	}
+	if len(pid) != 16 || !isLowerHex(pid) || allZero(pid) {
+		return "", "", false
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return "", "", false
+	}
+	return tid, pid, true
+}
+
+func isLowerHex(s string) bool {
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for _, c := range s {
+		if c != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func randHex(nBytes int) string {
+	b := make([]byte, nBytes)
+	if _, err := rand.Read(b); err != nil {
+		panic("obs: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b)
+}
+
+// SortedStages returns stage names sorted for deterministic rendering.
+func SortedStages(stages map[string]StageStat) []string {
+	names := make([]string, 0, len(stages))
+	for k := range stages {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+func TestNewTraceFresh(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		tr := NewTrace("")
+		if !traceIDRe.MatchString(tr.TraceID()) {
+			t.Fatalf("trace ID %q is not 32 lowercase hex", tr.TraceID())
+		}
+		if seen[tr.TraceID()] {
+			t.Fatalf("duplicate trace ID %q", tr.TraceID())
+		}
+		seen[tr.TraceID()] = true
+	}
+}
+
+func TestNewTraceFromTraceparent(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tr := NewTrace("00-" + id + "-00f067aa0ba902b7-01")
+	if tr.TraceID() != id {
+		t.Fatalf("trace ID = %q, want %q", tr.TraceID(), id)
+	}
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"00-" + id + "-00f067aa0ba902b7",    // missing flags
+		"ff-" + id + "-00f067aa0ba902b7-01", // reserved version
+		"00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01", // zero trace id
+		"00-" + id + "-0000000000000000-01",                      // zero parent id
+		"00-" + strings.ToUpper(id) + "-00f067aa0ba902b7-01",     // uppercase
+		"00-" + id + "-00f067aa0ba902b7-01-extra",                // extra field on v00
+	} {
+		if got := NewTrace(bad).TraceID(); got == id {
+			t.Errorf("malformed traceparent %q was accepted", bad)
+		} else if !traceIDRe.MatchString(got) {
+			t.Errorf("fallback trace ID %q invalid for input %q", got, bad)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	sp, _ := StartSpan(ctx, "request")
+	hdr := tr.Traceparent(sp)
+	id, parent, ok := parseTraceparent(hdr)
+	if !ok || id != tr.TraceID() || parent != sp.ID() {
+		t.Fatalf("header %q does not round-trip (ok=%v id=%q parent=%q)", hdr, ok, id, parent)
+	}
+}
+
+func TestSpansAndStages(t *testing.T) {
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	root, ctx := StartSpan(ctx, "request")
+	child, _ := StartSpan(ctx, "solve")
+	child.SetAttr("backend", "bicgstab")
+	child.SetAttrInt("iterations", 42)
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	root.End()
+	tr.Observe("matrix", 5*time.Millisecond)
+
+	stages := tr.Stages()
+	if stages["solve"].Count != 1 || stages["solve"].Duration < 2*time.Millisecond {
+		t.Fatalf("solve stage = %+v", stages["solve"])
+	}
+	if stages["matrix"].Duration != 5*time.Millisecond {
+		t.Fatalf("matrix stage = %+v", stages["matrix"])
+	}
+	tree := tr.SpanTree()
+	if !strings.Contains(tree, "request=") || !strings.Contains(tree, "solve=") {
+		t.Fatalf("span tree missing spans: %q", tree)
+	}
+	if !strings.Contains(tree, "backend=bicgstab") || !strings.Contains(tree, "iterations=42") {
+		t.Fatalf("span tree missing attrs: %q", tree)
+	}
+	// solve must render nested under request.
+	if strings.Index(tree, "request=") > strings.Index(tree, "solve=") {
+		t.Fatalf("child rendered before parent: %q", tree)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	sp, ctx := StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Fatal("expected nil span without a trace")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if ctx != context.Background() {
+		t.Fatal("context should be unchanged without a trace")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := NewTrace("")
+	ctx, cancel := context.WithCancel(ContextWithTrace(context.Background(), tr))
+	_, ctx = StartSpan(ctx, "request")
+	cancel()
+	d := Detach(ctx)
+	if d.Err() != nil {
+		t.Fatal("detached context inherited cancellation")
+	}
+	if TraceFromContext(d) != tr {
+		t.Fatal("detached context lost the trace")
+	}
+	sp, _ := StartSpan(d, "build")
+	sp.End()
+	if tr.Stages()["build"].Count != 1 {
+		t.Fatal("span on detached context not recorded")
+	}
+}
+
+func TestTraceConcurrentAndCapped(t *testing.T) {
+	tr := NewTrace("")
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	const n = 4 * maxSpans
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp, _ := StartSpan(ctx, "lane")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	st := tr.Stages()["lane"]
+	if st.Count != n {
+		t.Fatalf("stage count = %d, want %d (stages must aggregate past the span cap)", st.Count, n)
+	}
+	if !strings.Contains(tr.SpanTree(), "-dropped") {
+		t.Fatal("span tree should note dropped spans past the cap")
+	}
+}
+
+func TestChildTrace(t *testing.T) {
+	parent := NewTrace("")
+	child := NewChildTrace(parent)
+	if child.TraceID() != parent.TraceID() {
+		t.Fatal("child trace must share the parent's trace ID")
+	}
+	child.Observe("job", time.Millisecond)
+	if parent.Stages()["job"].Count != 0 {
+		t.Fatal("child stages leaked into parent")
+	}
+	if NewChildTrace(nil) == nil {
+		t.Fatal("nil parent must yield a fresh trace")
+	}
+}

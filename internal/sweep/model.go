@@ -7,6 +7,7 @@ import (
 	"targetedattacks/internal/chainmodel"
 	"targetedattacks/internal/engine"
 	"targetedattacks/internal/matrix"
+	"targetedattacks/internal/obs"
 )
 
 // ModelPlan is a model-agnostic parameter grid: a family plus its cells
@@ -121,7 +122,10 @@ func EvaluateModel(ctx context.Context, plan ModelPlan, opts ModelOptions) (*Mod
 
 	// Planner pass 1: shared structure per group. Group cells are
 	// collected first so NewShared sees the whole group (e.g. every
-	// protocol k a geometry group will need tables for).
+	// protocol k a geometry group will need tables for). The pass is
+	// the sweep's "space" stage: it is where state spaces and kernel
+	// tables are enumerated.
+	spaceSpan, _ := obs.StartSpan(ctx, "space")
 	groupCells := make(map[any][]chainmodel.Cell)
 	var groupOrder []any
 	for _, cell := range cells {
@@ -135,14 +139,18 @@ func EvaluateModel(ctx context.Context, plan ModelPlan, opts ModelOptions) (*Mod
 	for _, key := range groupOrder {
 		s, err := fam.NewShared(groupCells[key])
 		if err != nil {
+			spaceSpan.End()
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		shared[key] = s
 	}
+	spaceSpan.SetAttrInt("groups", int64(len(groupOrder)))
+	spaceSpan.End()
 
 	// Planner pass 2: deduplicate cells into equivalence classes. The
 	// leader of a class is its lowest cell index; classes keep plan
 	// order, so the evaluation schedule is deterministic.
+	planSpan, _ := obs.StartSpan(ctx, "plan")
 	type class struct {
 		leader  int
 		members []int
@@ -152,6 +160,7 @@ func EvaluateModel(ctx context.Context, plan ModelPlan, opts ModelOptions) (*Mod
 	for i, cell := range cells {
 		sig, err := fam.Signature(shared[fam.GroupKey(cell)], cell)
 		if err != nil {
+			planSpan.End()
 			return nil, fmt.Errorf("sweep: cell %v: %w", cell, err)
 		}
 		ci, ok := classOf[sig]
@@ -183,10 +192,16 @@ func EvaluateModel(ctx context.Context, plan ModelPlan, opts ModelOptions) (*Mod
 		}
 		lanes = append(lanes, []int{ci})
 	}
+	planSpan.SetAttrInt("classes", int64(len(classes)))
+	planSpan.SetAttrInt("lanes", int64(len(lanes)))
+	planSpan.End()
 
 	// Evaluation pass: one build + solve per class, lanes fanned across
 	// the pool; results land in per-cell slots (classes own disjoint
-	// cell sets), so accumulation is order-independent.
+	// cell sets), so accumulation is order-independent. Each class
+	// records a "build" and a "solve" span; with more than one worker,
+	// lanes overlap in time, so the aggregated stage durations read as
+	// CPU time, not wall clock.
 	results := make([]ModelCellResult, len(cells))
 	err = engine.Ensure(opts.Pool).Run(ctx, len(lanes), func(li int) error {
 		var ws *chainmodel.WarmStart
@@ -194,14 +209,25 @@ func EvaluateModel(ctx context.Context, plan ModelPlan, opts ModelOptions) (*Mod
 			cl := classes[ci]
 			cell := cells[cl.leader]
 			gshared := shared[fam.GroupKey(cell)]
+			buildSpan, _ := obs.StartSpan(ctx, "build")
 			inst, err := fam.Build(gshared, cell, opts.Solver, opts.BuildPool)
+			buildSpan.End()
 			if err != nil {
 				return fmt.Errorf("cell %v: %w", cell, err)
 			}
+			solveSpan, _ := obs.StartSpan(ctx, "solve")
 			a, rec, err := chainmodel.AnalyzeWarm(inst, dist, plan.sojourns(), ws)
 			if err != nil {
+				solveSpan.End()
 				return fmt.Errorf("cell %v: %w", cell, err)
 			}
+			solveSpan.SetAttr("backend", a.Solver.Backend)
+			solveSpan.SetAttrInt("iterations", a.Solver.Iterations)
+			if a.Solver.Fallbacks > 0 {
+				solveSpan.SetAttrInt("fallbacks", a.Solver.Fallbacks)
+				solveSpan.SetAttr("fallback_reason", string(a.Solver.FallbackReason))
+			}
+			solveSpan.End()
 			if opts.WarmStart {
 				ws = rec
 			}

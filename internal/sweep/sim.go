@@ -9,6 +9,7 @@ import (
 	"targetedattacks/internal/adversary"
 	"targetedattacks/internal/core"
 	"targetedattacks/internal/engine"
+	"targetedattacks/internal/obs"
 	"targetedattacks/internal/overlaynet"
 	"targetedattacks/internal/stats"
 )
@@ -267,7 +268,9 @@ func EvaluateSim(ctx context.Context, plan SimPlan, opts SimOptions) (*SimResult
 	err := engine.Ensure(opts.Pool).Run(ctx, len(outcomes), func(task int) error {
 		ci := task / plan.Replicas
 		seed := engine.Stream(uint64(plan.Seed), uint64(task)).Int64()
+		simSpan, _ := obs.StartSpan(ctx, "simulate")
 		out, err := runReplica(plan, cells[ci], seed)
+		simSpan.End()
 		if err != nil {
 			return fmt.Errorf("sim cell %d replica %d: %w", ci, task%plan.Replicas, err)
 		}
